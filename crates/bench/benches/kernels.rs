@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the computational kernels underneath
+//! the experiments: sparse products, subdomain LU, and the blocked
+//! triangular solves whose block-size trade-off Fig. 5 studies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use matgen::stencil::{laplace2d, laplace3d};
+use pdslin::interface::ehat_columns_pivot;
+use pdslin::subdomain::factor_domain;
+use slu::blocked::solve_in_blocks;
+use slu::trisolve::SolveWorkspace;
+use sparsekit::spgemm::spgemm;
+use sparsekit::Perm;
+
+fn bench_sparsekit(c: &mut Criterion) {
+    let a = laplace2d(60, 60);
+    c.bench_function("sparsekit/matvec_3600", |b| {
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        b.iter(|| a.matvec_into(black_box(&x), &mut y));
+    });
+    c.bench_function("sparsekit/transpose_3600", |b| {
+        b.iter(|| black_box(a.transpose()));
+    });
+    c.bench_function("sparsekit/spgemm_a_a", |b| {
+        b.iter(|| black_box(spgemm(&a, &a)));
+    });
+    c.bench_function("sparsekit/symmetrize_abs", |b| {
+        b.iter(|| black_box(a.symmetrize_abs()));
+    });
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let a = laplace3d(10, 10, 10);
+    c.bench_function("slu/lu_natural_1000", |b| {
+        let p = Perm::identity(a.nrows());
+        b.iter(|| {
+            black_box(
+                slu::LuFactors::factorize(&a, &p, &slu::LuConfig::default()).unwrap(),
+            )
+        });
+    });
+    c.bench_function("slu/lu_mindeg_postorder_1000", |b| {
+        b.iter(|| black_box(factor_domain(&a, 0.1).unwrap()));
+    });
+}
+
+fn bench_blocked_trisolve(c: &mut Criterion) {
+    // One PDSLin subdomain of the tdr190k analogue, solving Ê's columns.
+    let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
+    let part = pdslin::compute_partition(&a, 8, &pdslin::PartitionerKind::Ngd);
+    let sys = pdslin::extract_dbbd(&a, part);
+    let dom = &sys.domains[0];
+    let fd = factor_domain(&dom.d, 0.1).unwrap();
+    let cols = ehat_columns_pivot(&fd, dom);
+    let mut group = c.benchmark_group("slu/blocked_trisolve");
+    for &bs in &[1usize, 10, 60, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            let mut ws = SolveWorkspace::new(fd.lu.n());
+            b.iter(|| black_box(solve_in_blocks(&fd.lu.l, true, &cols, bs, &mut ws)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sparsekit, bench_lu, bench_blocked_trisolve
+);
+criterion_main!(benches);

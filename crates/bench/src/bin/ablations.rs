@@ -1,0 +1,107 @@
+//! Ablations of the RHB design choices called out in DESIGN.md §6:
+//!
+//! * dynamic vs static (unit) vertex weights;
+//! * unit vs dynamic weights at the *first* bisection level;
+//! * structural factor `M = A` vs `M = tril(A)`;
+//! * the three cut metrics (net splitting vs discarding is implied:
+//!   con1/soed split, cnet discards).
+
+use hypergraph::rhb::StructuralFactor;
+use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
+use pdslin::{compute_partition, PartitionStats, PartitionerKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    separator: usize,
+    dim_balance: f64,
+    nnz_d_balance: f64,
+    nnz_e_balance: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let scale = pdslin_bench::scale_from_env();
+    let a = matgen::generate(matgen::MatrixKind::Tdr190k, scale);
+    eprintln!("tdr190k analogue: n={} nnz={}", a.nrows(), a.nnz());
+    let k = 8;
+    let base = RhbConfig::default();
+    let variants: Vec<(String, RhbConfig)> = vec![
+        ("soed-single (default)".into(), base),
+        (
+            "static unit weights".into(),
+            RhbConfig { constraint: ConstraintMode::Unit, ..base },
+        ),
+        (
+            "unit first level (paper-literal)".into(),
+            RhbConfig { unit_first_level: true, ..base },
+        ),
+        (
+            "M = A (wide separators)".into(),
+            RhbConfig { factor: StructuralFactor::Identity, ..base },
+        ),
+        (
+            "M = edge cover".into(),
+            RhbConfig { factor: StructuralFactor::EdgeCover, ..base },
+        ),
+        ("metric con1".into(), RhbConfig { metric: CutMetric::Con1, ..base }),
+        ("metric cnet".into(), RhbConfig { metric: CutMetric::Cnet, ..base }),
+        (
+            "multi-constraint".into(),
+            RhbConfig { constraint: ConstraintMode::Multi, ..base },
+        ),
+    ];
+    let mut rows = Vec::new();
+    println!("RHB ablations on tdr190k analogue, k={k}");
+    println!(
+        "{:<34} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "variant", "sep", "dim(D)", "nnz(D)", "nnz(E)", "time(s)"
+    );
+    for (name, cfg) in variants {
+        let t = std::time::Instant::now();
+        let p = compute_partition(&a, k, &PartitionerKind::Rhb(cfg));
+        let secs = t.elapsed().as_secs_f64();
+        let st = PartitionStats::compute(&a, &p);
+        println!(
+            "{:<34} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            name,
+            st.separator_size,
+            st.dim_balance(),
+            st.nnz_d_balance(),
+            st.nnz_e_balance(),
+            secs
+        );
+        rows.push(AblationRow {
+            variant: name,
+            separator: st.separator_size,
+            dim_balance: st.dim_balance(),
+            nnz_d_balance: st.nnz_d_balance(),
+            nnz_e_balance: st.nnz_e_balance(),
+            seconds: secs,
+        });
+    }
+    // NGD reference.
+    let t = std::time::Instant::now();
+    let p = compute_partition(&a, k, &PartitionerKind::Ngd);
+    let secs = t.elapsed().as_secs_f64();
+    let st = PartitionStats::compute(&a, &p);
+    println!(
+        "{:<34} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "NGD baseline",
+        st.separator_size,
+        st.dim_balance(),
+        st.nnz_d_balance(),
+        st.nnz_e_balance(),
+        secs
+    );
+    rows.push(AblationRow {
+        variant: "NGD baseline".into(),
+        separator: st.separator_size,
+        dim_balance: st.dim_balance(),
+        nnz_d_balance: st.nnz_d_balance(),
+        nnz_e_balance: st.nnz_e_balance(),
+        seconds: secs,
+    });
+    pdslin_bench::write_json("ablations", &rows);
+}

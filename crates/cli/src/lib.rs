@@ -1,0 +1,253 @@
+//! `pdslin-cli` — argument parsing and command implementations for the
+//! `pdslin` command-line driver.
+//!
+//! Subcommands:
+//!
+//! * `solve` — run the full hybrid solver on a Matrix Market file or a
+//!   generated analogue;
+//! * `partition` — compute and report a DBBD partition (NGD or RHB);
+//! * `genmat` — write a Table-I analogue as a Matrix Market file;
+//! * `info` — print basic statistics of a matrix.
+
+use std::collections::HashMap;
+
+use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
+use matgen::{MatrixKind, Scale};
+use pdslin::{PartitionerKind, RhsOrdering};
+use sparsekit::Csr;
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs (keys without the `--` prefix).
+    pub options: HashMap<String, String>,
+}
+
+/// Parses `--key value` style arguments.
+///
+/// Bare flags (a `--key` followed by another `--key` or nothing) get the
+/// value `"true"`.
+pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut it = argv.into_iter().peekable();
+    let command = it.next().ok_or("missing subcommand (try `pdslin help`)")?;
+    let mut options = HashMap::new();
+    while let Some(tok) = it.next() {
+        let key = tok
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got '{tok}'"))?
+            .to_string();
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap(),
+            _ => "true".to_string(),
+        };
+        options.insert(key, value);
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// Option value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Option value or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parses a numeric option.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+        }
+    }
+}
+
+/// Resolves a matrix kind by its paper name (case-insensitive, `.`/`_`
+/// agnostic).
+pub fn matrix_kind(name: &str) -> Result<MatrixKind, String> {
+    let norm = name.to_ascii_lowercase().replace(['.', '_', '-'], "");
+    for kind in MatrixKind::ALL {
+        if kind.name().to_ascii_lowercase().replace(['.', '_', '-'], "") == norm {
+            return Ok(kind);
+        }
+    }
+    Err(format!(
+        "unknown matrix '{name}' (expected one of: {})",
+        MatrixKind::ALL.map(|k| k.name()).join(", ")
+    ))
+}
+
+/// Resolves the scale option.
+pub fn scale(name: &str) -> Result<Scale, String> {
+    match name {
+        "test" => Ok(Scale::Test),
+        "bench" => Ok(Scale::Bench),
+        other => Err(format!("unknown scale '{other}' (test|bench)")),
+    }
+}
+
+/// Resolves the partitioner options into a [`PartitionerKind`].
+pub fn partitioner(args: &Args) -> Result<PartitionerKind, String> {
+    match args.get_or("partitioner", "ngd") {
+        "ngd" => Ok(PartitionerKind::Ngd),
+        "rhb" => {
+            let metric = match args.get_or("metric", "soed") {
+                "con1" => CutMetric::Con1,
+                "cnet" => CutMetric::Cnet,
+                "soed" => CutMetric::Soed,
+                other => return Err(format!("unknown metric '{other}'")),
+            };
+            let constraint = match args.get_or("constraint", "single") {
+                "unit" => ConstraintMode::Unit,
+                "single" => ConstraintMode::Single,
+                "multi" => ConstraintMode::Multi,
+                other => return Err(format!("unknown constraint '{other}'")),
+            };
+            Ok(PartitionerKind::Rhb(RhbConfig { metric, constraint, ..Default::default() }))
+        }
+        other => Err(format!("unknown partitioner '{other}' (ngd|rhb)")),
+    }
+}
+
+/// Resolves the outer Krylov method.
+pub fn krylov_kind(args: &Args) -> Result<pdslin::KrylovKind, String> {
+    match args.get_or("krylov", "gmres") {
+        "gmres" => Ok(pdslin::KrylovKind::Gmres),
+        "bicgstab" => Ok(pdslin::KrylovKind::Bicgstab),
+        other => Err(format!("unknown krylov method '{other}' (gmres|bicgstab)")),
+    }
+}
+
+/// Resolves the RHS ordering options.
+pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
+    match args.get_or("ordering", "postorder") {
+        "natural" => Ok(RhsOrdering::Natural),
+        "postorder" => Ok(RhsOrdering::Postorder),
+        "hypergraph" => {
+            let tau = match args.get("tau") {
+                None => None,
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("bad value for --tau: '{v}'"))?)
+                }
+            };
+            Ok(RhsOrdering::Hypergraph { tau })
+        }
+        other => Err(format!("unknown ordering '{other}'")),
+    }
+}
+
+/// Loads the input matrix: `--matrix FILE.mtx` or `--generate KIND`.
+pub fn load_matrix(args: &Args) -> Result<Csr, String> {
+    match (args.get("matrix"), args.get("generate")) {
+        (Some(path), None) => {
+            sparsekit::io::read_matrix_market(path).map_err(|e| format!("{e}"))
+        }
+        (None, Some(kind)) => {
+            let k = matrix_kind(kind)?;
+            let s = scale(args.get_or("scale", "test"))?;
+            Ok(matgen::generate(k, s))
+        }
+        (Some(_), Some(_)) => Err("pass either --matrix or --generate, not both".into()),
+        (None, None) => Err("pass --matrix FILE.mtx or --generate KIND".into()),
+    }
+}
+
+/// The `help` text.
+pub const HELP: &str = "\
+pdslin — Schur-complement hybrid solver (paper reproduction)
+
+USAGE:
+  pdslin solve     (--matrix F.mtx | --generate KIND [--scale test|bench])
+                   [--k K] [--partitioner ngd|rhb] [--metric soed|cnet|con1]
+                   [--constraint single|multi|unit]
+                   [--ordering natural|postorder|hypergraph [--tau T]]
+                   [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
+  pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
+                   [--k K] [--partitioner ...]
+  pdslin genmat    --generate KIND [--scale test|bench] --out FILE.mtx
+  pdslin info      (--matrix F.mtx | --generate KIND [--scale ...])
+  pdslin help
+
+KIND: tdr190k tdr455k dds.quad dds.linear matrix211 ASIC_680ks G3_circuit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse_args(argv("solve --k 8 --partitioner rhb")).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.get("k"), Some("8"));
+        assert_eq!(a.get("partitioner"), Some("rhb"));
+    }
+
+    #[test]
+    fn bare_flags_get_true() {
+        let a = parse_args(argv("solve --verbose --k 4")).unwrap();
+        assert_eq!(a.get("verbose"), Some("true"));
+        assert_eq!(a.get("k"), Some("4"));
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn numeric_parse_with_default() {
+        let a = parse_args(argv("solve --k 16")).unwrap();
+        assert_eq!(a.parse_or("k", 8usize).unwrap(), 16);
+        assert_eq!(a.parse_or("block-size", 60usize).unwrap(), 60);
+        assert!(a.parse_or::<usize>("k", 8).is_ok());
+        let bad = parse_args(argv("solve --k lots")).unwrap();
+        assert!(bad.parse_or::<usize>("k", 8).is_err());
+    }
+
+    #[test]
+    fn matrix_kind_resolution() {
+        assert_eq!(matrix_kind("tdr190k").unwrap(), MatrixKind::Tdr190k);
+        assert_eq!(matrix_kind("dds.quad").unwrap(), MatrixKind::DdsQuad);
+        assert_eq!(matrix_kind("ddsquad").unwrap(), MatrixKind::DdsQuad);
+        assert_eq!(matrix_kind("ASIC_680ks").unwrap(), MatrixKind::Asic680ks);
+        assert!(matrix_kind("nope").is_err());
+    }
+
+    #[test]
+    fn partitioner_resolution() {
+        let a = parse_args(argv("solve --partitioner rhb --metric cnet")).unwrap();
+        match partitioner(&a).unwrap() {
+            PartitionerKind::Rhb(cfg) => assert_eq!(cfg.metric, CutMetric::Cnet),
+            _ => panic!("expected RHB"),
+        }
+        let d = parse_args(argv("solve")).unwrap();
+        assert!(matches!(partitioner(&d).unwrap(), PartitionerKind::Ngd));
+    }
+
+    #[test]
+    fn ordering_resolution() {
+        let a = parse_args(argv("solve --ordering hypergraph --tau 0.4")).unwrap();
+        assert_eq!(rhs_ordering(&a).unwrap(), RhsOrdering::Hypergraph { tau: Some(0.4) });
+        let b = parse_args(argv("solve --ordering hypergraph")).unwrap();
+        assert_eq!(rhs_ordering(&b).unwrap(), RhsOrdering::Hypergraph { tau: None });
+    }
+
+    #[test]
+    fn load_matrix_requires_exactly_one_source() {
+        let a = parse_args(argv("solve")).unwrap();
+        assert!(load_matrix(&a).is_err());
+        let b = parse_args(argv("solve --generate g3_circuit --scale test")).unwrap();
+        let m = load_matrix(&b).unwrap();
+        assert!(m.nrows() > 1000);
+    }
+}

@@ -1,0 +1,360 @@
+//! The PDSLin driver: setup (phases 1–5) and solve (phase 6).
+
+use std::time::Instant;
+
+use krylov::{bicgstab, gmres, BicgstabConfig, GmresConfig};
+use rayon::prelude::*;
+use slu::{LuError, LuFactors};
+use sparsekit::Csr;
+
+use crate::extract::{extract_dbbd, DbbdSystem};
+use crate::interface::{compute_interface, InterfaceConfig};
+use crate::partition::{compute_partition, PartitionerKind};
+use crate::precond::{ImplicitSchur, SchurPrecond};
+use crate::rhs_order::RhsOrdering;
+use crate::schur::{assemble_schur, factor_schur};
+use crate::stats::{InterfaceStats, SetupStats};
+use crate::subdomain::{factor_domain, FactoredDomain};
+
+/// Which Krylov method solves the Schur system (2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KrylovKind {
+    /// Restarted GMRES (the default in PDSLin).
+    Gmres,
+    /// BiCGSTAB — shorter recurrences, no restart memory.
+    Bicgstab,
+}
+
+/// Full PDSLin configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PdslinConfig {
+    /// Number of interior subdomains `k` (power of two; the paper uses 8
+    /// and 32).
+    pub k: usize,
+    /// DBBD partitioner.
+    pub partitioner: PartitionerKind,
+    /// RHS ordering for the interface solves (§IV).
+    pub rhs_ordering: RhsOrdering,
+    /// Block size `B` of the simultaneous triangular solves.
+    pub block_size: usize,
+    /// Drop tolerance σ₁ for `W̃`, `G̃`.
+    pub interface_drop_tol: f64,
+    /// Drop tolerance σ₂ for `S̃`.
+    pub schur_drop_tol: f64,
+    /// Threshold-pivoting parameter of the subdomain LU.
+    pub pivot_threshold: f64,
+    /// Outer Krylov method.
+    pub krylov: KrylovKind,
+    /// GMRES parameters for the Schur system.
+    pub gmres: GmresConfig,
+    /// Run the subdomain phases in parallel (rayon).
+    pub parallel: bool,
+}
+
+impl Default for PdslinConfig {
+    fn default() -> Self {
+        PdslinConfig {
+            k: 8,
+            partitioner: PartitionerKind::Ngd,
+            rhs_ordering: RhsOrdering::Postorder,
+            block_size: 60,
+            interface_drop_tol: 1e-8,
+            schur_drop_tol: 1e-8,
+            pivot_threshold: 0.1,
+            krylov: KrylovKind::Gmres,
+            gmres: GmresConfig { restart: 100, max_iters: 500, tol: 1e-10 },
+            parallel: true,
+        }
+    }
+}
+
+/// The assembled solver state after `setup`.
+pub struct Pdslin {
+    /// The extracted DBBD system.
+    pub sys: DbbdSystem,
+    /// Per-subdomain LU factors.
+    pub factors: Vec<FactoredDomain>,
+    /// LU factors of the approximate Schur complement `S̃`.
+    pub schur_lu: LuFactors,
+    /// Setup statistics (phase times, balances, interface stats).
+    pub stats: SetupStats,
+    cfg: PdslinConfig,
+}
+
+/// Outcome of one solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// GMRES iterations on the Schur system.
+    pub iterations: usize,
+    /// Final relative residual of the Schur solve.
+    pub schur_residual: f64,
+    /// Wall-clock seconds of the whole solve phase.
+    pub seconds: f64,
+}
+
+impl Pdslin {
+    /// Runs phases 1–5 (partition → extract → `LU(D)` → `Comp(S)` →
+    /// `LU(S)`).
+    pub fn setup(a: &Csr, cfg: PdslinConfig) -> Result<Pdslin, LuError> {
+        let mut stats = SetupStats::default();
+
+        let t = Instant::now();
+        let part = compute_partition(a, cfg.k, &cfg.partitioner);
+        stats.times.partition = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let sys = extract_dbbd(a, part);
+        stats.times.extract = t.elapsed().as_secs_f64();
+        stats.separator_size = sys.nsep();
+        stats.dims = sys.domains.iter().map(|d| d.dim()).collect();
+        stats.nnz_d = sys.domains.iter().map(|d| d.d.nnz()).collect();
+        stats.nnzcol_e = sys.domains.iter().map(|d| d.e_cols.len()).collect();
+        stats.nnz_e = sys.domains.iter().map(|d| d.e_hat.nnz()).collect();
+
+        // LU(D): one parallel task per subdomain (level-1 parallelism).
+        let t = Instant::now();
+        let timed_factor = |d: &crate::extract::LocalDomain| -> Result<(FactoredDomain, f64), LuError> {
+            let t0 = Instant::now();
+            let fd = factor_domain(&d.d, cfg.pivot_threshold)?;
+            Ok((fd, t0.elapsed().as_secs_f64()))
+        };
+        let results: Result<Vec<(FactoredDomain, f64)>, LuError> = if cfg.parallel {
+            sys.domains.par_iter().map(timed_factor).collect()
+        } else {
+            sys.domains.iter().map(timed_factor).collect()
+        };
+        let (factors, lu_times): (Vec<_>, Vec<_>) = results?.into_iter().unzip();
+        stats.times.lu_d = t.elapsed().as_secs_f64();
+        stats.domain_costs.lu_d = lu_times;
+
+        // Comp(S): interface solves + T̃ products, then gather.
+        let t = Instant::now();
+        let icfg = InterfaceConfig {
+            block_size: cfg.block_size,
+            ordering: cfg.rhs_ordering,
+            drop_tol: cfg.interface_drop_tol,
+        };
+        let timed_interface = |(dom, fd): (&crate::extract::LocalDomain, &FactoredDomain)| {
+            let t0 = Instant::now();
+            let out = compute_interface(fd, dom, &icfg);
+            (out, t0.elapsed().as_secs_f64())
+        };
+        let outs: Vec<(crate::interface::InterfaceOutcome, f64)> = if cfg.parallel {
+            sys.domains.par_iter().zip(factors.par_iter()).map(timed_interface).collect()
+        } else {
+            sys.domains.iter().zip(factors.iter()).map(timed_interface).collect()
+        };
+        let mut t_tildes = Vec::with_capacity(outs.len());
+        let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(outs.len());
+        let mut comp_times = Vec::with_capacity(outs.len());
+        for (out, secs) in outs {
+            t_tildes.push(out.t_tilde);
+            iface_stats.push(out.stats);
+            comp_times.push(secs);
+        }
+        stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
+        let s_hat = assemble_schur(&sys, &t_tildes);
+        stats.times.comp_s = t.elapsed().as_secs_f64();
+        stats.domain_costs.comp_s = comp_times;
+        stats.interface = iface_stats;
+
+        // LU(S).
+        let t = Instant::now();
+        let (s_tilde, schur_lu) = factor_schur(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold)?;
+        stats.times.lu_s = t.elapsed().as_secs_f64();
+        stats.nnz_schur = s_tilde.nnz();
+
+        Ok(Pdslin { sys, factors, schur_lu, stats, cfg })
+    }
+
+    /// Solves `A x = b` via the Schur complement method (equations
+    /// (2)–(4) of the paper).
+    pub fn solve(&mut self, b: &[f64]) -> SolveOutcome {
+        let t = Instant::now();
+        let sys = &self.sys;
+        let n: usize = sys.domains.iter().map(|d| d.dim()).sum::<usize>() + sys.nsep();
+        assert_eq!(b.len(), n);
+        // Split b into interior parts f_ℓ and the separator part g.
+        let f_parts: Vec<Vec<f64>> = sys
+            .domains
+            .iter()
+            .map(|d| d.rows.iter().map(|&r| b[r]).collect())
+            .collect();
+        let g: Vec<f64> = sys.sep_rows.iter().map(|&r| b[r]).collect();
+        // ĝ = g − Σ F̂ D⁻¹ f.
+        let mut ghat = g.clone();
+        let dinv_f: Vec<Vec<f64>> = sys
+            .domains
+            .iter()
+            .zip(&self.factors)
+            .zip(&f_parts)
+            .map(|((_d, fd), f)| fd.lu.solve(f))
+            .collect();
+        for ((dom, _fd), df) in sys.domains.iter().zip(&self.factors).zip(&dinv_f) {
+            let w = dom.f_hat.matvec(df);
+            for (rl, &rg) in dom.f_rows.iter().enumerate() {
+                ghat[rg] -= w[rl];
+            }
+        }
+        // Solve S y = ĝ with the preconditioned Krylov method.
+        let op = ImplicitSchur::new(sys, &self.factors);
+        let m = SchurPrecond::new(self.schur_lu.clone());
+        let (y, iterations, schur_residual) = match self.cfg.krylov {
+            KrylovKind::Gmres => {
+                let res = gmres(&op, &m, &ghat, None, &self.cfg.gmres);
+                (res.x, res.iterations, res.residual)
+            }
+            KrylovKind::Bicgstab => {
+                let bcfg = BicgstabConfig {
+                    max_iters: self.cfg.gmres.max_iters,
+                    tol: self.cfg.gmres.tol,
+                };
+                let res = bicgstab(&op, &m, &ghat, None, &bcfg);
+                (res.x, res.iterations, res.residual)
+            }
+        };
+        // Back-substitute the interiors: u_ℓ = D⁻¹ (f_ℓ − Ê_ℓ y).
+        let mut x = vec![0.0; n];
+        for ((dom, fd), f) in sys.domains.iter().zip(&self.factors).zip(&f_parts) {
+            let ysub: Vec<f64> = dom.e_cols.iter().map(|&c| y[c]).collect();
+            let ey = dom.e_hat.matvec(&ysub);
+            let rhs: Vec<f64> = f.iter().zip(&ey).map(|(fi, ei)| fi - ei).collect();
+            let u = fd.lu.solve(&rhs);
+            for (li, &gi) in dom.rows.iter().enumerate() {
+                x[gi] = u[li];
+            }
+        }
+        for (l, &gi) in sys.sep_rows.iter().enumerate() {
+            x[gi] = y[l];
+        }
+        let seconds = t.elapsed().as_secs_f64();
+        self.stats.times.solve += seconds;
+        SolveOutcome { x, iterations, schur_residual, seconds }
+    }
+
+    /// The configuration this solver was set up with.
+    pub fn config(&self) -> &PdslinConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::RhbConfig;
+    use matgen::stencil::{laplace2d, laplace3d};
+    use sparsekit::ops::residual_inf_norm;
+
+    fn solve_and_check(a: &Csr, cfg: PdslinConfig) -> SolveOutcome {
+        let mut solver = Pdslin::setup(a, cfg).expect("setup");
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let out = solver.solve(&b);
+        let res = residual_inf_norm(a, &out.x, &b);
+        assert!(res < 1e-6, "residual {res} too large");
+        out
+    }
+
+    #[test]
+    fn solves_2d_poisson_with_ngd() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig { k: 2, ..Default::default() };
+        let out = solve_and_check(&a, cfg);
+        assert!(out.iterations < 50);
+    }
+
+    #[test]
+    fn solves_2d_poisson_with_rhb() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 4,
+            partitioner: PartitionerKind::Rhb(RhbConfig::default()),
+            ..Default::default()
+        };
+        solve_and_check(&a, cfg);
+    }
+
+    #[test]
+    fn solves_3d_poisson_k4() {
+        let a = laplace3d(8, 8, 8);
+        let cfg = PdslinConfig { k: 4, ..Default::default() };
+        solve_and_check(&a, cfg);
+    }
+
+    #[test]
+    fn exact_schur_preconditioner_converges_in_few_iterations() {
+        let a = laplace2d(14, 14);
+        let cfg = PdslinConfig {
+            k: 2,
+            interface_drop_tol: 0.0,
+            schur_drop_tol: 0.0,
+            ..Default::default()
+        };
+        let out = solve_and_check(&a, cfg);
+        assert!(out.iterations <= 3, "exact S̃ should converge immediately, got {}", out.iterations);
+    }
+
+    #[test]
+    fn dropping_trades_iterations_for_sparsity() {
+        let a = laplace2d(16, 16);
+        let exact = PdslinConfig {
+            k: 2,
+            interface_drop_tol: 0.0,
+            schur_drop_tol: 0.0,
+            ..Default::default()
+        };
+        let dropped = PdslinConfig {
+            k: 2,
+            interface_drop_tol: 1e-3,
+            schur_drop_tol: 1e-3,
+            ..Default::default()
+        };
+        let s1 = Pdslin::setup(&a, exact).unwrap();
+        let s2 = Pdslin::setup(&a, dropped).unwrap();
+        assert!(s2.stats.nnz_schur <= s1.stats.nnz_schur);
+        // Both still solve.
+        let b = vec![1.0; a.nrows()];
+        let mut s2 = s2;
+        let out = s2.solve(&b);
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let a = laplace2d(12, 12);
+        let base = PdslinConfig { k: 2, ..Default::default() };
+        let par = Pdslin::setup(&a, PdslinConfig { parallel: true, ..base }).unwrap();
+        let seq = Pdslin::setup(&a, PdslinConfig { parallel: false, ..base }).unwrap();
+        assert_eq!(par.stats.separator_size, seq.stats.separator_size);
+        assert_eq!(par.stats.nnz_schur, seq.stats.nnz_schur);
+        let b = vec![1.0; a.nrows()];
+        let (mut par, mut seq) = (par, seq);
+        let xp = par.solve(&b).x;
+        let xs = seq.solve(&b).x;
+        for (p, s) in xp.iter().zip(&xs) {
+            assert!((p - s).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bicgstab_outer_solver_works() {
+        let a = laplace2d(14, 14);
+        let cfg = PdslinConfig { k: 2, krylov: KrylovKind::Bicgstab, ..Default::default() };
+        let out = solve_and_check(&a, cfg);
+        assert!(out.iterations < 100);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = laplace2d(12, 12);
+        let solver = Pdslin::setup(&a, PdslinConfig { k: 2, ..Default::default() }).unwrap();
+        let st = &solver.stats;
+        assert_eq!(st.dims.len(), 2);
+        assert!(st.separator_size > 0);
+        assert!(st.nnz_schur > 0);
+        assert_eq!(st.interface.len(), 2);
+        assert!(st.domain_costs.lu_d.len() == 2);
+        assert!(st.times.lu_d > 0.0);
+    }
+}

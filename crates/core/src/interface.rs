@@ -1,0 +1,304 @@
+//! Phase 4: interface solves and the local update matrices
+//! `T̃_ℓ = W̃_ℓ G̃_ℓ` (equation (5) of the paper).
+
+use std::time::Instant;
+
+use slu::blocked::{solve_in_blocks, BlockSolveStats};
+use slu::trisolve::{lower_from_upper_transpose, SolveWorkspace, SparseVec};
+use sparsekit::spgemm::spgemm;
+use sparsekit::{Coo, Csr};
+
+use crate::extract::LocalDomain;
+use crate::rhs_order::{order_columns, RhsOrdering};
+use crate::stats::InterfaceStats;
+use crate::subdomain::FactoredDomain;
+
+/// Parameters of the interface computation.
+#[derive(Clone, Copy, Debug)]
+pub struct InterfaceConfig {
+    /// Block size `B` for the simultaneous triangular solves.
+    pub block_size: usize,
+    /// Column/row ordering strategy (§IV).
+    pub ordering: RhsOrdering,
+    /// Drop threshold for `W̃` and `G̃` entries (σ₁ in PDSLin).
+    pub drop_tol: f64,
+}
+
+impl Default for InterfaceConfig {
+    fn default() -> Self {
+        InterfaceConfig {
+            block_size: 60, // the PDSLin default noted in §V-B
+            ordering: RhsOrdering::Postorder,
+            drop_tol: 1e-6,
+        }
+    }
+}
+
+/// Result of the interface phase for one subdomain.
+#[derive(Clone, Debug)]
+pub struct InterfaceOutcome {
+    /// `T̃_ℓ = W̃_ℓ G̃_ℓ`, rows indexed like `f_rows`, columns like
+    /// `e_cols` (original order).
+    pub t_tilde: Csr,
+    /// Table-III style statistics.
+    pub stats: InterfaceStats,
+    /// Blocked-solve accounting for `G`.
+    pub g_block: BlockSolveStats,
+    /// Blocked-solve accounting for `W`.
+    pub w_block: BlockSolveStats,
+}
+
+/// Extracts the columns of `Ê` as sparse vectors in pivot-row
+/// coordinates of the subdomain factor.
+pub fn ehat_columns_pivot(fd: &FactoredDomain, dom: &LocalDomain) -> Vec<SparseVec> {
+    let ecsc = dom.e_hat.to_csc();
+    (0..ecsc.ncols())
+        .map(|j| {
+            let mut idx = Vec::with_capacity(ecsc.col_nnz(j));
+            let mut val = Vec::with_capacity(ecsc.col_nnz(j));
+            for (i, v) in ecsc.col_iter(j) {
+                idx.push(fd.row_to_pivot(i));
+                val.push(v);
+            }
+            SparseVec::new(idx, val)
+        })
+        .collect()
+}
+
+/// Extracts the rows of `F̂` (columns of `F̂ᵀ`) in elimination-order
+/// coordinates, ready for the `Uᵀ` lower solve.
+pub fn fhat_rows_elim(fd: &FactoredDomain, dom: &LocalDomain) -> Vec<SparseVec> {
+    (0..dom.f_hat.nrows())
+        .map(|r| {
+            let mut idx = Vec::with_capacity(dom.f_hat.row_nnz(r));
+            let mut val = Vec::with_capacity(dom.f_hat.row_nnz(r));
+            for (c, v) in dom.f_hat.row_iter(r) {
+                idx.push(fd.col_to_elim(c));
+                val.push(v);
+            }
+            SparseVec::new(idx, val)
+        })
+        .collect()
+}
+
+/// Runs only the `G = L⁻¹ P Ê` part and reports its blocked-solve
+/// statistics and wall-clock time — the Fig. 4 / Fig. 5 kernel.
+pub fn g_solve_experiment(
+    fd: &FactoredDomain,
+    dom: &LocalDomain,
+    block_size: usize,
+    ordering: RhsOrdering,
+) -> (BlockSolveStats, f64, f64) {
+    let n = fd.lu.n();
+    let mut ws = SolveWorkspace::new(n);
+    let cols = ehat_columns_pivot(fd, dom);
+    let t0 = Instant::now();
+    let order = order_columns(&cols, &fd.lu.l, block_size, ordering, &mut ws);
+    let order_seconds = t0.elapsed().as_secs_f64();
+    let ordered: Vec<SparseVec> = order.iter().map(|&j| cols[j].clone()).collect();
+    let t1 = Instant::now();
+    let (_sols, stats) = solve_in_blocks(&fd.lu.l, true, &ordered, block_size, &mut ws);
+    let solve_seconds = t1.elapsed().as_secs_f64();
+    (stats, solve_seconds, order_seconds)
+}
+
+/// Computes `G̃`, `W̃` and `T̃ = W̃ G̃` for one subdomain.
+pub fn compute_interface(
+    fd: &FactoredDomain,
+    dom: &LocalDomain,
+    cfg: &InterfaceConfig,
+) -> InterfaceOutcome {
+    let n = fd.lu.n();
+    let ne = dom.e_cols.len();
+    let nf = dom.f_rows.len();
+    let mut ws = SolveWorkspace::new(n);
+
+    // --- G = L⁻¹ P Ê ---
+    let e_cols_piv = ehat_columns_pivot(fd, dom);
+    let order = order_columns(&e_cols_piv, &fd.lu.l, cfg.block_size, cfg.ordering, &mut ws);
+    let ordered: Vec<SparseVec> = order.iter().map(|&j| e_cols_piv[j].clone()).collect();
+    let t_g = Instant::now();
+    let (g_sols, g_block) = solve_in_blocks(&fd.lu.l, true, &ordered, cfg.block_size, &mut ws);
+    let g_seconds = t_g.elapsed().as_secs_f64();
+    // Row coverage before dropping = union of reaches.
+    let mut row_touched = vec![false; n];
+    for s in &g_sols {
+        for &i in &s.indices {
+            row_touched[i] = true;
+        }
+    }
+    let nnzrow_g = row_touched.iter().filter(|&&t| t).count();
+    // G̃ (dropped) as CSR, columns mapped back to original Ê order.
+    let mut g_coo = Coo::new(n, ne);
+    for (p, mut s) in g_sols.into_iter().enumerate() {
+        s.drop_small(cfg.drop_tol);
+        let j = order[p];
+        for (&i, &v) in s.indices.iter().zip(&s.values) {
+            g_coo.push(i, j, v);
+        }
+    }
+    let g_tilde = g_coo.to_csr();
+
+    // --- Wᵀ = U⁻ᵀ Qᵀ F̂ᵀ ---
+    let ut = lower_from_upper_transpose(&fd.lu.u);
+    let f_rows_elim = fhat_rows_elim(fd, dom);
+    let w_order = order_columns(&f_rows_elim, &ut, cfg.block_size, cfg.ordering, &mut ws);
+    let w_ordered: Vec<SparseVec> = w_order.iter().map(|&j| f_rows_elim[j].clone()).collect();
+    let t_w = Instant::now();
+    let (w_sols, w_block) = solve_in_blocks(&ut, false, &w_ordered, cfg.block_size, &mut ws);
+    let w_seconds = t_w.elapsed().as_secs_f64();
+    // W̃ as CSR (rows = f_rows order, columns = elimination coords).
+    let mut w_coo = Coo::new(nf, n);
+    for (p, mut s) in w_sols.into_iter().enumerate() {
+        s.drop_small(cfg.drop_tol);
+        let r = w_order[p];
+        for (&c, &v) in s.indices.iter().zip(&s.values) {
+            w_coo.push(r, c, v);
+        }
+    }
+    let w_tilde = w_coo.to_csr();
+
+    // --- T̃ = W̃ G̃ ---
+    // W̃ columns are elimination coordinates; G̃ rows are pivot
+    // coordinates. These agree: U's rows (= Uᵀ's columns) and L's rows
+    // both live in pivot order, and column l of U corresponds to pivot
+    // step l. So the inner dimension matches directly.
+    let t_tilde = spgemm(&w_tilde, &g_tilde);
+
+    let stats = InterfaceStats {
+        nnz_g: g_block.true_nnz,
+        nnzcol_g: ne,
+        nnzrow_g,
+        nnz_e: dom.e_hat.nnz() as u64,
+        padded_zeros: g_block.padded_zeros,
+        padding_fraction: g_block.padding_fraction(),
+        solve_seconds: g_seconds + w_seconds,
+    };
+    InterfaceOutcome { t_tilde, stats, g_block, w_block }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_dbbd;
+    use crate::partition::{compute_partition, PartitionerKind};
+    use crate::subdomain::factor_domain;
+    use matgen::stencil::laplace2d;
+
+    fn small_system() -> (sparsekit::Csr, crate::extract::DbbdSystem) {
+        let a = laplace2d(10, 10);
+        let p = compute_partition(&a, 2, &PartitionerKind::Ngd);
+        let sys = extract_dbbd(&a, p);
+        (a, sys)
+    }
+
+    /// Dense reference: T = F̂ D⁻¹ Ê computed column by column with the
+    /// plain LU solve.
+    fn dense_t(dom: &LocalDomain, fd: &FactoredDomain) -> Vec<Vec<f64>> {
+        let ne = dom.e_cols.len();
+        let nf = dom.f_rows.len();
+        let ndom = dom.dim();
+        let mut t = vec![vec![0.0; ne]; nf];
+        for j in 0..ne {
+            let mut b = vec![0.0; ndom];
+            for i in 0..ndom {
+                b[i] = dom.e_hat.get(i, j);
+            }
+            let x = fd.lu.solve(&b);
+            let w = dom.f_hat.matvec(&x);
+            for r in 0..nf {
+                t[r][j] = w[r];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn t_tilde_matches_dense_reference_without_dropping() {
+        let (_a, sys) = small_system();
+        for dom in &sys.domains {
+            let fd = factor_domain(&dom.d, 0.1).unwrap();
+            let cfg = InterfaceConfig {
+                block_size: 8,
+                ordering: RhsOrdering::Postorder,
+                drop_tol: 0.0,
+            };
+            let out = compute_interface(&fd, dom, &cfg);
+            let tref = dense_t(dom, &fd);
+            assert_eq!(out.t_tilde.nrows(), dom.f_rows.len());
+            assert_eq!(out.t_tilde.ncols(), dom.e_cols.len());
+            for r in 0..dom.f_rows.len() {
+                for c in 0..dom.e_cols.len() {
+                    let got = out.t_tilde.get(r, c);
+                    assert!(
+                        (got - tref[r][c]).abs() < 1e-9,
+                        "T mismatch at ({r},{c}): {got} vs {}",
+                        tref[r][c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orderings_do_not_change_t() {
+        let (_a, sys) = small_system();
+        let dom = &sys.domains[0];
+        let fd = factor_domain(&dom.d, 0.1).unwrap();
+        let mk = |ordering| InterfaceConfig { block_size: 4, ordering, drop_tol: 0.0 };
+        let t_nat = compute_interface(&fd, dom, &mk(RhsOrdering::Natural)).t_tilde;
+        let t_post = compute_interface(&fd, dom, &mk(RhsOrdering::Postorder)).t_tilde;
+        let t_hyp =
+            compute_interface(&fd, dom, &mk(RhsOrdering::Hypergraph { tau: None })).t_tilde;
+        for r in 0..t_nat.nrows() {
+            for c in 0..t_nat.ncols() {
+                assert!((t_nat.get(r, c) - t_post.get(r, c)).abs() < 1e-10);
+                assert!((t_nat.get(r, c) - t_hyp.get(r, c)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_reduces_nnz() {
+        let (_a, sys) = small_system();
+        let dom = &sys.domains[0];
+        let fd = factor_domain(&dom.d, 0.1).unwrap();
+        let exact = compute_interface(
+            &fd,
+            dom,
+            &InterfaceConfig { block_size: 8, ordering: RhsOrdering::Natural, drop_tol: 0.0 },
+        );
+        let dropped = compute_interface(
+            &fd,
+            dom,
+            &InterfaceConfig { block_size: 8, ordering: RhsOrdering::Natural, drop_tol: 1e-2 },
+        );
+        assert!(dropped.t_tilde.nnz() <= exact.t_tilde.nnz());
+    }
+
+    #[test]
+    fn g_experiment_reports_padding() {
+        let (_a, sys) = small_system();
+        let dom = &sys.domains[0];
+        let fd = factor_domain(&dom.d, 0.1).unwrap();
+        let (b1, _, _) = g_solve_experiment(&fd, dom, 1, RhsOrdering::Natural);
+        assert_eq!(b1.padded_zeros, 0, "B=1 never pads");
+        let (b16, _, _) = g_solve_experiment(&fd, dom, 16, RhsOrdering::Natural);
+        assert!(b16.padded_zeros >= b1.padded_zeros);
+    }
+
+    #[test]
+    fn postorder_pads_no_more_than_natural_on_average() {
+        // Not guaranteed per-instance in general, but holds comfortably on
+        // grid problems with several subdomains (the paper's Fig. 4).
+        let (_a, sys) = small_system();
+        let mut nat = 0u64;
+        let mut post = 0u64;
+        for dom in &sys.domains {
+            let fd = factor_domain(&dom.d, 0.1).unwrap();
+            nat += g_solve_experiment(&fd, dom, 8, RhsOrdering::Natural).0.padded_zeros;
+            post += g_solve_experiment(&fd, dom, 8, RhsOrdering::Postorder).0.padded_zeros;
+        }
+        assert!(post <= nat, "postorder padding {post} should not exceed natural {nat}");
+    }
+}

@@ -1,0 +1,46 @@
+//! `pdslin` — a Schur-complement hybrid (direct/iterative) linear solver,
+//! reproducing the system studied in
+//! *"On Partitioning and Reordering Problems in a Hierarchically Parallel
+//! Hybrid Linear Solver"* (Yamazaki, Li, Rouet, Uçar — IPDPSW 2013).
+//!
+//! # Pipeline
+//!
+//! 1. **Partition** `A` into doubly-bordered block-diagonal form (1) with
+//!    `k` interior subdomains `D_ℓ` and a separator block `C`, using
+//!    either nested graph dissection (NGD baseline) or the paper's
+//!    Recursive Hypergraph Bisection (RHB) — [`partition`].
+//! 2. **Extract** the local systems `A_ℓ = [D_ℓ Ê_ℓ; F̂_ℓ 0]` —
+//!    [`extract`].
+//! 3. **Factor** each `D_ℓ = P_ℓᵀ L_ℓ U_ℓ Q_ℓᵀ` in parallel (rayon, one
+//!    task per subdomain) — [`subdomain`].
+//! 4. **Interface solves**: `G_ℓ = L⁻¹ P Ê_ℓ`, `W_ℓ = F̂ P̄ U⁻¹` with
+//!    blocked sparse triangular solves (block size `B`), the §IV
+//!    right-hand-side orderings, and threshold dropping — [`rhs_order`],
+//!    [`interface`].
+//! 5. **Schur assembly**: `T̃_ℓ = W̃_ℓ G̃_ℓ`, gathered into
+//!    `Ŝ = C − Σ R_F T̃ R_Eᵀ`, dropped to `S̃`, factored as the
+//!    preconditioner — [`schur`].
+//! 6. **Iterative solve** of `S y = ĝ` with right-preconditioned GMRES on
+//!    the *implicit* `S`, then back-substitution for the interiors —
+//!    [`precond`], [`driver`].
+//!
+//! [`scaling`] adds the two-level parallel schedule model used to
+//! reproduce the paper's Fig. 1 core-count sweep beyond the physical
+//! cores of the host (see DESIGN.md §3).
+
+pub mod driver;
+pub mod extract;
+pub mod interface;
+pub mod partition;
+pub mod precond;
+pub mod rhs_order;
+pub mod scaling;
+pub mod schur;
+pub mod stats;
+pub mod subdomain;
+
+pub use driver::{KrylovKind, Pdslin, PdslinConfig, SolveOutcome};
+pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
+pub use partition::{compute_partition, PartitionStats, PartitionerKind};
+pub use rhs_order::RhsOrdering;
+pub use stats::{PhaseTimes, SetupStats};

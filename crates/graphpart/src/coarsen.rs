@@ -1,0 +1,141 @@
+//! Graph contraction along a matching.
+
+use crate::matching::heavy_edge_matching;
+use crate::Graph;
+
+/// One coarsening level: the coarse graph plus the projection map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: Graph,
+    /// `coarse_of[fine_v]` = coarse vertex containing `fine_v`.
+    pub coarse_of: Vec<usize>,
+}
+
+/// Contracts `g` along `mate` (as produced by
+/// [`heavy_edge_matching`]): each matched pair becomes one coarse vertex
+/// with summed vertex weight; parallel edges are merged with summed edge
+/// weights, intra-pair edges vanish.
+pub fn contract(g: &Graph, mate: &[usize]) -> CoarseLevel {
+    let n = g.nvertices();
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut nc = 0usize;
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        coarse_of[v] = nc;
+        let m = mate[v];
+        if m != v {
+            coarse_of[m] = nc;
+        }
+        nc += 1;
+    }
+    let mut xadj = vec![0usize; nc + 1];
+    let mut adj: Vec<usize> = Vec::new();
+    let mut ewgt: Vec<i64> = Vec::new();
+    let mut vwgt = vec![0i64; nc];
+    // Per-coarse-vertex sparse accumulator.
+    let mut acc_w = vec![0i64; nc];
+    let mut mark = vec![usize::MAX; nc];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for v in 0..n {
+        members[coarse_of[v]].push(v);
+    }
+    for c in 0..nc {
+        touched.clear();
+        for &v in &members[c] {
+            vwgt[c] += g.vertex_weight(v);
+            for (u, w) in g.edges(v) {
+                let cu = coarse_of[u];
+                if cu == c {
+                    continue;
+                }
+                if mark[cu] != c {
+                    mark[cu] = c;
+                    acc_w[cu] = 0;
+                    touched.push(cu);
+                }
+                acc_w[cu] += w;
+            }
+        }
+        touched.sort_unstable();
+        for &cu in &touched {
+            adj.push(cu);
+            ewgt.push(acc_w[cu]);
+        }
+        xadj[c + 1] = adj.len();
+    }
+    CoarseLevel { graph: Graph::from_parts(xadj, adj, ewgt, vwgt), coarse_of }
+}
+
+/// Convenience: match + contract in one step.
+pub fn coarsen_once(g: &Graph) -> CoarseLevel {
+    let mate = heavy_edge_matching(g);
+    contract(g, &mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    fn cycle(n: usize) -> Graph {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push_sym(i, (i + 1) % n, 1.0);
+            c.push(i, i, 1.0);
+        }
+        Graph::from_matrix(&c.to_csr())
+    }
+
+    #[test]
+    fn contraction_preserves_total_vertex_weight() {
+        let g = cycle(10);
+        let lvl = coarsen_once(&g);
+        assert_eq!(lvl.graph.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn contraction_shrinks_graph() {
+        let g = cycle(16);
+        let lvl = coarsen_once(&g);
+        assert!(lvl.graph.nvertices() < g.nvertices());
+        assert!(lvl.graph.nvertices() >= g.nvertices() / 2);
+    }
+
+    #[test]
+    fn projection_map_is_total_and_dense() {
+        let g = cycle(9);
+        let lvl = coarsen_once(&g);
+        let nc = lvl.graph.nvertices();
+        let mut seen = vec![false; nc];
+        for &c in &lvl.coarse_of {
+            assert!(c < nc);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every coarse vertex has a member");
+    }
+
+    #[test]
+    fn edge_weights_accumulate() {
+        // Triangle: contract (0,1) -> coarse vertex with two parallel edges
+        // to vertex 2 merged into weight 2.
+        let mut c = Coo::new(3, 3);
+        c.push_sym(0, 1, 1.0);
+        c.push_sym(1, 2, 1.0);
+        c.push_sym(0, 2, 1.0);
+        for i in 0..3 {
+            c.push(i, i, 1.0);
+        }
+        let g = Graph::from_matrix(&c.to_csr());
+        let lvl = contract(&g, &[1, 0, 2]);
+        assert_eq!(lvl.graph.nvertices(), 2);
+        let c01 = lvl.coarse_of[0];
+        let c2 = lvl.coarse_of[2];
+        assert_ne!(c01, c2);
+        let w: i64 = lvl.graph.edges(c01).map(|(_, w)| w).sum();
+        assert_eq!(w, 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fiduccia–Mattheyses refinement of a graph bisection.
+
+use std::collections::BinaryHeap;
+
+use crate::initpart::Bisection;
+use crate::Graph;
+
+/// Balance bound for FM: each side must keep weight `<= max_side`.
+#[derive(Clone, Copy, Debug)]
+pub struct FmLimits {
+    /// Hard upper bound on either side's vertex weight.
+    pub max_side: i64,
+    /// Maximum number of hill-climbing passes.
+    pub max_passes: usize,
+}
+
+impl FmLimits {
+    /// Standard limits from an imbalance tolerance `eps`:
+    /// `max_side = (1+eps) * total/2`.
+    pub fn from_eps(total: i64, eps: f64) -> Self {
+        let max_side = ((total as f64) * (1.0 + eps) / 2.0).ceil() as i64;
+        FmLimits { max_side, max_passes: 8 }
+    }
+}
+
+/// Gain of moving `v` to the other side: external − internal edge weight.
+fn gain_of(g: &Graph, side: &[u8], v: usize) -> i64 {
+    let s = side[v];
+    let mut gain = 0i64;
+    for (u, w) in g.edges(v) {
+        if side[u] == s {
+            gain -= w;
+        } else {
+            gain += w;
+        }
+    }
+    gain
+}
+
+/// Refines a bisection in place with FM passes; returns the total cut
+/// improvement (non-negative).
+pub fn refine(g: &Graph, bis: &mut Bisection, limits: FmLimits) -> i64 {
+    let n = g.nvertices();
+    let initial_cut = bis.edgecut;
+    for _pass in 0..limits.max_passes {
+        let mut side = bis.side.clone();
+        let mut weights = bis.weights;
+        let mut gains: Vec<i64> = (0..n).map(|v| gain_of(g, &side, v)).collect();
+        let mut locked = vec![false; n];
+        // Max-heap over (gain, vertex); stale entries skipped on pop.
+        let mut heap: BinaryHeap<(i64, usize)> = (0..n).map(|v| (gains[v], v)).collect();
+        let mut cur_cut = bis.edgecut;
+        let mut best_cut = bis.edgecut;
+        let mut moves: Vec<usize> = Vec::new();
+        let mut best_prefix = 0usize;
+        while let Some((gain, v)) = heap.pop() {
+            if locked[v] || gain != gains[v] {
+                continue; // stale
+            }
+            let from = side[v] as usize;
+            let to = 1 - from;
+            let wv = g.vertex_weight(v);
+            if weights[to] + wv > limits.max_side {
+                // Cannot move without violating balance; lock and go on.
+                locked[v] = true;
+                continue;
+            }
+            // Apply the move.
+            locked[v] = true;
+            side[v] = to as u8;
+            weights[from] -= wv;
+            weights[to] += wv;
+            cur_cut -= gain;
+            moves.push(v);
+            if cur_cut < best_cut {
+                best_cut = cur_cut;
+                best_prefix = moves.len();
+            }
+            // Update neighbour gains.
+            for (u, w) in g.edges(v) {
+                if locked[u] {
+                    continue;
+                }
+                // v changed sides: if u is now on v's (new) side, the edge
+                // became internal for u (gain -2w relative to before);
+                // otherwise it became external (+2w).
+                if side[u] == side[v] {
+                    gains[u] -= 2 * w;
+                } else {
+                    gains[u] += 2 * w;
+                }
+                heap.push((gains[u], u));
+            }
+        }
+        if best_cut >= bis.edgecut {
+            break; // no improvement this pass
+        }
+        // Re-apply only the best prefix of moves.
+        let mut new_side = bis.side.clone();
+        for &v in &moves[..best_prefix] {
+            new_side[v] = 1 - new_side[v];
+        }
+        *bis = Bisection::recompute(g, new_side);
+        debug_assert_eq!(bis.edgecut, best_cut);
+    }
+    initial_cut - bis.edgecut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut c = Coo::new(nx * ny, nx * ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                c.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < ny {
+                    c.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        Graph::from_matrix(&c.to_csr())
+    }
+
+    #[test]
+    fn fm_never_worsens_cut() {
+        let g = grid(6, 6);
+        // Bad interleaved start.
+        let side: Vec<u8> = (0..36).map(|v| (v % 2) as u8).collect();
+        let mut b = Bisection::recompute(&g, side);
+        let before = b.edgecut;
+        let gain = refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        assert!(gain >= 0);
+        assert!(b.edgecut <= before);
+        assert_eq!(b.edgecut, g.edge_cut(&b.side), "cut bookkeeping consistent");
+    }
+
+    #[test]
+    fn fm_reaches_good_cut_on_grid() {
+        let g = grid(8, 8);
+        let side: Vec<u8> = (0..64).map(|v| ((v / 3) % 2) as u8).collect();
+        let mut b = Bisection::recompute(&g, side);
+        refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        // The optimal straight-line cut is 8; FM from a poor start should
+        // get within a factor of ~3.
+        assert!(b.edgecut <= 24, "cut {} too large", b.edgecut);
+    }
+
+    #[test]
+    fn fm_respects_balance_bound() {
+        let g = grid(6, 6);
+        let side: Vec<u8> = (0..36).map(|v| (v % 2) as u8).collect();
+        let mut b = Bisection::recompute(&g, side);
+        let limits = FmLimits::from_eps(g.total_vertex_weight(), 0.05);
+        refine(&g, &mut b, limits);
+        assert!(b.weights[0] <= limits.max_side);
+        assert!(b.weights[1] <= limits.max_side);
+    }
+
+    #[test]
+    fn fm_on_already_optimal_bisection_is_stable() {
+        let g = grid(4, 4);
+        let side: Vec<u8> = (0..16).map(|v| if v / 4 < 2 { 0u8 } else { 1u8 }).collect();
+        let mut b = Bisection::recompute(&g, side);
+        let before = b.edgecut;
+        assert_eq!(before, 4);
+        refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        assert_eq!(b.edgecut, 4);
+    }
+}

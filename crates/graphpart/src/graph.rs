@@ -1,0 +1,305 @@
+//! Undirected weighted graph in adjacency (CSR) layout.
+
+use sparsekit::Csr;
+
+/// An undirected graph with integer vertex and edge weights.
+///
+/// Stored like CSR: `adj[xadj[v]..xadj[v+1]]` are the neighbours of `v`,
+/// with parallel edge weights `ewgt`. Every edge appears twice (once per
+/// endpoint); self-loops are not stored.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adj: Vec<usize>,
+    ewgt: Vec<i64>,
+    vwgt: Vec<i64>,
+}
+
+impl Graph {
+    /// Builds a graph from adjacency parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent array lengths, out-of-range neighbours, or
+    /// self-loops. Symmetry of the adjacency is the caller's duty (checked
+    /// in debug builds).
+    pub fn from_parts(xadj: Vec<usize>, adj: Vec<usize>, ewgt: Vec<i64>, vwgt: Vec<i64>) -> Self {
+        let n = vwgt.len();
+        assert_eq!(xadj.len(), n + 1, "xadj length mismatch");
+        assert_eq!(*xadj.last().unwrap(), adj.len());
+        assert_eq!(adj.len(), ewgt.len());
+        for v in 0..n {
+            assert!(xadj[v] <= xadj[v + 1]);
+            for &u in &adj[xadj[v]..xadj[v + 1]] {
+                assert!(u < n, "neighbour out of range");
+                assert!(u != v, "self-loop at {v}");
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            use std::collections::HashSet;
+            let mut set = HashSet::new();
+            for v in 0..n {
+                for &u in &adj[xadj[v]..xadj[v + 1]] {
+                    set.insert((v, u));
+                }
+            }
+            for &(v, u) in &set {
+                debug_assert!(set.contains(&(u, v)), "asymmetric edge ({v},{u})");
+            }
+        }
+        Graph { xadj, adj, ewgt, vwgt }
+    }
+
+    /// Builds the adjacency graph of a square sparse matrix.
+    ///
+    /// The matrix is symmetrised structurally (`|A|+|Aᵀ|`) first; the
+    /// diagonal is ignored. Vertex weights are 1, edge weights are 1.
+    pub fn from_matrix(a: &Csr) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "graph requires square matrix");
+        let s = if a.pattern_symmetric() { a.clone() } else { a.symmetrize_abs() };
+        let n = s.nrows();
+        let mut xadj = vec![0usize; n + 1];
+        let mut adj = Vec::with_capacity(s.nnz());
+        for v in 0..n {
+            for &u in s.row_indices(v) {
+                if u != v {
+                    adj.push(u);
+                }
+            }
+            xadj[v + 1] = adj.len();
+        }
+        let m = adj.len();
+        Graph { xadj, adj, ewgt: vec![1; m], vwgt: vec![1; n] }
+    }
+
+    /// Number of vertices.
+    pub fn nvertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of directed adjacency entries (twice the edge count).
+    pub fn nadj(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Edge weights parallel to [`Graph::neighbors`].
+    pub fn edge_weights(&self, v: usize) -> &[i64] {
+        &self.ewgt[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Iterates `(neighbour, edge_weight)` for `v`.
+    pub fn edges(&self, v: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.edge_weights(v).iter().copied())
+    }
+
+    /// Degree (number of neighbours) of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Weight of vertex `v`.
+    pub fn vertex_weight(&self, v: usize) -> i64 {
+        self.vwgt[v]
+    }
+
+    /// All vertex weights.
+    pub fn vertex_weights(&self) -> &[i64] {
+        &self.vwgt
+    }
+
+    /// Total vertex weight.
+    pub fn total_vertex_weight(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Induced subgraph on `keep` (order defines new vertex ids).
+    ///
+    /// Returns the subgraph and the map `new → old`.
+    pub fn subgraph(&self, keep: &[usize]) -> (Graph, Vec<usize>) {
+        let mut new_of = vec![usize::MAX; self.nvertices()];
+        for (new, &old) in keep.iter().enumerate() {
+            debug_assert!(new_of[old] == usize::MAX, "duplicate vertex in subgraph");
+            new_of[old] = new;
+        }
+        let mut xadj = vec![0usize; keep.len() + 1];
+        let mut adj = Vec::new();
+        let mut ewgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(keep.len());
+        for (new, &old) in keep.iter().enumerate() {
+            for (u, w) in self.edges(old) {
+                let nu = new_of[u];
+                if nu != usize::MAX {
+                    adj.push(nu);
+                    ewgt.push(w);
+                }
+            }
+            xadj[new + 1] = adj.len();
+            vwgt.push(self.vwgt[old]);
+        }
+        (Graph { xadj, adj, ewgt, vwgt }, keep.to_vec())
+    }
+
+    /// Sum of edge weights crossing the bisection `side` (0/1 per vertex).
+    pub fn edge_cut(&self, side: &[u8]) -> i64 {
+        assert_eq!(side.len(), self.nvertices());
+        let mut cut = 0i64;
+        for v in 0..self.nvertices() {
+            for (u, w) in self.edges(v) {
+                if u > v && side[u] != side[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// BFS from `start`, returning `(order, level)` where `order` lists the
+    /// reachable vertices in visit order.
+    pub fn bfs(&self, start: usize) -> (Vec<usize>, Vec<usize>) {
+        let n = self.nvertices();
+        let mut level = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        level[start] = 0;
+        order.push(start);
+        let mut head = 0usize;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &u in self.neighbors(v) {
+                if level[u] == usize::MAX {
+                    level[u] = level[v] + 1;
+                    order.push(u);
+                }
+            }
+        }
+        (order, level)
+    }
+
+    /// A pseudo-peripheral vertex found by repeated BFS sweeps, starting
+    /// the search at `seed` (restricted to `seed`'s connected component).
+    pub fn pseudo_peripheral(&self, seed: usize) -> usize {
+        let mut v = seed;
+        let mut ecc = 0usize;
+        for _ in 0..8 {
+            let (order, level) = self.bfs(v);
+            let last = *order.last().expect("bfs visits at least the start");
+            let new_ecc = level[last];
+            if new_ecc <= ecc && v != seed {
+                break;
+            }
+            ecc = new_ecc;
+            // Among the deepest vertices prefer the smallest degree — the
+            // classical GPS heuristic.
+            let far: Vec<usize> = order.iter().copied().filter(|&u| level[u] == new_ecc).collect();
+            v = far.into_iter().min_by_key(|&u| self.degree(u)).unwrap();
+        }
+        v
+    }
+
+    /// Connected components; returns `comp[v]` and the component count.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let n = self.nvertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut ncomp = 0usize;
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            comp[s] = ncomp;
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    if comp[u] == usize::MAX {
+                        comp[u] = ncomp;
+                        stack.push(u);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        (comp, ncomp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    /// Path graph 0-1-2-3.
+    pub(crate) fn path4() -> Graph {
+        let mut c = Coo::new(4, 4);
+        for i in 0..3 {
+            c.push_sym(i, i + 1, 1.0);
+        }
+        for i in 0..4 {
+            c.push(i, i, 1.0);
+        }
+        Graph::from_matrix(&c.to_csr())
+    }
+
+    #[test]
+    fn from_matrix_strips_diagonal() {
+        let g = path4();
+        assert_eq!(g.nvertices(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edge_cut_on_path() {
+        let g = path4();
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 1);
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 3);
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let g = path4();
+        let (order, level) = g.bfs(0);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(level, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_endpoint() {
+        let g = path4();
+        let v = g.pseudo_peripheral(1);
+        assert!(v == 0 || v == 3);
+    }
+
+    #[test]
+    fn subgraph_induces_edges() {
+        let g = path4();
+        let (s, map) = g.subgraph(&[1, 2, 3]);
+        assert_eq!(s.nvertices(), 3);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(s.neighbors(0), &[1]); // old 1 — old 2
+        assert_eq!(s.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut c = Coo::new(5, 5);
+        c.push_sym(0, 1, 1.0);
+        c.push_sym(3, 4, 1.0);
+        for i in 0..5 {
+            c.push(i, i, 1.0);
+        }
+        let g = Graph::from_matrix(&c.to_csr());
+        let (comp, ncomp) = g.connected_components();
+        assert_eq!(ncomp, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[3]);
+    }
+}

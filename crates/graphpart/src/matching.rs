@@ -1,0 +1,92 @@
+//! Heavy-edge matching for multilevel coarsening.
+
+use crate::Graph;
+
+/// Computes a heavy-edge matching.
+///
+/// Vertices are visited in increasing-degree order (light vertices first,
+/// a common METIS-style heuristic); each unmatched vertex is matched to
+/// its unmatched neighbour with the heaviest connecting edge. Returns
+/// `mate[v]` (`mate[v] == v` for unmatched vertices).
+pub fn heavy_edge_matching(g: &Graph) -> Vec<usize> {
+    let n = g.nvertices();
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| g.degree(v));
+    for &v in &order {
+        if mate[v] != v {
+            continue;
+        }
+        let mut best = usize::MAX;
+        let mut best_w = i64::MIN;
+        for (u, w) in g.edges(v) {
+            if mate[u] == u && u != v && (w > best_w || (w == best_w && u < best)) {
+                best = u;
+                best_w = w;
+            }
+        }
+        if best != usize::MAX {
+            mate[v] = best;
+            mate[best] = v;
+        }
+    }
+    mate
+}
+
+/// Number of matched pairs in a matching.
+pub fn matched_pairs(mate: &[usize]) -> usize {
+    mate.iter().enumerate().filter(|&(v, &m)| m > v).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
+        let mut c = Coo::new(n, n);
+        for &(u, v, w) in edges {
+            c.push_sym(u, v, w);
+        }
+        for i in 0..n {
+            c.push(i, i, 1.0);
+        }
+        Graph::from_matrix(&c.to_csr())
+    }
+
+    #[test]
+    fn matching_is_involutive() {
+        let g = graph_from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (4, 5, 1.0)]);
+        let mate = heavy_edge_matching(&g);
+        for v in 0..6 {
+            assert_eq!(mate[mate[v]], v, "matching not involutive at {v}");
+        }
+    }
+
+    #[test]
+    fn matches_only_neighbors() {
+        let g = graph_from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let mate = heavy_edge_matching(&g);
+        for v in 0..4 {
+            if mate[v] != v {
+                assert!(g.neighbors(v).contains(&mate[v]));
+            }
+        }
+        assert_eq!(matched_pairs(&mate), 2);
+    }
+
+    #[test]
+    fn path_matching_covers_most_vertices() {
+        let edges: Vec<(usize, usize, f64)> = (0..9).map(|i| (i, i + 1, 1.0)).collect();
+        let g = graph_from_edges(10, &edges);
+        let mate = heavy_edge_matching(&g);
+        assert!(matched_pairs(&mate) >= 4, "path of 10 should match at least 4 pairs");
+    }
+
+    #[test]
+    fn isolated_vertices_stay_unmatched() {
+        let g = graph_from_edges(3, &[(0, 1, 1.0)]);
+        let mate = heavy_edge_matching(&g);
+        assert_eq!(mate[2], 2);
+    }
+}

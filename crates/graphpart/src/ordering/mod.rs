@@ -1,0 +1,4 @@
+//! Fill-reducing orderings used before subdomain factorisation.
+
+pub mod mindeg;
+pub mod rcm;

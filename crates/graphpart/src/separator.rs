@@ -1,0 +1,223 @@
+//! Vertex separators from edge bisections.
+//!
+//! Given a two-way edge partition, the boundary edges form a bipartite
+//! graph between the two sides. A minimum vertex cover of that bipartite
+//! graph is a minimum vertex separator (König's theorem); we compute it
+//! with Kuhn's augmenting-path matching followed by the König
+//! construction.
+
+use crate::initpart::Bisection;
+use crate::Graph;
+
+/// The result of separating a bisection.
+#[derive(Clone, Debug)]
+pub struct VertexSeparator {
+    /// Assignment per vertex: 0, 1, or [`SIDE_SEP`].
+    pub assign: Vec<u8>,
+    /// Vertices in the separator.
+    pub separator: Vec<usize>,
+    /// Vertex weight per side (index 0/1) after removing the separator.
+    pub side_weights: [i64; 2],
+    /// Total vertex weight of the separator.
+    pub sep_weight: i64,
+}
+
+/// Marker for separator vertices in [`VertexSeparator::assign`].
+pub const SIDE_SEP: u8 = 2;
+
+/// Computes a vertex separator from an edge bisection via minimum vertex
+/// cover on the boundary bipartite graph.
+pub fn vertex_separator(g: &Graph, bis: &Bisection) -> VertexSeparator {
+    let n = g.nvertices();
+    let side = &bis.side;
+    // Collect boundary vertices per side.
+    let mut is_boundary = vec![false; n];
+    for v in 0..n {
+        for &u in g.neighbors(v) {
+            if side[u] != side[v] {
+                is_boundary[v] = true;
+                break;
+            }
+        }
+    }
+    let left: Vec<usize> = (0..n).filter(|&v| is_boundary[v] && side[v] == 0).collect();
+    let right: Vec<usize> = (0..n).filter(|&v| is_boundary[v] && side[v] == 1).collect();
+    let mut right_id = vec![usize::MAX; n];
+    for (i, &v) in right.iter().enumerate() {
+        right_id[v] = i;
+    }
+    // Bipartite adjacency: for each left vertex, its right neighbours.
+    let ladj: Vec<Vec<usize>> = left
+        .iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| side[u] == 1 && right_id[u] != usize::MAX)
+                .map(|u| right_id[u])
+                .collect()
+        })
+        .collect();
+    // Kuhn's maximum matching.
+    let (nl, nr) = (left.len(), right.len());
+    let mut match_l = vec![usize::MAX; nl]; // left i -> right j
+    let mut match_r = vec![usize::MAX; nr];
+    let mut visited = vec![false; nr];
+    fn try_augment(
+        i: usize,
+        ladj: &[Vec<usize>],
+        match_l: &mut [usize],
+        match_r: &mut [usize],
+        visited: &mut [bool],
+    ) -> bool {
+        for &j in &ladj[i] {
+            if !visited[j] {
+                visited[j] = true;
+                if match_r[j] == usize::MAX
+                    || try_augment(match_r[j], ladj, match_l, match_r, visited)
+                {
+                    match_l[i] = j;
+                    match_r[j] = i;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    for i in 0..nl {
+        visited.iter_mut().for_each(|b| *b = false);
+        try_augment(i, &ladj, &mut match_l, &mut match_r, &mut visited);
+    }
+    // König: Z = left vertices unmatched ∪ vertices reachable by
+    // alternating paths. Cover = (L \ Z_L) ∪ (R ∩ Z_R).
+    let mut z_l = vec![false; nl];
+    let mut z_r = vec![false; nr];
+    let mut stack: Vec<usize> = (0..nl).filter(|&i| match_l[i] == usize::MAX).collect();
+    for &i in &stack {
+        z_l[i] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for &j in &ladj[i] {
+            if !z_r[j] {
+                z_r[j] = true;
+                let i2 = match_r[j];
+                if i2 != usize::MAX && !z_l[i2] {
+                    z_l[i2] = true;
+                    stack.push(i2);
+                }
+            }
+        }
+    }
+    let mut assign: Vec<u8> = side.clone();
+    let mut separator = Vec::new();
+    for i in 0..nl {
+        if !z_l[i] {
+            assign[left[i]] = SIDE_SEP;
+            separator.push(left[i]);
+        }
+    }
+    for j in 0..nr {
+        if z_r[j] {
+            assign[right[j]] = SIDE_SEP;
+            separator.push(right[j]);
+        }
+    }
+    separator.sort_unstable();
+    let mut side_weights = [0i64; 2];
+    let mut sep_weight = 0i64;
+    for v in 0..n {
+        match assign[v] {
+            SIDE_SEP => sep_weight += g.vertex_weight(v),
+            s => side_weights[s as usize] += g.vertex_weight(v),
+        }
+    }
+    VertexSeparator { assign, separator, side_weights, sep_weight }
+}
+
+/// Checks that `assign` is a valid separator: no edge directly connects
+/// side 0 to side 1.
+pub fn is_valid_separator(g: &Graph, assign: &[u8]) -> bool {
+    for v in 0..g.nvertices() {
+        if assign[v] == SIDE_SEP {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if assign[u] != SIDE_SEP && assign[u] != assign[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initpart::Bisection;
+    use sparsekit::Coo;
+
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut c = Coo::new(nx * ny, nx * ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                c.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < ny {
+                    c.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        Graph::from_matrix(&c.to_csr())
+    }
+
+    #[test]
+    fn separator_on_straight_grid_cut_is_one_line() {
+        let g = grid(6, 6);
+        // Split rows 0..3 vs 3..6 — boundary is a 6-edge perfect matching,
+        // so the minimum cover has exactly 6 vertices.
+        let side: Vec<u8> = (0..36).map(|v| if v / 6 < 3 { 0u8 } else { 1u8 }).collect();
+        let b = Bisection::recompute(&g, side);
+        let vs = vertex_separator(&g, &b);
+        assert!(is_valid_separator(&g, &vs.assign));
+        assert_eq!(vs.separator.len(), 6);
+    }
+
+    #[test]
+    fn separator_validity_on_path() {
+        let mut c = Coo::new(5, 5);
+        for i in 0..4 {
+            c.push_sym(i, i + 1, 1.0);
+        }
+        for i in 0..5 {
+            c.push(i, i, 1.0);
+        }
+        let g = Graph::from_matrix(&c.to_csr());
+        let side = vec![0u8, 0, 0, 1, 1];
+        let b = Bisection::recompute(&g, side);
+        let vs = vertex_separator(&g, &b);
+        assert!(is_valid_separator(&g, &vs.assign));
+        assert_eq!(vs.separator.len(), 1, "path needs a single separator vertex");
+    }
+
+    #[test]
+    fn weights_partition_total() {
+        let g = grid(5, 5);
+        let side: Vec<u8> = (0..25).map(|v| if v % 5 < 2 { 0u8 } else { 1u8 }).collect();
+        let b = Bisection::recompute(&g, side);
+        let vs = vertex_separator(&g, &b);
+        assert_eq!(
+            vs.side_weights[0] + vs.side_weights[1] + vs.sep_weight,
+            g.total_vertex_weight()
+        );
+    }
+
+    #[test]
+    fn invalid_assignment_detected() {
+        let g = grid(2, 2);
+        // 0 and 1 adjacent with different sides and no separator.
+        assert!(!is_valid_separator(&g, &[0, 1, 0, 1]));
+    }
+}

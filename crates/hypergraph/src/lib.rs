@@ -1,0 +1,51 @@
+//! `hypergraph` — multilevel hypergraph partitioning and the paper's
+//! Recursive Hypergraph Bisection (RHB) algorithm.
+//!
+//! This crate is the workspace's substitute for PaToH. It provides:
+//!
+//! * a compact pin-list hypergraph store with multi-weight vertices and
+//!   costed nets ([`hg`]);
+//! * column-net / row-net models of sparse matrices ([`models`]);
+//! * the three cut-size metrics of the paper — `con1` (connectivity−1),
+//!   `cnet` (cut-net) and `soed` (sum of external degrees) ([`metrics`]);
+//! * multilevel bisection: heavy-connectivity coarsening, greedy initial
+//!   partition, FM refinement with multi-constraint balance ([`coarsen`],
+//!   [`fm`], [`bisect`]);
+//! * generic recursive bisection with net splitting / net discarding and
+//!   the paper's soed cost-halving trick ([`recursive`]);
+//! * **RHB** with dynamic vertex weights `w1`, `w2` producing
+//!   doubly-bordered partitions of symmetric matrices ([`rhb`]);
+//! * quasi-dense row filtering for fast right-hand-side partitioning
+//!   ([`sparsify`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::{cut_sizes, Hypergraph};
+//!
+//! // 4 vertices, nets {0,1,2} and {2,3}; split {0,1} | {2,3}.
+//! let h = Hypergraph::from_pin_lists(
+//!     4,
+//!     &[vec![0, 1, 2], vec![2, 3]],
+//!     vec![1; 4],
+//!     1,
+//!     vec![1, 1],
+//! );
+//! let cs = cut_sizes(&h, &[0, 0, 1, 1], 2);
+//! assert_eq!(cs.cnet, 1);          // only the first net is cut
+//! assert_eq!(cs.soed, cs.con1 + cs.cnet);
+//! ```
+
+pub mod bisect;
+pub mod coarsen;
+pub mod fm;
+pub mod hg;
+pub mod metrics;
+pub mod models;
+pub mod recursive;
+pub mod rhb;
+pub mod sparsify;
+
+pub use hg::Hypergraph;
+pub use metrics::{cut_sizes, CutMetric, CutSizes};
+pub use rhb::{rhb_partition, ConstraintMode, RhbConfig};

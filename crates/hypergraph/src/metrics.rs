@@ -1,0 +1,181 @@
+//! Cut-size metrics: connectivity−1, cut-net, and sum-of-external-degrees
+//! (equations (7)–(9) of the paper).
+
+use crate::Hypergraph;
+
+/// The three standard cut-size metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutMetric {
+    /// `Σ (λ(j) − 1)` — equation (7).
+    Con1,
+    /// number of cut nets — equation (8).
+    Cnet,
+    /// `Σ_{λ(j)>1} λ(j)` — equation (9).
+    Soed,
+}
+
+/// All three cut sizes of a partition, computed in one sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutSizes {
+    /// Connectivity−1 metric (net costs applied).
+    pub con1: i64,
+    /// Cut-net metric (net costs applied).
+    pub cnet: i64,
+    /// Sum-of-external-degrees metric (net costs applied).
+    pub soed: i64,
+}
+
+impl CutSizes {
+    /// Selects one metric's value.
+    pub fn get(&self, m: CutMetric) -> i64 {
+        match m {
+            CutMetric::Con1 => self.con1,
+            CutMetric::Cnet => self.cnet,
+            CutMetric::Soed => self.soed,
+        }
+    }
+}
+
+/// Computes the connectivity `λ(j)` of every net under `part` (entries
+/// may be any small integers `< nparts`).
+pub fn connectivities(h: &Hypergraph, part: &[usize], nparts: usize) -> Vec<usize> {
+    assert_eq!(part.len(), h.nvertices());
+    let mut lambda = vec![0usize; h.nnets()];
+    let mut mark = vec![usize::MAX; nparts];
+    for n in 0..h.nnets() {
+        let mut l = 0usize;
+        for &v in h.pins_of(n) {
+            let p = part[v];
+            debug_assert!(p < nparts);
+            if mark[p] != n {
+                mark[p] = n;
+                l += 1;
+            }
+        }
+        lambda[n] = l;
+    }
+    lambda
+}
+
+/// Computes all three cut sizes of a `nparts`-way partition.
+pub fn cut_sizes(h: &Hypergraph, part: &[usize], nparts: usize) -> CutSizes {
+    let lambda = connectivities(h, part, nparts);
+    let mut con1 = 0i64;
+    let mut cnet = 0i64;
+    let mut soed = 0i64;
+    for n in 0..h.nnets() {
+        let l = lambda[n] as i64;
+        let c = h.net_cost(n);
+        if l > 1 {
+            con1 += c * (l - 1);
+            cnet += c;
+            soed += c * l;
+        }
+    }
+    CutSizes { con1, cnet, soed }
+}
+
+/// Part weights per constraint: `weights[p * ncon + c]`.
+pub fn part_weights(h: &Hypergraph, part: &[usize], nparts: usize) -> Vec<i64> {
+    let ncon = h.nconstraints();
+    let mut w = vec![0i64; nparts * ncon];
+    for v in 0..h.nvertices() {
+        for c in 0..ncon {
+            w[part[v] * ncon + c] += h.vertex_weight(v, c);
+        }
+    }
+    w
+}
+
+/// Imbalance `(Wmax − Wavg)/Wavg` of constraint `c` (equation (6)).
+pub fn imbalance(h: &Hypergraph, part: &[usize], nparts: usize, c: usize) -> f64 {
+    let w = part_weights(h, part, nparts);
+    let ncon = h.nconstraints();
+    let total: i64 = (0..nparts).map(|p| w[p * ncon + c]).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let avg = total as f64 / nparts as f64;
+    let max = (0..nparts).map(|p| w[p * ncon + c]).max().unwrap() as f64;
+    (max - avg) / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        // 6 vertices; nets: {0,1,2}, {2,3}, {3,4,5}, {0,5}
+        Hypergraph::from_pin_lists(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+            vec![1; 6],
+            1,
+            vec![1; 4],
+        )
+    }
+
+    #[test]
+    fn metrics_on_a_bisection() {
+        let h = sample();
+        // Parts: {0,1,2} vs {3,4,5}.
+        let part = vec![0, 0, 0, 1, 1, 1];
+        let cs = cut_sizes(&h, &part, 2);
+        // Net 0 uncut, net 1 cut (λ=2), net 2 uncut, net 3 cut (λ=2).
+        assert_eq!(cs.cnet, 2);
+        assert_eq!(cs.con1, 2);
+        assert_eq!(cs.soed, 4);
+        assert_eq!(cs.soed, cs.con1 + cs.cnet, "soed = con1 + cnet identity");
+    }
+
+    #[test]
+    fn metrics_on_a_three_way_partition() {
+        let h = sample();
+        let part = vec![0, 0, 1, 1, 2, 2];
+        let cs = cut_sizes(&h, &part, 3);
+        // λ: net0 {0,1}→2, net1 {1}→1, net2 {1,2}→2, net3 {0,2}→2
+        assert_eq!(cs.cnet, 3);
+        assert_eq!(cs.con1, 3);
+        assert_eq!(cs.soed, 6);
+    }
+
+    #[test]
+    fn connectivities_counts_distinct_parts() {
+        let h = sample();
+        let lam = connectivities(&h, &[0, 1, 2, 0, 1, 2], 3);
+        assert_eq!(lam[0], 3); // {0,1,2} spans all three parts
+        assert_eq!(lam[1], 2); // {2,3} -> parts {2,0}
+    }
+
+    #[test]
+    fn net_costs_scale_metrics() {
+        let h = Hypergraph::from_pin_lists(
+            2,
+            &[vec![0, 1], vec![0]],
+            vec![1, 1],
+            1,
+            vec![7, 3],
+        );
+        let cs = cut_sizes(&h, &[0, 1], 2);
+        assert_eq!(cs.cnet, 7);
+        assert_eq!(cs.con1, 7);
+        assert_eq!(cs.soed, 14);
+    }
+
+    #[test]
+    fn uncut_partition_has_zero_metrics() {
+        let h = sample();
+        let cs = cut_sizes(&h, &[0; 6], 1);
+        assert_eq!((cs.con1, cs.cnet, cs.soed), (0, 0, 0));
+    }
+
+    #[test]
+    fn imbalance_and_part_weights() {
+        let h = sample();
+        let part = vec![0, 0, 0, 0, 1, 1];
+        let w = part_weights(&h, &part, 2);
+        assert_eq!(w, vec![4, 2]);
+        let eps = imbalance(&h, &part, 2, 0);
+        assert!((eps - (4.0 - 3.0) / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Quasi-dense row removal (§V-B(c) of the paper).
+//!
+//! Before building the row-net hypergraph of the solution-vector pattern
+//! `G`, rows that are empty or *quasi-dense* (density ≥ τ) are removed:
+//! empty rows constrain nothing, and quasi-dense rows connect almost all
+//! columns so they cannot be "uncut" anyway — dropping both shrinks the
+//! hypergraph dramatically at almost no quality cost.
+
+use sparsekit::Csr;
+
+/// Outcome of the quasi-dense filter.
+#[derive(Clone, Debug)]
+pub struct SparsifyReport {
+    /// Rows kept (indices into the original matrix).
+    pub kept_rows: Vec<usize>,
+    /// Number of empty rows removed.
+    pub removed_empty: usize,
+    /// Number of quasi-dense rows removed.
+    pub removed_dense: usize,
+}
+
+/// Filters the rows of a pattern matrix `g`, removing empty rows and rows
+/// with density `nnz(row)/ncols ≥ tau`.
+pub fn filter_quasi_dense(g: &Csr, tau: f64) -> SparsifyReport {
+    assert!(tau > 0.0, "tau must be positive");
+    let ncols = g.ncols().max(1) as f64;
+    let mut kept_rows = Vec::new();
+    let mut removed_empty = 0usize;
+    let mut removed_dense = 0usize;
+    for i in 0..g.nrows() {
+        let nnz = g.row_nnz(i);
+        if nnz == 0 {
+            removed_empty += 1;
+        } else if nnz as f64 / ncols >= tau {
+            removed_dense += 1;
+        } else {
+            kept_rows.push(i);
+        }
+    }
+    SparsifyReport { kept_rows, removed_empty, removed_dense }
+}
+
+/// Applies the filter and returns the row-submatrix of `g` on the kept
+/// rows (all columns preserved).
+pub fn sparsify(g: &Csr, tau: f64) -> (Csr, SparsifyReport) {
+    let report = filter_quasi_dense(g, tau);
+    let cols: Vec<usize> = (0..g.ncols()).collect();
+    let sub = g.submatrix(&report.kept_rows, &cols);
+    (sub, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    fn pattern() -> Csr {
+        // 4x4: row 0 empty, row 1 full (dense), rows 2-3 sparse.
+        let mut c = Coo::new(4, 4);
+        for j in 0..4 {
+            c.push(1, j, 1.0);
+        }
+        c.push(2, 0, 1.0);
+        c.push(3, 3, 1.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn removes_empty_and_dense_rows() {
+        let g = pattern();
+        let r = filter_quasi_dense(&g, 0.9);
+        assert_eq!(r.removed_empty, 1);
+        assert_eq!(r.removed_dense, 1);
+        assert_eq!(r.kept_rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn tau_one_keeps_partial_rows() {
+        let g = pattern();
+        // Density exactly 1.0 is >= tau=1.0 → removed; others kept.
+        let r = filter_quasi_dense(&g, 1.0);
+        assert_eq!(r.removed_dense, 1);
+        assert_eq!(r.kept_rows.len(), 2);
+    }
+
+    #[test]
+    fn small_tau_removes_more() {
+        let g = pattern();
+        // tau=0.25: rows with >= 1 of 4 nnz are "dense".
+        let r = filter_quasi_dense(&g, 0.25);
+        assert_eq!(r.kept_rows.len(), 0);
+        assert_eq!(r.removed_dense, 3);
+    }
+
+    #[test]
+    fn sparsify_returns_submatrix() {
+        let g = pattern();
+        let (sub, r) = sparsify(&g, 0.9);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.ncols(), 4);
+        assert_eq!(r.kept_rows, vec![2, 3]);
+        assert_eq!(sub.get(0, 0), 1.0);
+        assert_eq!(sub.get(1, 3), 1.0);
+    }
+}

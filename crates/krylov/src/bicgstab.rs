@@ -1,0 +1,228 @@
+//! BiCGSTAB with right preconditioning.
+//!
+//! PDSLin's outer solver is configurable; BiCGSTAB is the usual
+//! alternative to restarted GMRES for unsymmetric systems when memory
+//! for a long Arnoldi basis is unwelcome.
+
+use crate::operator::{LinearOperator, Preconditioner};
+use sparsekit::ops::{axpy, dot, norm2};
+
+/// BiCGSTAB parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BicgstabConfig {
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+}
+
+impl Default for BicgstabConfig {
+    fn default() -> Self {
+        BicgstabConfig { max_iters: 500, tol: 1e-10 }
+    }
+}
+
+/// Outcome of a BiCGSTAB run.
+#[derive(Clone, Debug)]
+pub struct BicgstabResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final true relative residual.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Breakdown flag (`rho` or `omega` collapsed); the returned iterate
+    /// is the best one available.
+    pub breakdown: bool,
+}
+
+/// Solves `A x = b` with right-preconditioned BiCGSTAB.
+pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &BicgstabConfig,
+) -> BicgstabResult {
+    let n = op.n();
+    assert_eq!(b.len(), n);
+    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let bnorm = {
+        let t = norm2(b);
+        if t == 0.0 {
+            1.0
+        } else {
+            t
+        }
+    };
+    let mut work = vec![0.0; n];
+    op.apply(&x, &mut work);
+    let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
+    let r0: Vec<f64> = r.clone();
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut v = vec![0.0f64; n];
+    let mut p = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut breakdown = false;
+    let mut iterations = 0usize;
+    for _ in 0..cfg.max_iters {
+        if norm2(&r) / bnorm <= cfg.tol {
+            break;
+        }
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            breakdown = true;
+            break;
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta (p − omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        // v = A M⁻¹ p
+        precond.apply(&p, &mut z);
+        op.apply(&z, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            breakdown = true;
+            break;
+        }
+        alpha = rho / r0v;
+        // s = r − alpha v  (reuse r)
+        axpy(-alpha, &v, &mut r);
+        // x += alpha M⁻¹ p
+        axpy(alpha, &z, &mut x);
+        iterations += 1;
+        if norm2(&r) / bnorm <= cfg.tol {
+            break;
+        }
+        // t = A M⁻¹ s
+        precond.apply(&r, &mut z);
+        op.apply(&z, &mut work);
+        let tt = dot(&work, &work);
+        if tt == 0.0 {
+            breakdown = true;
+            break;
+        }
+        omega = dot(&work, &r) / tt;
+        if omega.abs() < 1e-300 {
+            breakdown = true;
+            break;
+        }
+        // x += omega M⁻¹ s ; r = s − omega t
+        axpy(omega, &z, &mut x);
+        axpy(-omega, &work, &mut r);
+        iterations += 1;
+    }
+    op.apply(&x, &mut work);
+    let res = norm2(&b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect::<Vec<_>>());
+    let residual = res / bnorm;
+    BicgstabResult {
+        x,
+        iterations,
+        residual,
+        converged: residual <= cfg.tol * 10.0,
+        breakdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CsrOperator, IdentityPrecond, JacobiPrecond};
+    use sparsekit::ops::residual_inf_norm;
+    use sparsekit::{Coo, Csr};
+
+    fn laplace2d(nx: usize) -> Csr {
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut c = Coo::new(nx * nx, nx * nx);
+        for i in 0..nx {
+            for j in 0..nx {
+                c.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn solves_identity_immediately() {
+        let a = Csr::identity(8);
+        let op = CsrOperator::new(&a);
+        let b: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let r = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        assert!(r.converged);
+        for (xi, bi) in r.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solves_2d_laplacian() {
+        let a = laplace2d(10);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 100];
+        let r = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(residual_inf_norm(&a, &r.x, &b) < 1e-7);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_helps_scaled_system() {
+        let n = 60;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0 + 50.0 * i as f64);
+            if i + 1 < n {
+                c.push_sym(i, i + 1, -0.5);
+            }
+        }
+        let a = c.to_csr();
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; n];
+        let plain = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        let m = JacobiPrecond::new(&a);
+        let pre = bicgstab(&op, &m, &b, None, &BicgstabConfig::default());
+        assert!(pre.converged);
+        assert!(pre.iterations <= plain.iterations.max(1));
+    }
+
+    #[test]
+    fn unsymmetric_system_converges() {
+        let n = 40;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0);
+            if i + 1 < n {
+                c.push(i, i + 1, -1.5); // convective skew
+                c.push(i + 1, i, -0.5);
+            }
+        }
+        let a = c.to_csr();
+        let op = CsrOperator::new(&a);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let r = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        assert!(r.converged);
+        assert!(residual_inf_norm(&a, &r.x, &b) < 1e-7);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplace2d(4);
+        let op = CsrOperator::new(&a);
+        let b = vec![0.0; 16];
+        let r = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert_eq!(r.iterations, 0);
+    }
+}

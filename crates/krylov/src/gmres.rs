@@ -1,0 +1,290 @@
+//! Restarted GMRES with right preconditioning.
+//!
+//! Arnoldi with modified Gram–Schmidt; the least-squares problem is
+//! updated incrementally with Givens rotations so the residual norm is
+//! available at every inner step.
+
+use crate::operator::{LinearOperator, Preconditioner};
+use sparsekit::ops::{axpy, norm2};
+
+/// GMRES parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GmresConfig {
+    /// Restart length `m` in GMRES(m).
+    pub restart: usize,
+    /// Total iteration budget (across restarts).
+    pub max_iters: usize,
+    /// Relative residual tolerance `‖b − Ax‖ / ‖b‖`.
+    pub tol: f64,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        GmresConfig { restart: 50, max_iters: 500, tol: 1e-10 }
+    }
+}
+
+/// Outcome of a GMRES run.
+#[derive(Clone, Debug)]
+pub struct GmresResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed (matvec count, excluding residual checks).
+    pub iterations: usize,
+    /// Final *true* relative residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Estimated relative residual after each iteration.
+    pub history: Vec<f64>,
+}
+
+/// Solves `A x = b` with right-preconditioned restarted GMRES:
+/// iterates on `A M⁻¹ u = b`, returning `x = M⁻¹ u`-corrected iterates.
+pub fn gmres<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &GmresConfig,
+) -> GmresResult {
+    let n = op.n();
+    assert_eq!(b.len(), n);
+    let m = cfg.restart.max(1);
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n);
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let bnorm = {
+        let t = norm2(b);
+        if t == 0.0 {
+            1.0
+        } else {
+            t
+        }
+    };
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut work = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    'outer: loop {
+        // r = b − A x
+        op.apply(&x, &mut work);
+        let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
+        let beta = norm2(&r);
+        if beta / bnorm <= cfg.tol || total_iters >= cfg.max_iters {
+            break;
+        }
+        // Arnoldi basis V and Hessenberg H (column-major, (m+1) rows).
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        for ri in r.iter_mut() {
+            *ri /= beta;
+        }
+        v.push(r);
+        let mut h = vec![0.0f64; (m + 1) * m];
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut inner = 0usize;
+        for j in 0..m {
+            if total_iters >= cfg.max_iters {
+                break;
+            }
+            // w = A M⁻¹ v_j
+            precond.apply(&v[j], &mut z);
+            op.apply(&z, &mut work);
+            let mut w = work.clone();
+            // Modified Gram–Schmidt.
+            for i in 0..=j {
+                let hij = sparsekit::ops::dot(&w, &v[i]);
+                h[i * m + j] = hij;
+                axpy(-hij, &v[i], &mut w);
+            }
+            let hj1 = norm2(&w);
+            h[(j + 1) * m + j] = hj1;
+            // Apply previous Givens rotations to column j.
+            for i in 0..j {
+                let t = cs[i] * h[i * m + j] + sn[i] * h[(i + 1) * m + j];
+                h[(i + 1) * m + j] = -sn[i] * h[i * m + j] + cs[i] * h[(i + 1) * m + j];
+                h[i * m + j] = t;
+            }
+            // New rotation to kill h[j+1, j].
+            let (c, s) = givens(h[j * m + j], h[(j + 1) * m + j]);
+            cs[j] = c;
+            sn[j] = s;
+            h[j * m + j] = c * h[j * m + j] + s * h[(j + 1) * m + j];
+            h[(j + 1) * m + j] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            total_iters += 1;
+            inner = j + 1;
+            let rel = g[j + 1].abs() / bnorm;
+            history.push(rel);
+            if rel <= cfg.tol || hj1 == 0.0 {
+                break;
+            }
+            for wi in w.iter_mut() {
+                *wi /= hj1;
+            }
+            v.push(w);
+        }
+        if inner == 0 {
+            break 'outer;
+        }
+        // Solve the triangular system H y = g.
+        let mut y = vec![0.0f64; inner];
+        for i in (0..inner).rev() {
+            let mut t = g[i];
+            for k in (i + 1)..inner {
+                t -= h[i * m + k] * y[k];
+            }
+            y[i] = t / h[i * m + i];
+        }
+        // x += M⁻¹ (V y)
+        let mut update = vec![0.0f64; n];
+        for (k, yk) in y.iter().enumerate() {
+            axpy(*yk, &v[k], &mut update);
+        }
+        precond.apply(&update, &mut z);
+        axpy(1.0, &z, &mut x);
+        if history.last().is_some_and(|&r| r <= cfg.tol) {
+            break;
+        }
+        if total_iters >= cfg.max_iters {
+            break;
+        }
+    }
+    // True residual.
+    op.apply(&x, &mut work);
+    let res: f64 = norm2(&b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect::<Vec<_>>());
+    let residual = res / bnorm;
+    GmresResult { x, iterations: total_iters, residual, converged: residual <= cfg.tol * 10.0, history }
+}
+
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CsrOperator, IdentityPrecond, JacobiPrecond};
+    use sparsekit::ops::residual_inf_norm;
+    use sparsekit::{Coo, Csr};
+
+    fn laplace2d(nx: usize) -> Csr {
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut c = Coo::new(nx * nx, nx * nx);
+        for i in 0..nx {
+            for j in 0..nx {
+                c.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn solves_identity_in_one_iteration() {
+        let a = Csr::identity(10);
+        let op = CsrOperator::new(&a);
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let r = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+        assert!(r.converged);
+        assert!(r.iterations <= 2);
+        for (xi, bi) in r.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_2d_laplacian() {
+        let a = laplace2d(10);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 100];
+        let r = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(residual_inf_norm(&a, &r.x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_converges() {
+        // Badly scaled diagonal matrix + off-diagonal coupling.
+        let n = 50;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0 + 100.0 * i as f64);
+            if i + 1 < n {
+                c.push_sym(i, i + 1, -1.0);
+            }
+        }
+        let a = c.to_csr();
+        let op = CsrOperator::new(&a);
+        let m = JacobiPrecond::new(&a);
+        let b = vec![1.0; n];
+        let rp = gmres(&op, &m, &b, None, &GmresConfig { restart: 30, ..Default::default() });
+        assert!(rp.converged);
+        assert!(residual_inf_norm(&a, &rp.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn restart_still_converges() {
+        let a = laplace2d(8);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 64];
+        let cfg = GmresConfig { restart: 5, max_iters: 2000, tol: 1e-9 };
+        let r = gmres(&op, &IdentityPrecond, &b, None, &cfg);
+        assert!(r.converged, "GMRES(5) residual {}", r.residual);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = laplace2d(8);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 64];
+        let cold = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+        let warm = gmres(&op, &IdentityPrecond, &b, Some(&cold.x), &GmresConfig::default());
+        assert!(warm.iterations <= 1, "warm start from the solution should converge at once");
+    }
+
+    #[test]
+    fn history_is_monotone_within_cycle() {
+        let a = laplace2d(6);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 36];
+        let cfg = GmresConfig { restart: 36, max_iters: 36, tol: 1e-12 };
+        let r = gmres(&op, &IdentityPrecond, &b, None, &cfg);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "GMRES residual must not increase within a cycle");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplace2d(4);
+        let op = CsrOperator::new(&a);
+        let b = vec![0.0; 16];
+        let r = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert_eq!(r.iterations, 0);
+    }
+}

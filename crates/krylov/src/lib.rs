@@ -1,0 +1,27 @@
+//! `krylov` — preconditioned iterative solvers for the Schur complement
+//! system (equation (2) of the paper).
+//!
+//! PDSLin never forms the global Schur complement `S` explicitly: GMRES
+//! only needs `y ↦ S·y`, supplied through the [`LinearOperator`] trait,
+//! and the preconditioner `LU(S̃)` through [`Preconditioner`].
+//!
+//! # Example
+//!
+//! ```
+//! use krylov::{gmres, CsrOperator, GmresConfig, IdentityPrecond};
+//!
+//! let a = sparsekit::Csr::identity(4);
+//! let op = CsrOperator::new(&a);
+//! let b = vec![1.0, 2.0, 3.0, 4.0];
+//! let r = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+//! assert!(r.converged);
+//! assert!((r.x[2] - 3.0).abs() < 1e-10);
+//! ```
+
+pub mod bicgstab;
+pub mod gmres;
+pub mod operator;
+
+pub use bicgstab::{bicgstab, BicgstabConfig, BicgstabResult};
+pub use gmres::{gmres, GmresConfig, GmresResult};
+pub use operator::{CsrOperator, IdentityPrecond, JacobiPrecond, LinearOperator, Preconditioner};

@@ -1,0 +1,84 @@
+//! Circuit-simulation analogues (`ASIC_680ks`, `G3_circuit`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsekit::{Coo, Csr};
+
+/// `ASIC_680ks` analogue: extremely sparse (~2–3 nnz/row), irregular,
+/// pattern-symmetric but value-unsymmetric, with a handful of
+/// **quasi-dense power-rail rows** — the feature that motivates the
+/// §V-B(c) quasi-dense-row filter.
+pub fn asic_like(n: usize, seed: u64) -> Csr {
+    assert!(n >= 64, "asic_like needs a reasonable size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Coo::with_capacity(n, n, 4 * n);
+    // Diagonal (always present in circuit matrices).
+    for i in 0..n {
+        c.push(i, i, 1.0 + rng.random::<f64>());
+    }
+    // Sparse random two-terminal devices: symmetric pattern, unsymmetric
+    // values (e.g. controlled sources).
+    let devices = n; // ~1 extra entry pair per node on average
+    for _ in 0..devices {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j {
+            c.push(i, j, -(0.1 + rng.random::<f64>()));
+            c.push(j, i, -(0.1 + 0.5 * rng.random::<f64>()));
+        }
+    }
+    // Power rails: a few rows connected to ~n/64 random nodes.
+    let rails = 4.max(n / 20_000);
+    for r in 0..rails {
+        let row = r * (n / rails);
+        let fan = n / 64;
+        for _ in 0..fan {
+            let j = rng.random_range(0..n);
+            if j != row {
+                c.push(row, j, -0.01 - 0.01 * rng.random::<f64>());
+                c.push(j, row, -0.01 - 0.005 * rng.random::<f64>());
+            }
+        }
+    }
+    c.to_csr()
+}
+
+/// `G3_circuit` analogue: a 2-D 5-point grid (power-grid style), SPD,
+/// ~5 nnz/row — delegated to the stencil generator.
+pub fn g3_like(nx: usize, ny: usize) -> Csr {
+    crate::stencil::laplace2d(nx, ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::avg_nnz_per_row;
+
+    #[test]
+    fn asic_is_ultra_sparse() {
+        let a = asic_like(4096, 3);
+        let d = avg_nnz_per_row(&a);
+        assert!(d < 6.0, "avg nnz/row {d} too dense for ASIC analogue");
+        assert!(a.pattern_symmetric());
+        assert!(!a.value_symmetric(1e-12));
+    }
+
+    #[test]
+    fn asic_has_quasi_dense_rows() {
+        let a = asic_like(4096, 3);
+        let max_row = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap();
+        assert!(max_row > 30, "expected a power-rail row, max {max_row}");
+    }
+
+    #[test]
+    fn asic_deterministic() {
+        assert_eq!(asic_like(512, 9), asic_like(512, 9));
+    }
+
+    #[test]
+    fn g3_is_spd_shaped() {
+        let a = g3_like(20, 20);
+        assert!(a.value_symmetric(1e-14));
+        assert!(avg_nnz_per_row(&a) < 5.01);
+    }
+}

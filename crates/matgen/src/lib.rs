@@ -1,0 +1,28 @@
+//! `matgen` — synthetic test-matrix generators.
+//!
+//! The paper evaluates on seven matrices from accelerator-cavity
+//! modelling, tokamak fusion simulation and circuit simulation (Table I).
+//! Those inputs are not redistributable here, so this crate generates
+//! *structural analogues* that match each matrix's fingerprint —
+//! nnz/row, pattern/value symmetry, definiteness and the qualitative
+//! sparsity character that drives the partitioning and reordering
+//! behaviour under study. See `DESIGN.md` §3 for the substitution
+//! rationale; real Matrix Market files are accepted via
+//! `sparsekit::io::read_matrix_market` whenever available.
+
+//! # Example
+//!
+//! ```
+//! use matgen::{generate, MatrixKind, Scale};
+//!
+//! let a = generate(MatrixKind::G3Circuit, Scale::Test);
+//! assert!(a.nrows() > 1000);
+//! assert!(a.value_symmetric(1e-12)); // G3_circuit is SPD
+//! ```
+
+pub mod circuit;
+pub mod fusion;
+pub mod stencil;
+pub mod suite;
+
+pub use suite::{generate, MatrixKind, Scale};

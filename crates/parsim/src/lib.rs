@@ -1,0 +1,40 @@
+//! `parsim` — a discrete-event simulator for two-level parallel
+//! schedules.
+//!
+//! The paper's Fig. 1 runs PDSLin on up to 1024 Cray XE6 cores; this
+//! workspace executes on a single node, so large core counts are
+//! *simulated* (DESIGN.md §3, substitution 2). This crate provides the
+//! simulation substrate: a DAG of **moldable gang tasks** (each task runs
+//! on a fixed processor gang with an Amdahl-style intra-gang speedup
+//! curve), scheduled on a machine with a finite core count by a list
+//! scheduler, plus communication tasks costed with a latency/bandwidth
+//! (α–β) model.
+//!
+//! [`pdslin_model`] builds the PDSLin task graph (per-subdomain `LU(D)`
+//! and `Comp(S)` gangs, `T̃` gather messages, `LU(S)` and the iterative
+//! solve on the full machine) from *measured* sequential costs.
+//!
+//! # Example
+//!
+//! ```
+//! use parsim::{Machine, TaskGraph};
+//!
+//! let m = Machine { cores: 4, ..Default::default() };
+//! let mut g = TaskGraph::new();
+//! // Two independent 10-second tasks, each on a 2-core gang.
+//! let a = g.add_compute("a", 10.0, 2, &[]);
+//! let _b = g.add_compute("b", 10.0, 2, &[]);
+//! // A final task depending on `a`, using the whole machine.
+//! g.add_compute("c", 4.0, 4, &[a]);
+//! let s = parsim::simulate(&g, &m);
+//! assert!(s.makespan > 0.0);
+//! ```
+
+pub mod machine;
+pub mod pdslin_model;
+pub mod schedule;
+pub mod task;
+
+pub use machine::Machine;
+pub use schedule::{simulate, Schedule};
+pub use task::{TaskGraph, TaskId, TaskKind};

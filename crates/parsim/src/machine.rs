@@ -1,0 +1,83 @@
+//! Machine model: cores, intra-gang scaling, and the α–β network.
+
+/// The simulated machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Total cores.
+    pub cores: usize,
+    /// Intra-gang speedup exponent: a compute task of sequential cost
+    /// `c` on a gang of `g` cores runs in
+    /// `c · (serial_fraction + (1 − serial_fraction)/g^alpha)` seconds.
+    pub alpha: f64,
+    /// Fraction of every compute task that does not parallelise.
+    pub serial_fraction: f64,
+    /// Message start-up latency in seconds (the α of the α–β model).
+    pub latency: f64,
+    /// Network bandwidth in bytes/second (the 1/β of the α–β model).
+    pub bandwidth: f64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        // Loosely calibrated to a 2010-era Cray XE6 node/Gemini network,
+        // the paper's testbed: ~1 µs MPI latency, ~5 GB/s link.
+        Machine {
+            cores: 8,
+            alpha: 0.75,
+            serial_fraction: 0.02,
+            latency: 2e-6,
+            bandwidth: 5e9,
+        }
+    }
+}
+
+impl Machine {
+    /// Runtime of a compute task with sequential cost `cost` on `gang`
+    /// cores.
+    pub fn compute_time(&self, cost: f64, gang: usize) -> f64 {
+        let g = gang.max(1) as f64;
+        cost * (self.serial_fraction + (1.0 - self.serial_fraction) / g.powf(self.alpha))
+    }
+
+    /// Transfer time for a `bytes`-sized message.
+    pub fn message_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_gang_is_sequential() {
+        let m = Machine::default();
+        assert!((m.compute_time(10.0, 1) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_gangs_are_faster_but_sublinear() {
+        let m = Machine::default();
+        let t4 = m.compute_time(10.0, 4);
+        let t16 = m.compute_time(10.0, 16);
+        assert!(t4 < 10.0);
+        assert!(t16 < t4);
+        // Sub-linear: 16 cores are not 4× faster than 4 cores.
+        assert!(t16 > t4 / 4.0);
+    }
+
+    #[test]
+    fn serial_fraction_floors_the_runtime() {
+        let m = Machine { serial_fraction: 0.1, ..Default::default() };
+        let t = m.compute_time(10.0, 1_000_000);
+        assert!(t >= 1.0, "10% serial of 10s can never go below 1s, got {t}");
+    }
+
+    #[test]
+    fn message_time_has_latency_floor() {
+        let m = Machine::default();
+        assert!(m.message_time(0.0) >= m.latency);
+        let big = m.message_time(5e9);
+        assert!((big - (m.latency + 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! The PDSLin task graph: from measured sequential phase costs to a
+//! simulated two-level schedule.
+
+use crate::machine::Machine;
+use crate::schedule::{simulate, Schedule};
+use crate::task::TaskGraph;
+use serde::Serialize;
+
+/// Measured inputs for one solver configuration.
+#[derive(Clone, Debug, Default)]
+pub struct MeasuredCosts {
+    /// Sequential seconds to factor each `D_ℓ`.
+    pub lu_d: Vec<f64>,
+    /// Sequential seconds of interface work per subdomain.
+    pub comp_s: Vec<f64>,
+    /// Bytes of `T̃_ℓ` each subdomain contributes to the gather
+    /// (≈ 12 bytes per nonzero: value + packed index).
+    pub gather_bytes: Vec<f64>,
+    /// Sequential seconds of `LU(S̃)`.
+    pub lu_s: f64,
+    /// Sequential seconds of the iterative solve.
+    pub solve: f64,
+}
+
+/// Phase breakdown of one simulated configuration (a Fig.-1 bar).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SimulatedTimes {
+    /// Total cores.
+    pub cores: usize,
+    /// `LU(D)` window.
+    pub lu_d: f64,
+    /// `Comp(S)` window (including the gather messages).
+    pub comp_s: f64,
+    /// `LU(S)` window.
+    pub lu_s: f64,
+    /// Iterative-solve window.
+    pub solve: f64,
+    /// End-to-end makespan.
+    pub makespan: f64,
+}
+
+/// Builds the PDSLin DAG for `k` subdomains on a `cores`-core machine:
+/// every subdomain gets a `cores/k` gang for its `LU(D)` and `Comp(S)`
+/// tasks, the `T̃` gathers are α–β messages, and `LU(S)` plus the solve
+/// run on the full machine.
+pub fn build_graph(costs: &MeasuredCosts, cores: usize, k: usize) -> TaskGraph {
+    assert_eq!(costs.lu_d.len(), k);
+    assert_eq!(costs.comp_s.len(), k);
+    let gang = (cores / k).max(1);
+    let mut g = TaskGraph::new();
+    let mut gathers = Vec::with_capacity(k);
+    for l in 0..k {
+        let lu = g.add_compute(&format!("lu_d:{l}"), costs.lu_d[l], gang, &[]);
+        let cs = g.add_compute(&format!("comp_s:{l}"), costs.comp_s[l], gang, &[lu]);
+        let bytes = costs.gather_bytes.get(l).copied().unwrap_or(0.0);
+        gathers.push(g.add_message(&format!("gather:{l}"), bytes, &[cs]));
+    }
+    let lu_s = g.add_compute("lu_s", costs.lu_s, cores, &gathers);
+    g.add_compute("solve", costs.solve, cores, &[lu_s]);
+    g
+}
+
+/// Simulates one core count and extracts the phase breakdown.
+pub fn simulate_config(
+    costs: &MeasuredCosts,
+    machine: &Machine,
+    k: usize,
+) -> (SimulatedTimes, Schedule) {
+    let g = build_graph(costs, machine.cores, k);
+    let s = simulate(&g, machine);
+    let times = SimulatedTimes {
+        cores: machine.cores,
+        lu_d: s.phase_span(&g, "lu_d"),
+        comp_s: s.phase_span(&g, "comp_s") + s.phase_span(&g, "gather"),
+        lu_s: s.phase_span(&g, "lu_s"),
+        solve: s.phase_span(&g, "solve"),
+        makespan: s.makespan,
+    };
+    (times, s)
+}
+
+/// Simulates a whole core sweep (the Fig.-1 x-axis).
+pub fn sweep(
+    costs: &MeasuredCosts,
+    base: &Machine,
+    k: usize,
+    core_counts: &[usize],
+) -> Vec<SimulatedTimes> {
+    core_counts
+        .iter()
+        .map(|&cores| simulate_config(costs, &Machine { cores, ..*base }, k).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> MeasuredCosts {
+        MeasuredCosts {
+            lu_d: vec![4.0, 6.0, 5.0, 4.5],
+            comp_s: vec![9.0, 12.0, 10.0, 11.0],
+            gather_bytes: vec![1e7; 4],
+            lu_s: 8.0,
+            solve: 3.0,
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_cores() {
+        let c = costs();
+        let base = Machine::default();
+        let sw = sweep(&c, &base, 4, &[4, 16, 64, 256]);
+        for w in sw.windows(2) {
+            assert!(
+                w[1].makespan <= w[0].makespan + 1e-9,
+                "makespan increased: {} -> {}",
+                w[0].makespan,
+                w[1].makespan
+            );
+        }
+    }
+
+    #[test]
+    fn one_core_per_domain_matches_sequential_maxima() {
+        let c = costs();
+        let m = Machine { cores: 4, serial_fraction: 0.0, latency: 0.0, ..Default::default() };
+        let (t, _s) = simulate_config(&c, &m, 4);
+        // Each domain runs on 1 core: LU(D) window = max sequential cost.
+        assert!((t.lu_d - 6.0).abs() < 1e-9, "lu_d window {}", t.lu_d);
+    }
+
+    #[test]
+    fn imbalance_dominates_the_makespan() {
+        let mut skew = costs();
+        skew.comp_s[2] = 60.0;
+        let m = Machine { cores: 32, ..Default::default() };
+        let balanced = simulate_config(&costs(), &m, 4).0;
+        let skewed = simulate_config(&skew, &m, 4).0;
+        assert!(skewed.makespan > balanced.makespan + 1.0);
+    }
+
+    #[test]
+    fn phases_do_not_overlap_across_barriers() {
+        // LU(S) depends on every gather, so its window starts after the
+        // last Comp(S) finishes.
+        let c = costs();
+        let m = Machine { cores: 8, ..Default::default() };
+        let g = build_graph(&c, m.cores, 4);
+        let s = simulate(&g, &m);
+        let (_, comp_end) = s.phase_window(&g, "comp_s").unwrap();
+        let (lus_start, _) = s.phase_window(&g, "lu_s").unwrap();
+        assert!(lus_start >= comp_end - 1e-12);
+    }
+
+    #[test]
+    fn gather_volume_matters_at_scale() {
+        let mut heavy = costs();
+        heavy.gather_bytes = vec![5e9; 4]; // 1 second each at 5 GB/s
+        let m = Machine { cores: 1024, ..Default::default() };
+        let light = simulate_config(&costs(), &m, 4).0;
+        let loaded = simulate_config(&heavy, &m, 4).0;
+        assert!(loaded.makespan > light.makespan + 0.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Moldable gang-task DAGs.
+
+/// Identifier of a task within a [`TaskGraph`].
+pub type TaskId = usize;
+
+/// What a task models (used for phase attribution in reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// CPU work on a processor gang.
+    Compute,
+    /// A message (latency + volume/bandwidth); occupies no cores.
+    Communication,
+}
+
+/// One node of the task DAG.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Human-readable label (phase attribution key, e.g. `"lu_d"`).
+    pub label: String,
+    /// Sequential cost in seconds (compute) or message volume in bytes
+    /// (communication).
+    pub cost: f64,
+    /// Gang size (compute tasks; ignored for communication).
+    pub gang: usize,
+    /// Dependencies that must finish before this task starts.
+    pub deps: Vec<TaskId>,
+    /// Task kind.
+    pub kind: TaskKind,
+}
+
+/// A DAG of moldable gang tasks.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new() }
+    }
+
+    /// Adds a compute task with `cost` sequential seconds on a gang of
+    /// `gang` cores; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gang == 0` or a dependency id is out of range.
+    pub fn add_compute(&mut self, label: &str, cost: f64, gang: usize, deps: &[TaskId]) -> TaskId {
+        assert!(gang > 0, "gang must be positive");
+        self.push(Task {
+            label: label.to_string(),
+            cost,
+            gang,
+            deps: deps.to_vec(),
+            kind: TaskKind::Compute,
+        })
+    }
+
+    /// Adds a communication task carrying `bytes` of payload.
+    pub fn add_message(&mut self, label: &str, bytes: f64, deps: &[TaskId]) -> TaskId {
+        self.push(Task {
+            label: label.to_string(),
+            cost: bytes,
+            gang: 0,
+            deps: deps.to_vec(),
+            kind: TaskKind::Communication,
+        })
+    }
+
+    fn push(&mut self, t: Task) -> TaskId {
+        for &d in &t.deps {
+            assert!(d < self.tasks.len(), "dependency {d} does not exist yet");
+        }
+        self.tasks.push(t);
+        self.tasks.len() - 1
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Read access to a task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// Iterates over `(id, task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_deps_checked() {
+        let mut g = TaskGraph::new();
+        let a = g.add_compute("a", 1.0, 1, &[]);
+        let b = g.add_compute("b", 1.0, 2, &[a]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.task(b).deps, vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_compute("a", 1.0, 1, &[3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gang_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_compute("a", 1.0, 0, &[]);
+    }
+
+    #[test]
+    fn messages_have_no_gang() {
+        let mut g = TaskGraph::new();
+        let a = g.add_compute("a", 1.0, 1, &[]);
+        let m = g.add_message("gather", 1e6, &[a]);
+        assert_eq!(g.task(m).kind, TaskKind::Communication);
+    }
+}

@@ -1,0 +1,243 @@
+//! Elimination trees and postorders (Liu's algorithms).
+//!
+//! The e-tree of a symmetric matrix encodes column dependencies of its
+//! factorisation and — via Gilbert's fill-path theorem — where fill
+//! appears when solving `D⁻¹b` with a sparse `b`: if `b(i) ≠ 0`, fill
+//! occurs on the path from node `i` to the root (§IV-A of the paper).
+
+use sparsekit::{Csr, Perm};
+
+/// Marker for tree roots in a parent array.
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Computes the elimination tree of a matrix with symmetric pattern
+/// (pass `|D| + |Dᵀ|` for unsymmetric `D`, as the paper does).
+///
+/// Returns `parent[v]` with [`NO_PARENT`] at roots. Uses Liu's ancestor
+/// path-compression algorithm, `O(nnz · α)`.
+pub fn etree(a: &Csr) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "etree requires a square matrix");
+    let n = a.nrows();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    for i in 0..n {
+        for &k in a.row_indices(i) {
+            if k >= i {
+                break; // only the lower triangle drives the recurrence
+            }
+            // Traverse from k to the root of its current subtree,
+            // compressing the ancestor path.
+            let mut j = k;
+            while ancestor[j] != NO_PARENT && ancestor[j] != i {
+                let next = ancestor[j];
+                ancestor[j] = i;
+                j = next;
+            }
+            if ancestor[j] == NO_PARENT {
+                ancestor[j] = i;
+                parent[j] = i;
+            }
+        }
+    }
+    parent
+}
+
+/// Computes a postorder of a forest given by `parent`.
+///
+/// Children are visited in ascending order, iteratively (no recursion, so
+/// deep chains are fine). Returns a [`Perm`] whose `to_old(p)` is the
+/// vertex at postorder position `p`.
+pub fn postorder(parent: &[usize]) -> Perm {
+    let n = parent.len();
+    // Build child lists.
+    let mut head = vec![usize::MAX; n];
+    let mut next = vec![usize::MAX; n];
+    // Insert children in reverse so lists come out ascending.
+    for v in (0..n).rev() {
+        let p = parent[v];
+        if p != NO_PARENT {
+            next[v] = head[p];
+            head[p] = v;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for root in (0..n).rev() {
+        if parent[root] == NO_PARENT {
+            stack.push((root, false));
+        }
+    }
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            order.push(v);
+            continue;
+        }
+        stack.push((v, true));
+        // Push children (they pop in ascending order because the list is
+        // ascending and the stack reverses it — push in reverse).
+        let mut kids = Vec::new();
+        let mut c = head[v];
+        while c != usize::MAX {
+            kids.push(c);
+            c = next[c];
+        }
+        for &k in kids.iter().rev() {
+            stack.push((k, false));
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Perm::from_to_old(order)
+}
+
+/// Sort key for the §IV-A right-hand-side ordering: the postorder
+/// position of the first (smallest-position) nonzero of a sparse column.
+///
+/// `rows` is the nonzero row pattern of the column; `post` the subdomain
+/// postorder. Empty columns sort last.
+pub fn first_nonzero_postorder_key(rows: &[usize], post: &Perm) -> usize {
+    rows.iter().map(|&r| post.to_new(r)).min().unwrap_or(usize::MAX)
+}
+
+/// The fill path from node `v` to its root (inclusive): the positions
+/// where fill appears when solving `D⁻¹b` with `b(v) ≠ 0` (§IV-A of the
+/// paper, after Gilbert's theorem).
+pub fn path_to_root(parent: &[usize], v: usize) -> Vec<usize> {
+    let mut path = vec![v];
+    let mut cur = v;
+    while parent[cur] != NO_PARENT {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path
+}
+
+/// Depth of each node in the forest (roots have depth 0).
+pub fn depths(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut depth = vec![usize::MAX; n];
+    for start in 0..n {
+        let mut path = Vec::new();
+        let mut v = start;
+        while depth[v] == usize::MAX && parent[v] != NO_PARENT {
+            path.push(v);
+            v = parent[v];
+        }
+        if depth[v] == usize::MAX {
+            depth[v] = 0; // fresh root
+        }
+        let base = depth[v];
+        for (i, &u) in path.iter().rev().enumerate() {
+            depth[u] = base + i + 1;
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Coo;
+
+    /// Tridiagonal matrix: the e-tree is a path 0 → 1 → … → n−1.
+    fn tridiag(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i + 1 < n {
+                c.push_sym(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let a = tridiag(6);
+        let p = etree(&a);
+        assert_eq!(p, vec![1, 2, 3, 4, 5, NO_PARENT]);
+    }
+
+    #[test]
+    fn etree_of_diagonal_is_a_forest_of_roots() {
+        let a = Csr::identity(4);
+        let p = etree(&a);
+        assert!(p.iter().all(|&x| x == NO_PARENT));
+    }
+
+    #[test]
+    fn etree_arrow_matrix() {
+        // Arrow pointing to the last row/col: every node's parent is n-1
+        // …but through the chain: parent[i] = n-1 directly for i < n-1.
+        let n = 5;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i + 1 < n {
+                c.push_sym(i, n - 1, 1.0);
+            }
+        }
+        let a = c.to_csr();
+        let p = etree(&a);
+        for i in 0..n - 1 {
+            assert_eq!(p[i], n - 1);
+        }
+        assert_eq!(p[n - 1], NO_PARENT);
+    }
+
+    #[test]
+    fn postorder_is_bottom_up() {
+        let a = tridiag(5);
+        let parent = etree(&a);
+        let post = postorder(&parent);
+        // In a postorder every child precedes its parent.
+        for v in 0..5 {
+            if parent[v] != NO_PARENT {
+                assert!(post.to_new(v) < post.to_new(parent[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_of_balanced_tree() {
+        // parent array: 0,1 -> 2; 3,4 -> 5; 2,5 -> 6
+        let parent = vec![2, 2, 6, 5, 5, 6, NO_PARENT];
+        let post = postorder(&parent);
+        for v in 0..7 {
+            if parent[v] != NO_PARENT {
+                assert!(post.to_new(v) < post.to_new(parent[v]));
+            }
+        }
+        // Root is last.
+        assert_eq!(post.to_old(6), 6);
+    }
+
+    #[test]
+    fn postorder_handles_forest() {
+        let parent = vec![NO_PARENT, 0, NO_PARENT, 2];
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 4);
+        assert!(post.to_new(1) < post.to_new(0));
+        assert!(post.to_new(3) < post.to_new(2));
+    }
+
+    #[test]
+    fn first_nonzero_key_picks_min_postorder() {
+        let parent = vec![1, 2, NO_PARENT];
+        let post = postorder(&parent); // identity here
+        assert_eq!(first_nonzero_postorder_key(&[2, 0], &post), 0);
+        assert_eq!(first_nonzero_postorder_key(&[], &post), usize::MAX);
+    }
+
+    #[test]
+    fn path_to_root_on_chain() {
+        let parent = vec![1, 2, NO_PARENT, NO_PARENT];
+        assert_eq!(path_to_root(&parent, 0), vec![0, 1, 2]);
+        assert_eq!(path_to_root(&parent, 3), vec![3]);
+    }
+
+    #[test]
+    fn depths_of_path() {
+        let parent = vec![1, 2, NO_PARENT];
+        assert_eq!(depths(&parent), vec![2, 1, 0]);
+    }
+}

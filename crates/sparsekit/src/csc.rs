@@ -1,0 +1,184 @@
+//! Compressed sparse column storage (used by the sparse LU factorisation).
+
+use crate::Csr;
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Same invariants as [`Csr`], transposed: row indices within each column
+/// are strictly increasing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from raw parts, validating invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowind: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(colptr.len(), ncols + 1, "colptr length mismatch");
+        assert_eq!(colptr[0], 0);
+        assert_eq!(*colptr.last().unwrap(), rowind.len());
+        assert_eq!(rowind.len(), values.len());
+        for c in 0..ncols {
+            assert!(colptr[c] <= colptr[c + 1]);
+            let col = &rowind[colptr[c]..colptr[c + 1]];
+            for w in col.windows(2) {
+                assert!(w[0] < w[1], "column {c} indices not strictly increasing");
+            }
+            if let Some(&last) = col.last() {
+                assert!(last < nrows, "row index out of bounds in column {c}");
+            }
+        }
+        Csc { nrows, ncols, colptr, rowind, values }
+    }
+
+    /// Internal: reinterprets the transpose of a CSR matrix as CSC.
+    ///
+    /// `t` must be `Aᵀ` in CSR; its rows are the columns of `A`.
+    pub(crate) fn from_transposed_csr(nrows: usize, ncols: usize, t: Csr) -> Csc {
+        debug_assert_eq!(t.nrows(), ncols);
+        debug_assert_eq!(t.ncols(), nrows);
+        Csc {
+            nrows,
+            ncols,
+            colptr: t.indptr().to_vec(),
+            rowind: t.indices().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Column pointer array.
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Concatenated row indices.
+    pub fn rowind(&self) -> &[usize] {
+        &self.rowind
+    }
+
+    /// Concatenated values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices of column `j`.
+    pub fn col_indices(&self, j: usize) -> &[usize] {
+        &self.rowind[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Iterates over `(row, value)` pairs of column `j`.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.col_indices(j).iter().copied().zip(self.col_values(j).iter().copied())
+    }
+
+    /// Value at `(i, j)`, or `0.0` if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.col_indices(j).binary_search(&i) {
+            Ok(k) => self.col_values(j)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut indptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowind {
+            indptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut next = indptr.clone();
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                let dst = next[r];
+                indices[dst] = c;
+                values[dst] = v;
+                next[r] += 1;
+            }
+        }
+        Csr::from_parts(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn small_csr() -> Csr {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(1, 1, 3.0);
+        c.push(2, 0, 4.0);
+        c.push(2, 2, 5.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = small_csr();
+        let b = a.to_csc().to_csr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn column_access() {
+        let a = small_csr().to_csc();
+        assert_eq!(a.col_indices(0), &[0, 2]);
+        assert_eq!(a.col_values(0), &[1.0, 4.0]);
+        assert_eq!(a.col_nnz(1), 1);
+        assert_eq!(a.get(2, 2), 5.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let c = Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_bad_rowind() {
+        Csc::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports `matrix coordinate real/integer/pattern general/symmetric`
+//! headers — enough to load the University of Florida collection matrices
+//! used in the paper when they are available on disk.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{Coo, Csr};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or syntactic problem in the file, with a message.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market coordinate file into CSR.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    let f = File::open(path)?;
+    read_matrix_market_from(BufReader::new(f))
+}
+
+/// Reads Matrix Market data from any buffered reader.
+pub fn read_matrix_market_from<R: BufRead>(mut r: R) -> Result<Csr, MmError> {
+    let mut header = String::new();
+    r.read_line(&mut header)?;
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(parse_err("missing %%MatrixMarket matrix header"));
+    }
+    if h[2] != "coordinate" {
+        return Err(parse_err(format!("unsupported format '{}' (only coordinate)", h[2])));
+    }
+    let field = h[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field '{field}'")));
+    }
+    let sym = h[4].as_str();
+    if !matches!(sym, "general" | "symmetric" | "skew-symmetric") {
+        return Err(parse_err(format!("unsupported symmetry '{sym}'")));
+    }
+
+    // Skip comments, find the size line.
+    let mut line = String::new();
+    let (nrows, ncols, nnz) = loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err("unexpected EOF before size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let nr: usize =
+            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad nrows"))?;
+        let nc: usize =
+            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad ncols"))?;
+        let nz: usize =
+            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad nnz"))?;
+        break (nr, nc, nz);
+    };
+
+    let mut coo = Coo::with_capacity(nrows, ncols, if sym == "general" { nnz } else { 2 * nnz });
+    let mut seen = 0usize;
+    while seen < nnz {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err(format!("unexpected EOF: expected {nnz} entries, got {seen}")));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize =
+            it.next().ok_or_else(|| parse_err("bad entry line"))?.parse().map_err(|_| parse_err("bad row index"))?;
+        let j: usize =
+            it.next().ok_or_else(|| parse_err("bad entry line"))?.parse().map_err(|_| parse_err("bad col index"))?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of bounds (1-based)")));
+        }
+        let v: f64 = match field {
+            "pattern" => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?,
+        };
+        let (i0, j0) = (i - 1, j - 1);
+        coo.push(i0, j0, v);
+        if i0 != j0 {
+            match sym {
+                "symmetric" => coo.push(j0, i0, v),
+                "skew-symmetric" => coo.push(j0, i0, -v),
+                _ => {}
+            }
+        }
+        seen += 1;
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market(path: impl AsRef<Path>, a: &Csr) -> Result<(), MmError> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for r in 0..a.nrows() {
+        for (c, v) in a.row_iter(r) {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_general_real() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    2 3 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    1 2 4.0\n";
+        let m = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(1, 2), -2.0);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let data = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 1.0\n\
+                    2 1 2.0\n\
+                    3 3 3.0\n";
+        let m = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.nnz(), 4);
+        assert!(m.pattern_symmetric());
+    }
+
+    #[test]
+    fn parse_pattern_field() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let m = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates_mirror() {
+        let data = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    3 3 2\n\
+                    2 1 5.0\n\
+                    3 2 -1.5\n";
+        let m = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), -5.0);
+        assert_eq!(m.get(2, 1), -1.5);
+        assert_eq!(m.get(1, 2), 1.5);
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let data = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n4.0\n";
+        assert!(read_matrix_market_from(Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let data = "%%NotMM\n1 1 0\n";
+        assert!(read_matrix_market_from(Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.25);
+        coo.push(1, 2, -3.5);
+        coo.push(2, 1, 0.5);
+        let a = coo.to_csr();
+        let dir = std::env::temp_dir().join("sparsekit_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("roundtrip.mtx");
+        write_matrix_market(&p, &a).unwrap();
+        let b = read_matrix_market(&p).unwrap();
+        assert_eq!(a, b);
+    }
+}

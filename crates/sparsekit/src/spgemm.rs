@@ -1,0 +1,159 @@
+//! Sparse matrix–matrix products (Gustavson's row-by-row algorithm).
+
+use crate::Csr;
+
+/// Numeric sparse product `C = A · B`.
+///
+/// Gustavson's algorithm: each row of `C` is accumulated in a sparse
+/// accumulator (dense value array + occupancy list). `O(flops)`.
+pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "spgemm dimension mismatch");
+    let m = a.nrows();
+    let n = b.ncols();
+    let mut indptr = vec![0usize; m + 1];
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut acc = vec![0f64; n];
+    let mut mark = vec![usize::MAX; n];
+    let mut row_cols: Vec<usize> = Vec::new();
+    for i in 0..m {
+        row_cols.clear();
+        for (k, av) in a.row_iter(i) {
+            for (j, bv) in b.row_iter(k) {
+                if mark[j] != i {
+                    mark[j] = i;
+                    acc[j] = 0.0;
+                    row_cols.push(j);
+                }
+                acc[j] += av * bv;
+            }
+        }
+        row_cols.sort_unstable();
+        for &j in &row_cols {
+            indices.push(j);
+            values.push(acc[j]);
+        }
+        indptr[i + 1] = indices.len();
+    }
+    Csr::from_parts(m, n, indptr, indices, values)
+}
+
+/// Symbolic sparse product: pattern of `A · B` with unit values.
+pub fn spgemm_pattern(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "spgemm dimension mismatch");
+    let m = a.nrows();
+    let n = b.ncols();
+    let mut indptr = vec![0usize; m + 1];
+    let mut indices: Vec<usize> = Vec::new();
+    let mut mark = vec![usize::MAX; n];
+    let mut row_cols: Vec<usize> = Vec::new();
+    for i in 0..m {
+        row_cols.clear();
+        for (k, _) in a.row_iter(i) {
+            for &j in b.row_indices(k) {
+                if mark[j] != i {
+                    mark[j] = i;
+                    row_cols.push(j);
+                }
+            }
+        }
+        row_cols.sort_unstable();
+        indices.extend_from_slice(&row_cols);
+        indptr[i + 1] = indices.len();
+    }
+    let nnz = indices.len();
+    Csr::from_parts(m, n, indptr, indices, vec![1.0; nnz])
+}
+
+/// Pattern of the Gram matrix `AᵀA` (used by the structural factorisation
+/// `str(A) = str(MᵀM)` in the RHB pipeline).
+pub fn gram_pattern(a: &Csr) -> Csr {
+    let at = a.transpose();
+    spgemm_pattern(&at, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn dense_mul(a: &Csr, b: &Csr) -> Vec<Vec<f64>> {
+        let mut c = vec![vec![0f64; b.ncols()]; a.nrows()];
+        for i in 0..a.nrows() {
+            for (k, av) in a.row_iter(i) {
+                for (j, bv) in b.row_iter(k) {
+                    c[i][j] += av * bv;
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_like(n: usize, m: usize, seed: u64) -> Csr {
+        // Tiny deterministic LCG so this test has no external deps.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut c = Coo::new(n, m);
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = (next() % m as u64) as usize;
+                let v = ((next() % 1000) as f64) / 100.0 - 5.0;
+                c.push(i, j, v);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = rand_like(8, 6, 1);
+        let b = rand_like(6, 7, 2);
+        let c = spgemm(&a, &b);
+        let d = dense_mul(&a, &b);
+        for i in 0..8 {
+            for j in 0..7 {
+                assert!((c.get(i, j) - d[i][j]).abs() < 1e-12, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_like(5, 5, 3);
+        let i = Csr::identity(5);
+        let left = spgemm(&i, &a);
+        let right = spgemm(&a, &i);
+        for r in 0..5 {
+            for c in 0..5 {
+                assert!((left.get(r, c) - a.get(r, c)).abs() < 1e-14);
+                assert!((right.get(r, c) - a.get(r, c)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_superset_of_numeric() {
+        let a = rand_like(6, 6, 4);
+        let b = rand_like(6, 6, 5);
+        let num = spgemm(&a, &b);
+        let pat = spgemm_pattern(&a, &b);
+        // Every numerically stored entry must exist in the pattern.
+        for i in 0..6 {
+            for &j in num.row_indices(i) {
+                assert!(pat.get(i, j) != 0.0);
+            }
+        }
+        assert!(pat.nnz() >= num.nnz());
+    }
+
+    #[test]
+    fn gram_pattern_is_symmetric() {
+        let a = rand_like(7, 5, 6);
+        let g = gram_pattern(&a);
+        assert_eq!(g.nrows(), 5);
+        assert!(g.pattern_symmetric());
+    }
+}

@@ -1,0 +1,49 @@
+//! Compare the NGD baseline against RHB (§III of the paper) on the
+//! graded cavity analogue: separator size and the four Fig.-3 balance
+//! metrics.
+//!
+//! ```sh
+//! cargo run --release --example partition_balance
+//! ```
+
+use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
+use pdslin::{compute_partition, PartitionStats, PartitionerKind};
+
+fn main() {
+    let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
+    println!("tdr190k analogue: n = {}, nnz = {}\n", a.nrows(), a.nnz());
+    let k = 8;
+    println!(
+        "{:<18} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "partitioner", "sep", "dim(D)", "nnz(D)", "col(E)", "nnz(E)"
+    );
+    let show = |label: &str, kind: &PartitionerKind| {
+        let part = compute_partition(&a, k, kind);
+        let st = PartitionStats::compute(&a, &part);
+        println!(
+            "{:<18} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            label,
+            st.separator_size,
+            st.dim_balance(),
+            st.nnz_d_balance(),
+            st.col_e_balance(),
+            st.nnz_e_balance()
+        );
+    };
+    show("NGD (baseline)", &PartitionerKind::Ngd);
+    for (label, metric) in [
+        ("RHB con1", CutMetric::Con1),
+        ("RHB cnet", CutMetric::Cnet),
+        ("RHB soed", CutMetric::Soed),
+    ] {
+        show(label, &PartitionerKind::Rhb(RhbConfig { metric, ..Default::default() }));
+    }
+    show(
+        "RHB soed multi",
+        &PartitionerKind::Rhb(RhbConfig {
+            constraint: ConstraintMode::Multi,
+            ..Default::default()
+        }),
+    );
+    println!("\n(balance columns are max/min over the {k} subdomains; 1.00 is perfect)");
+}

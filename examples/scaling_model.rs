@@ -1,0 +1,46 @@
+//! Simulates the paper's Fig.-1 core sweep: measure the sequential phase
+//! costs of one solver setup, then replay them through the `parsim`
+//! event-driven schedule simulator at 8…1024 cores.
+//!
+//! ```sh
+//! cargo run --release --example scaling_model
+//! ```
+
+use parsim::pdslin_model::{sweep, MeasuredCosts};
+use parsim::Machine;
+use pdslin::{Pdslin, PdslinConfig};
+
+fn main() {
+    let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
+    println!("tdr190k analogue: n = {}, nnz = {}", a.nrows(), a.nnz());
+    let cfg = PdslinConfig { k: 8, parallel: false, ..Default::default() };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let b = vec![1.0; a.nrows()];
+    let _ = solver.solve(&b);
+    let costs = MeasuredCosts {
+        lu_d: solver.stats.domain_costs.lu_d.clone(),
+        comp_s: solver.stats.domain_costs.comp_s.clone(),
+        gather_bytes: solver.stats.nnz_t.iter().map(|&n| 12.0 * n as f64).collect(),
+        lu_s: solver.stats.times.lu_s,
+        solve: solver.stats.times.solve,
+    };
+    println!(
+        "measured sequential costs: LU(D) max {:.3}s, Comp(S) max {:.3}s, LU(S) {:.3}s\n",
+        costs.lu_d.iter().cloned().fold(0.0, f64::max),
+        costs.comp_s.iter().cloned().fold(0.0, f64::max),
+        costs.lu_s
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "cores", "LU(D)", "Comp(S)", "LU(S)", "Solve", "makespan"
+    );
+    let machine = Machine::default();
+    for t in sweep(&costs, &machine, 8, &[8, 32, 128, 512, 1024]) {
+        println!(
+            "{:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10.3}",
+            t.cores, t.lu_d, t.comp_s, t.lu_s, t.solve, t.makespan
+        );
+    }
+    println!("\n(two-level schedule: each of the 8 subdomains runs on a cores/8 gang;");
+    println!(" T̃ gathers are α–β messages; LU(S) and the solve use the full machine)");
+}

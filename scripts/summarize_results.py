@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Render results/*.json into compact markdown tables for EXPERIMENTS.md.
+
+Usage: python3 scripts/summarize_results.py [results_dir]
+"""
+import json
+import sys
+from pathlib import Path
+
+RES = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+
+
+def load(name):
+    p = RES / f"{name}.json"
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def fig1():
+    rows = load("fig1_scaling")
+    if not rows:
+        return
+    print("\n## fig1_scaling (event model)\n")
+    print("| partitioner | cores | LU(D) | Comp(S) | LU(S) | Solve | total |")
+    print("|---|---|---|---|---|---|---|")
+    for r in rows:
+        if r["model"] != "event":
+            continue
+        print(
+            f"| {r['partitioner']} | {r['cores']} | {r['lu_d']:.2f} | "
+            f"{r['comp_s']:.2f} | {r['lu_s']:.2f} | {r['solve']:.2f} | {r['total']:.2f} |"
+        )
+    # speedup of RHB over NGD per core count
+    ev = [r for r in rows if r["model"] == "event"]
+    by = {}
+    for r in ev:
+        by.setdefault(r["cores"], {})[r["partitioner"]] = r["total"]
+    print("\nRHB speedup over NGD per core count:")
+    for c, d in sorted(by.items()):
+        ks = list(d)
+        rhb = next((d[k] for k in ks if k.startswith("RHB")), None)
+        ngd = d.get("NGD")
+        if rhb and ngd:
+            print(f"  {c} cores: {ngd / rhb:.2f}x")
+
+
+def fig3():
+    rows = load("fig3_balance")
+    if not rows:
+        return
+    print("\n## fig3_balance\n")
+    print("| k | constraint | alg | sep | dim(D) | nnz(D) | col(E) | nnz(E) | norm.time |")
+    print("|---|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['k']} | {r['constraint']} | {r['algorithm']} | {r['separator']} | "
+            f"{r['dim_balance']:.2f} | {r['nnz_d_balance']:.2f} | {r['col_e_balance']:.2f} | "
+            f"{r['nnz_e_balance']:.2f} | {r['normalized_time']:.2f} |"
+        )
+
+
+def table2():
+    rows = load("table2_partition")
+    if not rows:
+        return
+    print("\n## table2_partition\n")
+    print("| matrix | alg | time P+it (s) | #iter | n_S | nnzD min/max | speedup |")
+    print("|---|---|---|---|---|---|---|")
+    prev = {}
+    for r in rows:
+        total = r["precond_seconds"] + r["iter_seconds"]
+        sp = ""
+        if r["algorithm"] == "RHB" and r["matrix"] in prev:
+            sp = f"{prev[r['matrix']] / total:.2f}x"
+        else:
+            prev[r["matrix"]] = total
+        print(
+            f"| {r['matrix']} | {r['algorithm']} | {r['precond_seconds']:.1f}+{r['iter_seconds']:.1f} | "
+            f"{r['iterations']} | {r['separator']} | {r['nnz_d_min']}/{r['nnz_d_max']} | {sp} |"
+        )
+
+
+def table3():
+    rows = load("table3_stats")
+    if not rows:
+        return
+    print("\n## table3_stats\n")
+    print("| matrix | which | nnzG | nnzcolG | nnzrowG | eff.dens | fill-ratio |")
+    print("|---|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['matrix']} | {r['which']} | {r['nnz_g']} | {r['nnzcol_g']} | "
+            f"{r['nnzrow_g']} | {r['eff_density']:.4f} | {r['fill_ratio']:.1f} |"
+        )
+
+
+def fig4():
+    rows = load("fig4_padding")
+    if not rows:
+        return
+    print("\n## fig4_padding (avg padding fraction)\n")
+    mats = sorted({r["matrix"] for r in rows})
+    bs = sorted({r["block_size"] for r in rows})
+    for m in mats:
+        print(f"\n{m}:")
+        print("| B | natural | postorder | hypergraph |")
+        print("|---|---|---|---|")
+        for b in bs:
+            cells = {}
+            for r in rows:
+                if r["matrix"] == m and r["block_size"] == b:
+                    cells[r["ordering"]] = r["avg"]
+            print(
+                f"| {b} | {cells.get('natural', 0):.3f} | "
+                f"{cells.get('postorder', 0):.3f} | {cells.get('hypergraph', 0):.3f} |"
+            )
+
+
+def fig5():
+    rows = load("fig5_trisolve")
+    if not rows:
+        return
+    print("\n## fig5_trisolve (avg seconds; speedup vs natural)\n")
+    mats = sorted({r["matrix"] for r in rows})
+    bs = sorted({r["block_size"] for r in rows})
+    for m in mats:
+        print(f"\n{m}:")
+        print("| B | natural | postorder | hypergraph | hyp speedup |")
+        print("|---|---|---|---|---|")
+        for b in bs:
+            cells = {}
+            for r in rows:
+                if r["matrix"] == m and r["block_size"] == b:
+                    cells[r["ordering"]] = r
+            nat = cells.get("natural", {}).get("avg_seconds", 0)
+            po = cells.get("postorder", {}).get("avg_seconds", 0)
+            hy = cells.get("hypergraph", {}).get("avg_seconds", 0)
+            sp = nat / hy if hy else 0
+            print(f"| {b} | {nat:.3f} | {po:.3f} | {hy:.3f} | {sp:.2f}x |")
+
+
+def quasidense():
+    rows = load("quasidense")
+    if not rows:
+        return
+    print("\n## quasidense\n")
+    print("| tau | avg padding | order time (s) | solve time (s) |")
+    print("|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['tau']} | {r['avg_padding_fraction']:.4f} | "
+            f"{r['total_order_seconds']:.3f} | {r['total_solve_seconds']:.3f} |"
+        )
+
+
+def ablations():
+    rows = load("ablations")
+    if not rows:
+        return
+    print("\n## ablations\n")
+    print("| variant | sep | dim(D) | nnz(D) | nnz(E) | time (s) |")
+    print("|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['variant']} | {r['separator']} | {r['dim_balance']:.2f} | "
+            f"{r['nnz_d_balance']:.2f} | {r['nnz_e_balance']:.2f} | {r['seconds']:.2f} |"
+        )
+
+
+def supernodal():
+    rows = load("supernodal_padding")
+    if not rows:
+        return
+    print("\n## supernodal_padding\n")
+    print("| ordering | B | column pad | supernodal pad | #sn | max sn |")
+    print("|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['ordering']} | {r['block_size']} | {r['column_padding_fraction']:.4f} | "
+            f"{r['supernodal_padding_fraction']:.4f} | {r['supernode_count']} | {r['max_supernode']} |"
+        )
+
+
+if __name__ == "__main__":
+    for fn in [fig1, fig3, table2, table3, fig4, fig5, quasidense, ablations, supernodal]:
+        fn()

@@ -1,0 +1,14 @@
+//! `pdslin-suite`: workspace umbrella crate.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency root. The actual library surface lives in the member
+//! crates; see `pdslin` for the solver entry points.
+
+pub use graphpart;
+pub use hypergraph;
+pub use krylov;
+pub use matgen;
+pub use parsim;
+pub use pdslin;
+pub use slu;
+pub use sparsekit;

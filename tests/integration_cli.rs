@@ -1,0 +1,58 @@
+//! Integration tests of the CLI plumbing: option resolution and the
+//! generate → write → read → solve round trip a user of the `pdslin`
+//! binary exercises.
+
+use pdslin_cli::{load_matrix, parse_args, partitioner, rhs_ordering};
+use sparsekit::ops::residual_inf_norm;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|t| t.to_string()).collect()
+}
+
+#[test]
+fn generate_and_solve_through_cli_options() {
+    let args = parse_args(argv(
+        "solve --generate g3_circuit --scale test --k 4 --partitioner rhb --metric soed \
+         --ordering postorder --block-size 32",
+    ))
+    .unwrap();
+    let a = load_matrix(&args).unwrap();
+    let cfg = pdslin::PdslinConfig {
+        k: args.parse_or("k", 8usize).unwrap(),
+        partitioner: partitioner(&args).unwrap(),
+        rhs_ordering: rhs_ordering(&args).unwrap(),
+        block_size: args.parse_or("block-size", 60usize).unwrap(),
+        ..Default::default()
+    };
+    let mut solver = pdslin::Pdslin::setup(&a, cfg).expect("setup");
+    let b = vec![1.0; a.nrows()];
+    let out = solver.solve(&b);
+    assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+}
+
+#[test]
+fn matrix_market_file_loads_through_cli() {
+    let dir = std::env::temp_dir().join("pdslin_cli_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.mtx");
+    let a = matgen::stencil::laplace2d(15, 15);
+    sparsekit::io::write_matrix_market(&path, &a).unwrap();
+    let args =
+        parse_args(argv(&format!("info --matrix {}", path.display()))).unwrap();
+    let b = load_matrix(&args).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bad_matrix_path_is_an_error_not_a_panic() {
+    let args = parse_args(argv("info --matrix /nonexistent/nope.mtx")).unwrap();
+    assert!(load_matrix(&args).is_err());
+}
+
+#[test]
+fn all_paper_matrices_resolve_by_name() {
+    for kind in matgen::MatrixKind::ALL {
+        let resolved = pdslin_cli::matrix_kind(kind.name()).unwrap();
+        assert_eq!(resolved, kind);
+    }
+}

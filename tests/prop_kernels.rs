@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) of the core data structures and the
+//! invariants the solver stack relies on.
+
+use proptest::prelude::*;
+use sparsekit::{Coo, Csr, Perm};
+
+/// Strategy: a random sparse square matrix with a guaranteed nonzero,
+/// dominant diagonal (so it is factorisable without pivoting drama).
+fn diag_dominant(n_max: usize) -> impl Strategy<Value = Csr> {
+    (2..n_max).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0..n, 0..n, -1.0f64..1.0),
+            0..(4 * n),
+        );
+        entries.prop_map(move |es| {
+            let mut c = Coo::new(n, n);
+            let mut rowsum = vec![0.0f64; n];
+            for &(i, j, v) in &es {
+                if i != j {
+                    c.push(i, j, v);
+                    rowsum[i] += v.abs();
+                }
+            }
+            for (i, rs) in rowsum.iter().enumerate() {
+                c.push(i, i, 2.0 + rs);
+            }
+            c.to_csr()
+        })
+    })
+}
+
+fn permutation(n: usize) -> impl Strategy<Value = Perm> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut v: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with proptest's rng.
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            v.swap(i, j);
+        }
+        Perm::from_to_old(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_involutive(a in diag_dominant(24)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_entries(a in diag_dominant(16)) {
+        let t = a.transpose();
+        for i in 0..a.nrows() {
+            for (j, v) in a.row_iter(i) {
+                prop_assert_eq!(t.get(j, i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_abs_is_symmetric_and_dominates(a in diag_dominant(20)) {
+        let s = a.symmetrize_abs();
+        prop_assert!(s.pattern_symmetric());
+        prop_assert!(s.value_symmetric(1e-12));
+        // |A| + |Aᵀ| ≥ |A| entrywise.
+        for i in 0..a.nrows() {
+            for (j, v) in a.row_iter(i) {
+                prop_assert!(s.get(i, j) >= v.abs() - 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_csc_roundtrip(a in diag_dominant(24)) {
+        prop_assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    #[test]
+    fn coo_roundtrip(a in diag_dominant(24)) {
+        prop_assert_eq!(a.to_coo().to_csr(), a);
+    }
+
+    #[test]
+    fn matvec_linearity(a in diag_dominant(16)) {
+        let n = a.ncols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let axy = {
+            let sum: Vec<f64> = x.iter().zip(&y).map(|(u, v)| u + v).collect();
+            a.matvec(&sum)
+        };
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        for i in 0..n {
+            prop_assert!((axy[i] - ax[i] - ay[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spgemm_with_identity_is_identity(a in diag_dominant(16)) {
+        let i = Csr::identity(a.nrows());
+        let left = sparsekit::spgemm::spgemm(&i, &a);
+        prop_assert_eq!(left, a);
+    }
+
+    #[test]
+    fn lu_solves_diag_dominant(a in diag_dominant(20)) {
+        let n = a.nrows();
+        let f = slu::LuFactors::factorize(&a, &Perm::identity(n), &slu::LuConfig::default());
+        let f = f.expect("diagonally dominant matrices must factor");
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x = f.solve(&b);
+        prop_assert!(sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn lu_respects_any_column_permutation(a in diag_dominant(14)) {
+        let n = a.nrows();
+        let mut runner_perm: Vec<usize> = (0..n).collect();
+        runner_perm.reverse();
+        let q = Perm::from_to_old(runner_perm);
+        let f = slu::LuFactors::factorize(&a, &q, &slu::LuConfig::default()).unwrap();
+        let b = vec![1.0; n];
+        let x = f.solve(&b);
+        prop_assert!(sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn etree_postorder_children_precede_parents(a in diag_dominant(24)) {
+        let s = a.symmetrize_abs();
+        let parent = slu::etree(&s);
+        let post = slu::postorder(&parent);
+        for v in 0..s.nrows() {
+            if parent[v] != slu::etree::NO_PARENT {
+                prop_assert!(post.to_new(v) < post.to_new(parent[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn perm_apply_roundtrip(p in permutation(12)) {
+        let x: Vec<i64> = (0..12).map(|i| i * i).collect();
+        let y = p.apply(&x);
+        prop_assert_eq!(p.apply_inverse(&y), x);
+    }
+
+    #[test]
+    fn perm_compose_matches_sequential(p in permutation(10), q in permutation(10)) {
+        let x: Vec<i64> = (0..10).collect();
+        let seq = q.apply(&p.apply(&x));
+        let comp = q.compose(&p).apply(&x);
+        prop_assert_eq!(seq, comp);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn soed_equals_con1_plus_cnet(
+        nets in proptest::collection::vec(proptest::collection::vec(0usize..12, 0..6), 1..20),
+        nparts in 2usize..5,
+    ) {
+        let nv = 12;
+        let pins: Vec<Vec<usize>> = nets
+            .into_iter()
+            .map(|mut p| {
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .collect();
+        let ncost = vec![1i64; pins.len()];
+        let h = hypergraph::Hypergraph::from_pin_lists(nv, &pins, vec![1; nv], 1, ncost);
+        let part: Vec<usize> = (0..nv).map(|v| v % nparts).collect();
+        let cs = hypergraph::cut_sizes(&h, &part, nparts);
+        prop_assert_eq!(cs.soed, cs.con1 + cs.cnet);
+        prop_assert!(cs.con1 >= 0 && cs.cnet >= 0);
+    }
+
+    #[test]
+    fn exact_partition_always_hits_sizes(
+        seed_edges in proptest::collection::vec((0usize..30, 0usize..30), 10..60),
+    ) {
+        let nv = 30;
+        let pins: Vec<Vec<usize>> = seed_edges
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| vec![u.min(v), u.max(v)])
+            .collect();
+        if pins.is_empty() {
+            return Ok(());
+        }
+        let ncost = vec![1i64; pins.len()];
+        let h = hypergraph::Hypergraph::from_pin_lists(nv, &pins, vec![1; nv], 1, ncost);
+        let sizes = [10usize, 10, 10];
+        let part = hypergraph::recursive::recursive_partition_exact(
+            &h,
+            &sizes,
+            &hypergraph::bisect::BisectConfig::default(),
+        );
+        let mut counts = [0usize; 3];
+        for &p in &part {
+            counts[p] += 1;
+        }
+        prop_assert_eq!(counts, sizes);
+    }
+
+    #[test]
+    fn sparse_lower_solve_matches_dense(
+        subdiag in proptest::collection::vec(-0.9f64..0.9, 9),
+        seed in 0usize..9,
+    ) {
+        // Bidiagonal unit-lower solve vs dense forward substitution.
+        let n = 10;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+        }
+        for (i, &v) in subdiag.iter().enumerate() {
+            if v != 0.0 {
+                c.push(i + 1, i, v);
+            }
+        }
+        let l = c.to_csr().to_csc();
+        let mut ws = slu::trisolve::SolveWorkspace::new(n);
+        let b = slu::trisolve::SparseVec::new(vec![seed], vec![1.0]);
+        let x = slu::trisolve::sparse_lower_solve(&l, true, &b, &mut ws);
+        // Dense reference.
+        let mut xd = vec![0.0f64; n];
+        xd[seed] = 1.0;
+        for i in 1..n {
+            let lij = l.get(i, i - 1);
+            if lij != 0.0 {
+                xd[i] -= lij * xd[i - 1];
+            }
+        }
+        let mut got = vec![0.0f64; n];
+        for (&i, &v) in x.indices.iter().zip(&x.values) {
+            got[i] = v;
+        }
+        for i in 0..n {
+            prop_assert!((got[i] - xd[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the partitioning and reordering layers on
+//! randomly structured inputs.
+
+use graphpart::separator::{is_valid_separator, vertex_separator};
+use graphpart::{nested_dissection, Graph, NdConfig, SEPARATOR};
+use hypergraph::{rhb_partition, RhbConfig};
+use proptest::prelude::*;
+use sparsekit::{Coo, Csr};
+
+/// Random connected-ish symmetric sparse matrix with a full diagonal.
+fn random_symmetric(n_max: usize) -> impl Strategy<Value = Csr> {
+    (8..n_max).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), n / 2..2 * n);
+        extra.prop_map(move |es| {
+            let mut c = Coo::new(n, n);
+            for i in 0..n {
+                c.push(i, i, 4.0);
+                // A backbone path keeps the graph connected.
+                if i + 1 < n {
+                    c.push_sym(i, i + 1, -1.0);
+                }
+            }
+            for &(u, v) in &es {
+                if u != v {
+                    c.push_sym(u, v, -0.5);
+                }
+            }
+            c.to_csr()
+        })
+    })
+}
+
+fn dbbd_is_valid(a: &Csr, part: &graphpart::DbbdPartition) -> bool {
+    for i in 0..a.nrows() {
+        let pi = part.part_of[i];
+        if pi == SEPARATOR {
+            continue;
+        }
+        for &j in a.row_indices(i) {
+            let pj = part.part_of[j];
+            if pj != SEPARATOR && pj != pi {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ngd_always_yields_valid_dbbd(a in random_symmetric(80)) {
+        let g = Graph::from_matrix(&a);
+        let part = nested_dissection(&g, 4, &NdConfig::default());
+        prop_assert!(dbbd_is_valid(&a, &part));
+        let total: usize = part.subdomain_sizes().iter().sum::<usize>()
+            + part.separator_size();
+        prop_assert_eq!(total, a.nrows());
+    }
+
+    #[test]
+    fn rhb_always_yields_valid_dbbd(a in random_symmetric(80)) {
+        let part = rhb_partition(&a, 4, &RhbConfig::default());
+        prop_assert!(dbbd_is_valid(&a, &part));
+        let total: usize = part.subdomain_sizes().iter().sum::<usize>()
+            + part.separator_size();
+        prop_assert_eq!(total, a.nrows());
+    }
+
+    #[test]
+    fn vertex_separator_always_separates(a in random_symmetric(60)) {
+        let g = Graph::from_matrix(&a);
+        let bis = graphpart::nd::multilevel_bisect(&g, &NdConfig::default());
+        let vs = vertex_separator(&g, &bis);
+        prop_assert!(is_valid_separator(&g, &vs.assign));
+        // Accounting: weights partition the total.
+        prop_assert_eq!(
+            vs.side_weights[0] + vs.side_weights[1] + vs.sep_weight,
+            g.total_vertex_weight()
+        );
+    }
+
+    #[test]
+    fn dbbd_permutation_is_bijective(a in random_symmetric(60)) {
+        let g = Graph::from_matrix(&a);
+        let part = nested_dissection(&g, 2, &NdConfig::default());
+        let perm = part.permutation();
+        let mut seen = vec![false; a.nrows()];
+        for p in 0..perm.len() {
+            let old = perm.to_old(p);
+            prop_assert!(!seen[old]);
+            seen[old] = true;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Padding invariants on random lower-triangular factors: postorder
+    /// and hypergraph orderings never pad more than natural, and B = 1 is
+    /// padding-free — for arbitrary random column patterns.
+    #[test]
+    fn ordering_padding_invariants(
+        seeds in proptest::collection::vec(
+            proptest::collection::vec(0usize..40, 1..4),
+            6..20,
+        ),
+        subdiag_skip in 1usize..4,
+    ) {
+        let n = 40;
+        // A lower factor with chain structure of stride `subdiag_skip`.
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+            if i + subdiag_skip < n {
+                c.push(i + subdiag_skip, i, -0.5);
+            }
+        }
+        let l = c.to_csr().to_csc();
+        let cols: Vec<slu::SparseVec> = seeds
+            .iter()
+            .map(|s| {
+                let mut idx = s.clone();
+                idx.sort_unstable();
+                idx.dedup();
+                let k = idx.len();
+                slu::SparseVec::new(idx, vec![1.0; k])
+            })
+            .collect();
+        let mut ws = slu::trisolve::SolveWorkspace::new(n);
+        let reaches = pdslin::rhs_order::column_reaches(&cols, &l, &mut ws);
+        let b = 4usize;
+        let nat = pdslin::rhs_order::order_columns_precomputed(
+            &cols, &reaches, n, b, pdslin::RhsOrdering::Natural);
+        let post = pdslin::rhs_order::order_columns_precomputed(
+            &cols, &reaches, n, b, pdslin::RhsOrdering::Postorder);
+        let hyp = pdslin::rhs_order::order_columns_precomputed(
+            &cols, &reaches, n, b, pdslin::RhsOrdering::Hypergraph { tau: None });
+        let p_nat = pdslin::rhs_order::padding_of_order(&reaches, n, &nat, b).0;
+        let p_post = pdslin::rhs_order::padding_of_order(&reaches, n, &post, b).0;
+        let p_hyp = pdslin::rhs_order::padding_of_order(&reaches, n, &hyp, b).0;
+        // B=1 never pads.
+        let one = pdslin::rhs_order::padding_of_order(&reaches, n, &nat, 1).0;
+        prop_assert_eq!(one, 0);
+        // The hypergraph ordering is seeded with the postorder layout and
+        // only refined downward.
+        prop_assert!(p_hyp <= p_post + 1, "hypergraph {p_hyp} vs postorder {p_post}");
+        // All orderings are permutations.
+        for ord in [&nat, &post, &hyp] {
+            let mut s = (*ord).clone();
+            s.sort_unstable();
+            prop_assert_eq!(s, (0..cols.len()).collect::<Vec<_>>());
+        }
+    }
+}
