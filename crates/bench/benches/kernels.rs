@@ -1,52 +1,50 @@
-//! Criterion micro-benchmarks of the computational kernels underneath
-//! the experiments: sparse products, subdomain LU, and the blocked
+//! Micro-benchmarks of the computational kernels underneath the
+//! experiments: sparse products, subdomain LU, and the blocked
 //! triangular solves whose block-size trade-off Fig. 5 studies.
+//!
+//! Plain `main` harness (`harness = false`): run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use matgen::stencil::{laplace2d, laplace3d};
 use pdslin::interface::ehat_columns_pivot;
 use pdslin::subdomain::factor_domain;
+use pdslin_bench::bench_case;
 use slu::blocked::solve_in_blocks;
 use slu::trisolve::SolveWorkspace;
 use sparsekit::spgemm::spgemm;
 use sparsekit::Perm;
 
-fn bench_sparsekit(c: &mut Criterion) {
+fn bench_sparsekit() {
     let a = laplace2d(60, 60);
-    c.bench_function("sparsekit/matvec_3600", |b| {
-        let x = vec![1.0; a.ncols()];
-        let mut y = vec![0.0; a.nrows()];
-        b.iter(|| a.matvec_into(black_box(&x), &mut y));
+    let x = vec![1.0; a.ncols()];
+    let mut y = vec![0.0; a.nrows()];
+    bench_case("sparsekit/matvec_3600", || {
+        a.matvec_into(black_box(&x), &mut y)
     });
-    c.bench_function("sparsekit/transpose_3600", |b| {
-        b.iter(|| black_box(a.transpose()));
+    bench_case("sparsekit/transpose_3600", || {
+        black_box(a.transpose());
     });
-    c.bench_function("sparsekit/spgemm_a_a", |b| {
-        b.iter(|| black_box(spgemm(&a, &a)));
+    bench_case("sparsekit/spgemm_a_a", || {
+        black_box(spgemm(&a, &a));
     });
-    c.bench_function("sparsekit/symmetrize_abs", |b| {
-        b.iter(|| black_box(a.symmetrize_abs()));
+    bench_case("sparsekit/symmetrize_abs", || {
+        black_box(a.symmetrize_abs());
     });
 }
 
-fn bench_lu(c: &mut Criterion) {
+fn bench_lu() {
     let a = laplace3d(10, 10, 10);
-    c.bench_function("slu/lu_natural_1000", |b| {
-        let p = Perm::identity(a.nrows());
-        b.iter(|| {
-            black_box(
-                slu::LuFactors::factorize(&a, &p, &slu::LuConfig::default()).unwrap(),
-            )
-        });
+    let p = Perm::identity(a.nrows());
+    bench_case("slu/lu_natural_1000", || {
+        black_box(slu::LuFactors::factorize(&a, &p, &slu::LuConfig::default()).unwrap());
     });
-    c.bench_function("slu/lu_mindeg_postorder_1000", |b| {
-        b.iter(|| black_box(factor_domain(&a, 0.1).unwrap()));
+    bench_case("slu/lu_mindeg_postorder_1000", || {
+        black_box(factor_domain(&a, 0.1).unwrap());
     });
 }
 
-fn bench_blocked_trisolve(c: &mut Criterion) {
+fn bench_blocked_trisolve() {
     // One PDSLin subdomain of the tdr190k analogue, solving Ê's columns.
     let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
     let part = pdslin::compute_partition(&a, 8, &pdslin::PartitionerKind::Ngd);
@@ -54,19 +52,16 @@ fn bench_blocked_trisolve(c: &mut Criterion) {
     let dom = &sys.domains[0];
     let fd = factor_domain(&dom.d, 0.1).unwrap();
     let cols = ehat_columns_pivot(&fd, dom);
-    let mut group = c.benchmark_group("slu/blocked_trisolve");
     for &bs in &[1usize, 10, 60, 150] {
-        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
-            let mut ws = SolveWorkspace::new(fd.lu.n());
-            b.iter(|| black_box(solve_in_blocks(&fd.lu.l, true, &cols, bs, &mut ws)));
+        let mut ws = SolveWorkspace::new(fd.lu.n());
+        bench_case(&format!("slu/blocked_trisolve/{bs}"), || {
+            black_box(solve_in_blocks(&fd.lu.l, true, &cols, bs, &mut ws));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sparsekit, bench_lu, bench_blocked_trisolve
-);
-criterion_main!(benches);
+fn main() {
+    bench_sparsekit();
+    bench_lu();
+    bench_blocked_trisolve();
+}

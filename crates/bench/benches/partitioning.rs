@@ -1,45 +1,48 @@
-//! Criterion benchmarks of the partitioners themselves: NGD vs RHB
-//! (all three cut metrics) on the tdr190k analogue, plus the
-//! fill-reducing orderings.
+//! Benchmarks of the partitioners themselves: NGD vs RHB (all three
+//! cut metrics) on the tdr190k analogue, plus the fill-reducing
+//! orderings.
+//!
+//! Plain `main` harness (`harness = false`): run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use graphpart::{min_degree_order, rcm_order, Graph};
 use hypergraph::{CutMetric, RhbConfig};
 use pdslin::{compute_partition, PartitionerKind};
+use pdslin_bench::bench_case;
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
     let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
-    c.bench_function("partition/ngd_k8", |b| {
-        b.iter(|| black_box(compute_partition(&a, 8, &PartitionerKind::Ngd)));
+    bench_case("partition/ngd_k8", || {
+        black_box(compute_partition(&a, 8, &PartitionerKind::Ngd));
     });
     for (name, metric) in [
         ("con1", CutMetric::Con1),
         ("cnet", CutMetric::Cnet),
         ("soed", CutMetric::Soed),
     ] {
-        c.bench_function(&format!("partition/rhb_{name}_k8"), |b| {
-            let cfg = RhbConfig { metric, ..Default::default() };
-            b.iter(|| black_box(compute_partition(&a, 8, &PartitionerKind::Rhb(cfg))));
+        let cfg = RhbConfig {
+            metric,
+            ..Default::default()
+        };
+        bench_case(&format!("partition/rhb_{name}_k8"), || {
+            black_box(compute_partition(&a, 8, &PartitionerKind::Rhb(cfg)));
         });
     }
 }
 
-fn bench_orderings(c: &mut Criterion) {
+fn bench_orderings() {
     let a = matgen::stencil::laplace3d(12, 12, 12);
     let g = Graph::from_matrix(&a);
-    c.bench_function("ordering/min_degree_1728", |b| {
-        b.iter(|| black_box(min_degree_order(&g)));
+    bench_case("ordering/min_degree_1728", || {
+        black_box(min_degree_order(&g));
     });
-    c.bench_function("ordering/rcm_1728", |b| {
-        b.iter(|| black_box(rcm_order(&g)));
+    bench_case("ordering/rcm_1728", || {
+        black_box(rcm_order(&g));
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_partitioners, bench_orderings
-);
-criterion_main!(benches);
+fn main() {
+    bench_partitioners();
+    bench_orderings();
+}

@@ -9,16 +9,16 @@
 use hypergraph::rhb::StructuralFactor;
 use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
 use pdslin::{compute_partition, PartitionStats, PartitionerKind};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct AblationRow {
-    variant: String,
-    separator: usize,
-    dim_balance: f64,
-    nnz_d_balance: f64,
-    nnz_e_balance: f64,
-    seconds: f64,
+pdslin_bench::json_record! {
+    struct AblationRow {
+        variant: String,
+        separator: usize,
+        dim_balance: f64,
+        nnz_d_balance: f64,
+        nnz_e_balance: f64,
+        seconds: f64,
+    }
 }
 
 fn main() {
@@ -31,25 +31,52 @@ fn main() {
         ("soed-single (default)".into(), base),
         (
             "static unit weights".into(),
-            RhbConfig { constraint: ConstraintMode::Unit, ..base },
+            RhbConfig {
+                constraint: ConstraintMode::Unit,
+                ..base
+            },
         ),
         (
             "unit first level (paper-literal)".into(),
-            RhbConfig { unit_first_level: true, ..base },
+            RhbConfig {
+                unit_first_level: true,
+                ..base
+            },
         ),
         (
             "M = A (wide separators)".into(),
-            RhbConfig { factor: StructuralFactor::Identity, ..base },
+            RhbConfig {
+                factor: StructuralFactor::Identity,
+                ..base
+            },
         ),
         (
             "M = edge cover".into(),
-            RhbConfig { factor: StructuralFactor::EdgeCover, ..base },
+            RhbConfig {
+                factor: StructuralFactor::EdgeCover,
+                ..base
+            },
         ),
-        ("metric con1".into(), RhbConfig { metric: CutMetric::Con1, ..base }),
-        ("metric cnet".into(), RhbConfig { metric: CutMetric::Cnet, ..base }),
+        (
+            "metric con1".into(),
+            RhbConfig {
+                metric: CutMetric::Con1,
+                ..base
+            },
+        ),
+        (
+            "metric cnet".into(),
+            RhbConfig {
+                metric: CutMetric::Cnet,
+                ..base
+            },
+        ),
         (
             "multi-constraint".into(),
-            RhbConfig { constraint: ConstraintMode::Multi, ..base },
+            RhbConfig {
+                constraint: ConstraintMode::Multi,
+                ..base
+            },
         ),
     ];
     let mut rows = Vec::new();

@@ -14,18 +14,18 @@ use parsim::pdslin_model::{sweep as sim_sweep, MeasuredCosts, SimulatedTimes};
 use parsim::Machine;
 use pdslin::scaling::{PredictedTimes, ScalingModel};
 use pdslin::{PartitionerKind, Pdslin, PdslinConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Fig1Row {
-    partitioner: String,
-    model: String,
-    cores: usize,
-    lu_d: f64,
-    comp_s: f64,
-    lu_s: f64,
-    solve: f64,
-    total: f64,
+pdslin_bench::json_record! {
+    struct Fig1Row {
+        partitioner: String,
+        model: String,
+        cores: usize,
+        lu_d: f64,
+        comp_s: f64,
+        lu_s: f64,
+        solve: f64,
+        total: f64,
+    }
 }
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
         };
         let mut solver = Pdslin::setup(&a, cfg).expect("setup");
         let b = vec![1.0; a.nrows()];
-        let out = solver.solve(&b);
+        let out = solver.solve(&b).expect("solve");
         eprintln!(
             "{label}: nsep={} iterations={} sequential total={:.1}s",
             solver.stats.separator_size,
@@ -67,7 +67,12 @@ fn main() {
         let costs = MeasuredCosts {
             lu_d: solver.stats.domain_costs.lu_d.clone(),
             comp_s: solver.stats.domain_costs.comp_s.clone(),
-            gather_bytes: solver.stats.nnz_t.iter().map(|&n| 12.0 * n as f64).collect(),
+            gather_bytes: solver
+                .stats
+                .nnz_t
+                .iter()
+                .map(|&n| 12.0 * n as f64)
+                .collect(),
             lu_s: solver.stats.times.lu_s,
             solve: solver.stats.times.solve,
         };

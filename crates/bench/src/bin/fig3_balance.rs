@@ -4,22 +4,22 @@
 //! three cut metrics, against the NGD baseline.
 
 use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
-use pdslin::{Pdslin, PdslinConfig, PartitionStats, PartitionerKind};
-use serde::Serialize;
+use pdslin::{PartitionStats, PartitionerKind, Pdslin, PdslinConfig};
 
-#[derive(Serialize)]
-struct Fig3Row {
-    k: usize,
-    constraint: String,
-    algorithm: String,
-    separator: usize,
-    dim_balance: f64,
-    nnz_d_balance: f64,
-    col_e_balance: f64,
-    nnz_e_balance: f64,
-    total_seconds: f64,
-    normalized_time: f64,
-    iterations: usize,
+pdslin_bench::json_record! {
+    struct Fig3Row {
+        k: usize,
+        constraint: String,
+        algorithm: String,
+        separator: usize,
+        dim_balance: f64,
+        nnz_d_balance: f64,
+        col_e_balance: f64,
+        nnz_e_balance: f64,
+        total_seconds: f64,
+        normalized_time: f64,
+        iterations: usize,
+    }
 }
 
 fn run(a: &sparsekit::Csr, k: usize, kind: PartitionerKind) -> (PartitionStats, f64, usize) {
@@ -33,7 +33,7 @@ fn run(a: &sparsekit::Csr, k: usize, kind: PartitionerKind) -> (PartitionStats, 
     };
     let mut solver = Pdslin::setup(a, cfg).expect("setup");
     let b = vec![1.0; a.nrows()];
-    let out = solver.solve(&b);
+    let out = solver.solve(&b).expect("solve");
     let part = solver.sys.part.clone();
     let stats = PartitionStats::compute(a, &part);
     // The paper's §V configuration: one process per subdomain, so the
@@ -52,14 +52,22 @@ fn main() {
         // NGD baseline first: its time normalises the group.
         let (ngd_stats, ngd_time, ngd_iters) = run(&a, k, PartitionerKind::Ngd);
         for constraint in [ConstraintMode::Single, ConstraintMode::Multi] {
-            let cname = if constraint == ConstraintMode::Single { "single" } else { "multi" };
+            let cname = if constraint == ConstraintMode::Single {
+                "single"
+            } else {
+                "multi"
+            };
             println!("\nFig 3: k={k}, {cname}-constraint (time normalised to NGD)");
             println!(
                 "{:<10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}",
                 "alg", "sep", "dim(D)", "nnz(D)", "col(E)", "nnz(E)", "time", "iters"
             );
             for &metric in &metrics {
-                let cfg = RhbConfig { metric, constraint, ..Default::default() };
+                let cfg = RhbConfig {
+                    metric,
+                    constraint,
+                    ..Default::default()
+                };
                 let (st, time, iters) = run(&a, k, PartitionerKind::Rhb(cfg));
                 let mname = match metric {
                     CutMetric::Con1 => "CON1",

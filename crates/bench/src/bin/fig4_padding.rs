@@ -10,17 +10,17 @@ use matgen::MatrixKind;
 use pdslin::interface::ehat_columns_pivot;
 use pdslin::rhs_order::{column_reaches, order_columns_precomputed, padding_of_order};
 use pdslin::RhsOrdering;
-use serde::Serialize;
 use slu::trisolve::SolveWorkspace;
 
-#[derive(Serialize)]
-struct Fig4Row {
-    matrix: String,
-    ordering: String,
-    block_size: usize,
-    min: f64,
-    avg: f64,
-    max: f64,
+pdslin_bench::json_record! {
+    struct Fig4Row {
+        matrix: String,
+        ordering: String,
+        block_size: usize,
+        min: f64,
+        avg: f64,
+        max: f64,
+    }
 }
 
 fn main() {
@@ -57,7 +57,10 @@ fn main() {
             "\nFig 4 ({}): fraction of padded zeros (min/avg/max over 8 subdomains)",
             kind.name()
         );
-        println!("{:<6} {:>28} {:>28} {:>28}", "B", "natural", "postorder", "hypergraph");
+        println!(
+            "{:<6} {:>28} {:>28} {:>28}",
+            "B", "natural", "postorder", "hypergraph"
+        );
         for &b in &blocks {
             let mut cells = Vec::new();
             for &ord in &orderings {
@@ -84,7 +87,10 @@ fn main() {
                     max: hi,
                 });
             }
-            println!("{:<6} {:>28} {:>28} {:>28}", b, cells[0], cells[1], cells[2]);
+            println!(
+                "{:<6} {:>28} {:>28} {:>28}",
+                b, cells[0], cells[1], cells[2]
+            );
         }
     }
     pdslin_bench::write_json("fig4_padding", &rows);

@@ -6,19 +6,19 @@
 use matgen::MatrixKind;
 use pdslin::interface::g_solve_experiment;
 use pdslin::RhsOrdering;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Fig5Row {
-    matrix: String,
-    ordering: String,
-    block_size: usize,
-    min_seconds: f64,
-    avg_seconds: f64,
-    max_seconds: f64,
-    /// Speedup of this ordering's avg time over natural at the same B
-    /// (filled for non-natural orderings).
-    speedup_vs_natural: f64,
+pdslin_bench::json_record! {
+    struct Fig5Row {
+        matrix: String,
+        ordering: String,
+        block_size: usize,
+        min_seconds: f64,
+        avg_seconds: f64,
+        max_seconds: f64,
+        /// Speedup of this ordering's avg time over natural at the same B
+        /// (filled for non-natural orderings).
+        speedup_vs_natural: f64,
+    }
 }
 
 fn main() {
@@ -38,8 +38,14 @@ fn main() {
     let mut rows = Vec::new();
     for kind in kinds {
         let (_a, sys, factors) = pdslin_bench::ngd_factored_system(kind, scale, 8);
-        println!("\nFig 5 ({}): triangular solve seconds (min/avg/max over 8 subdomains)", kind.name());
-        println!("{:<6} {:>28} {:>28} {:>28}", "B", "natural", "postorder", "hypergraph");
+        println!(
+            "\nFig 5 ({}): triangular solve seconds (min/avg/max over 8 subdomains)",
+            kind.name()
+        );
+        println!(
+            "{:<6} {:>28} {:>28} {:>28}",
+            "B", "natural", "postorder", "hypergraph"
+        );
         for &b in &blocks {
             let mut cells = Vec::new();
             let mut natural_avg = 0.0;
@@ -66,7 +72,10 @@ fn main() {
                     speedup_vs_natural: speedup,
                 });
             }
-            println!("{:<6} {:>28} {:>28} {:>28}", b, cells[0], cells[1], cells[2]);
+            println!(
+                "{:<6} {:>28} {:>28} {:>28}",
+                b, cells[0], cells[1], cells[2]
+            );
         }
     }
     pdslin_bench::write_json("fig5_trisolve", &rows);

@@ -6,14 +6,14 @@
 use matgen::MatrixKind;
 use pdslin::interface::g_solve_experiment;
 use pdslin::RhsOrdering;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct QdRow {
-    tau: f64,
-    avg_padding_fraction: f64,
-    total_order_seconds: f64,
-    total_solve_seconds: f64,
+pdslin_bench::json_record! {
+    struct QdRow {
+        tau: f64,
+        avg_padding_fraction: f64,
+        total_order_seconds: f64,
+        total_solve_seconds: f64,
+    }
 }
 
 fn main() {

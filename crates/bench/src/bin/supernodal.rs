@@ -7,19 +7,19 @@ use matgen::MatrixKind;
 use pdslin::interface::ehat_columns_pivot;
 use pdslin::rhs_order::{column_reaches, order_columns_precomputed};
 use pdslin::RhsOrdering;
-use serde::Serialize;
 use slu::supernodes::{detect_supernodes, supernodal_blocked_solve};
 use slu::trisolve::{SolveWorkspace, SparseVec};
 
-#[derive(Serialize)]
-struct SupernodalRow {
-    matrix: String,
-    ordering: String,
-    block_size: usize,
-    column_padding_fraction: f64,
-    supernodal_padding_fraction: f64,
-    supernode_count: usize,
-    max_supernode: usize,
+pdslin_bench::json_record! {
+    struct SupernodalRow {
+        matrix: String,
+        ordering: String,
+        block_size: usize,
+        column_padding_fraction: f64,
+        supernodal_padding_fraction: f64,
+        supernode_count: usize,
+        max_supernode: usize,
+    }
 }
 
 fn main() {
@@ -43,13 +43,11 @@ fn main() {
         for &ord in &orderings {
             for &b in &blocks {
                 let order = order_columns_precomputed(&cols, &reaches, n, b, ord);
-                let ordered: Vec<SparseVec> =
-                    order.iter().map(|&j| cols[j].clone()).collect();
+                let ordered: Vec<SparseVec> = order.iter().map(|&j| cols[j].clone()).collect();
                 let mut col_stats = slu::BlockSolveStats::default();
                 let mut sn_stats = slu::BlockSolveStats::default();
                 for chunk in ordered.chunks(b) {
-                    let (_p, _panel, st) =
-                        slu::blocked_lower_solve(&fd.lu.l, true, chunk, &mut ws);
+                    let (_p, _panel, st) = slu::blocked_lower_solve(&fd.lu.l, true, chunk, &mut ws);
                     col_stats.merge(&st);
                     let (_p2, _panel2, st2) =
                         supernodal_blocked_solve(&fd.lu.l, &sn, chunk, &mut ws);

@@ -5,25 +5,25 @@
 //! dds.linear, matrix211, ASIC_680ks and G3_circuit analogues.
 
 use matgen::MatrixKind;
-use pdslin::{Pdslin, PdslinConfig, PartitionStats, PartitionerKind};
-use serde::Serialize;
+use pdslin::{PartitionStats, PartitionerKind, Pdslin, PdslinConfig};
 
-#[derive(Serialize)]
-struct Table2Row {
-    matrix: String,
-    algorithm: String,
-    precond_seconds: f64,
-    iter_seconds: f64,
-    iterations: usize,
-    separator: usize,
-    dim_min: usize,
-    dim_max: usize,
-    nnz_d_min: usize,
-    nnz_d_max: usize,
-    nnzcol_e_min: usize,
-    nnzcol_e_max: usize,
-    nnz_e_min: usize,
-    nnz_e_max: usize,
+pdslin_bench::json_record! {
+    struct Table2Row {
+        matrix: String,
+        algorithm: String,
+        precond_seconds: f64,
+        iter_seconds: f64,
+        iterations: usize,
+        separator: usize,
+        dim_min: usize,
+        dim_max: usize,
+        nnz_d_min: usize,
+        nnz_d_max: usize,
+        nnzcol_e_min: usize,
+        nnzcol_e_max: usize,
+        nnz_e_min: usize,
+        nnz_e_max: usize,
+    }
 }
 
 fn main() {
@@ -39,8 +39,15 @@ fn main() {
     println!("Table II: NGD vs RHB(soed, single constraint), k=8");
     println!(
         "{:<12} {:<5} {:>13} {:>6} {:>7} {:>13} {:>17} {:>13} {:>15}",
-        "matrix", "alg", "time(P+it)", "#iter", "n_S", "dim min/max", "nnzD min/max",
-        "colE min/max", "nnzE min/max"
+        "matrix",
+        "alg",
+        "time(P+it)",
+        "#iter",
+        "n_S",
+        "dim min/max",
+        "nnzD min/max",
+        "colE min/max",
+        "nnzE min/max"
     );
     for kind in kinds {
         let a = matgen::generate(kind, scale);
@@ -48,7 +55,11 @@ fn main() {
             PartitionerKind::Ngd,
             PartitionerKind::Rhb(hypergraph::RhbConfig::default()),
         ] {
-            let alg = if matches!(pk, PartitionerKind::Ngd) { "NGD" } else { "RHB" };
+            let alg = if matches!(pk, PartitionerKind::Ngd) {
+                "NGD"
+            } else {
+                "RHB"
+            };
             let cfg = PdslinConfig {
                 k: 8,
                 partitioner: pk,
@@ -65,7 +76,7 @@ fn main() {
                 }
             };
             let b = vec![1.0; a.nrows()];
-            let out = solver.solve(&b);
+            let out = solver.solve(&b).expect("solve");
             let st = PartitionStats::compute(&a, &solver.sys.part);
             // One-level parallel configuration (§V): one process per
             // subdomain; the preconditioner time is the makespan.

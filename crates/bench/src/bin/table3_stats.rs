@@ -6,18 +6,18 @@
 
 use matgen::MatrixKind;
 use pdslin::interface::ehat_columns_pivot;
-use serde::Serialize;
 use slu::trisolve::{solve_pattern, SolveWorkspace};
 
-#[derive(Serialize)]
-struct Table3Row {
-    matrix: String,
-    which: String, // "min" or "max" over the 8 subdomains
-    nnz_g: u64,
-    nnzcol_g: usize,
-    nnzrow_g: usize,
-    eff_density: f64,
-    fill_ratio: f64,
+pdslin_bench::json_record! {
+    struct Table3Row {
+        matrix: String,
+        which: String, // "min" or "max" over the 8 subdomains
+        nnz_g: u64,
+        nnzcol_g: usize,
+        nnzrow_g: usize,
+        eff_density: f64,
+        fill_ratio: f64,
+    }
 }
 
 fn main() {
@@ -59,7 +59,11 @@ fn main() {
                 0.0
             };
             let nnz_e = dom.e_hat.nnz() as u64;
-            let fill = if nnz_e > 0 { nnz_g as f64 / nnz_e as f64 } else { 0.0 };
+            let fill = if nnz_e > 0 {
+                nnz_g as f64 / nnz_e as f64
+            } else {
+                0.0
+            };
             per.push((nnz_g, nnzcol, nnzrow, eff, fill));
         }
         for (which, pick) in [("min", true), ("max", false)] {

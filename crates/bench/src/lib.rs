@@ -13,7 +13,6 @@ use std::fs;
 use std::path::PathBuf;
 
 use matgen::Scale;
-use serde::Serialize;
 
 /// Scale selected via `PDSLIN_SCALE` (default: bench).
 pub fn scale_from_env() -> Scale {
@@ -31,12 +30,146 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Writes a JSON record for one experiment.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Writes a JSON record (an array of row objects) for one experiment.
+pub fn write_json<T: JsonRecord>(name: &str, rows: &[T]) {
     let path = results_dir().join(format!("{name}.json"));
-    let data = serde_json::to_string_pretty(value).expect("serialize results");
+    let body = rows
+        .iter()
+        .map(|r| format!("  {}", r.to_json_object()))
+        .collect::<Vec<_>>();
+    let data = format!("[\n{}\n]\n", body.join(",\n"));
     fs::write(&path, data).expect("write results file");
     eprintln!("[wrote {}]", path.display());
+}
+
+/// A value that knows its JSON representation. Implemented for the
+/// scalar types the experiment rows use; `f64` maps NaN/Inf to `null`
+/// (JSON has no non-finite numbers).
+pub trait JsonValue {
+    /// The JSON text of this value.
+    fn to_json(&self) -> String;
+}
+
+impl JsonValue for f64 {
+    fn to_json(&self) -> String {
+        if self.is_finite() {
+            format!("{self}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+macro_rules! json_int {
+    ($($t:ty),*) => {$(
+        impl JsonValue for $t {
+            fn to_json(&self) -> String {
+                format!("{self}")
+            }
+        }
+    )*};
+}
+json_int!(usize, u64, u32, i64, i32, bool);
+
+impl JsonValue for String {
+    fn to_json(&self) -> String {
+        json_escape(self)
+    }
+}
+
+impl JsonValue for &str {
+    fn to_json(&self) -> String {
+        json_escape(self)
+    }
+}
+
+impl<T: JsonValue> JsonValue for Vec<T> {
+    fn to_json(&self) -> String {
+        let parts: Vec<String> = self.iter().map(|v| v.to_json()).collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+/// Quotes and escapes a string for JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A row type that renders itself as one JSON object (derive it with
+/// [`json_record!`]).
+pub trait JsonRecord {
+    /// The JSON object text of this row.
+    fn to_json_object(&self) -> String;
+}
+
+/// Declares a plain-struct experiment row and implements [`JsonRecord`]
+/// for it — the in-tree replacement for `#[derive(Serialize)]`.
+#[macro_export]
+macro_rules! json_record {
+    ($(#[$meta:meta])* struct $name:ident { $($(#[$fmeta:meta])* $field:ident : $ty:ty),* $(,)? }) => {
+        $(#[$meta])*
+        struct $name {
+            $($(#[$fmeta])* $field: $ty,)*
+        }
+        impl $crate::JsonRecord for $name {
+            fn to_json_object(&self) -> String {
+                let mut parts: Vec<String> = Vec::new();
+                $(parts.push(format!(
+                    "{}: {}",
+                    $crate::json_escape(stringify!($field)),
+                    $crate::JsonValue::to_json(&self.$field)
+                ));)*
+                format!("{{{}}}", parts.join(", "))
+            }
+        }
+    };
+}
+
+/// Minimal timing harness for the `cargo bench` targets (plain `main`
+/// binaries with `harness = false`): warms up once, then runs the
+/// closure until ~0.2 s of wall clock or 100 iterations, whichever
+/// comes first, and prints min/avg per-iteration time.
+pub fn bench_case<F: FnMut()>(name: &str, mut f: F) {
+    f(); // warm-up (first-touch allocation, caches)
+    let budget = std::time::Duration::from_millis(200);
+    let started = std::time::Instant::now();
+    let mut samples = Vec::new();
+    while started.elapsed() < budget && samples.len() < 100 {
+        let t0 = std::time::Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let (min, avg, _max) = min_avg_max(&samples);
+    println!(
+        "{name:<40} {:>12} {:>12}  ({} iters)",
+        fmt_bench_time(min),
+        fmt_bench_time(avg),
+        samples.len()
+    );
+}
+
+fn fmt_bench_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
 }
 
 /// Partitions a matrix with NGD (k subdomains) and factors every
@@ -46,7 +179,11 @@ pub fn ngd_factored_system(
     kind: matgen::MatrixKind,
     scale: Scale,
     k: usize,
-) -> (sparsekit::Csr, pdslin::DbbdSystem, Vec<pdslin::subdomain::FactoredDomain>) {
+) -> (
+    sparsekit::Csr,
+    pdslin::DbbdSystem,
+    Vec<pdslin::subdomain::FactoredDomain>,
+) {
     let a = matgen::generate(kind, scale);
     let part = pdslin::compute_partition(&a, k, &pdslin::PartitionerKind::Ngd);
     let sys = pdslin::extract_dbbd(&a, part);
@@ -107,5 +244,42 @@ mod tests {
         assert_eq!(fmt_secs(0.1234), "0.123");
         assert_eq!(fmt_secs(12.34), "12.3");
         assert_eq!(fmt_secs(123.4), "123");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_values_render() {
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!(42usize.to_json(), "42");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(vec![1usize, 2, 3].to_json(), "[1, 2, 3]");
+    }
+
+    json_record! {
+        struct DemoRow {
+            name: String,
+            n: usize,
+            secs: f64,
+        }
+    }
+
+    #[test]
+    fn json_record_macro_renders_object() {
+        let r = DemoRow {
+            name: "laplace".to_string(),
+            n: 100,
+            secs: 0.5,
+        };
+        assert_eq!(
+            r.to_json_object(),
+            "{\"name\": \"laplace\", \"n\": 100, \"secs\": 0.5}"
+        );
     }
 }

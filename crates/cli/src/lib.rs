@@ -62,7 +62,9 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: '{v}'")),
         }
     }
 }
@@ -72,7 +74,12 @@ impl Args {
 pub fn matrix_kind(name: &str) -> Result<MatrixKind, String> {
     let norm = name.to_ascii_lowercase().replace(['.', '_', '-'], "");
     for kind in MatrixKind::ALL {
-        if kind.name().to_ascii_lowercase().replace(['.', '_', '-'], "") == norm {
+        if kind
+            .name()
+            .to_ascii_lowercase()
+            .replace(['.', '_', '-'], "")
+            == norm
+        {
             return Ok(kind);
         }
     }
@@ -108,7 +115,11 @@ pub fn partitioner(args: &Args) -> Result<PartitionerKind, String> {
                 "multi" => ConstraintMode::Multi,
                 other => return Err(format!("unknown constraint '{other}'")),
             };
-            Ok(PartitionerKind::Rhb(RhbConfig { metric, constraint, ..Default::default() }))
+            Ok(PartitionerKind::Rhb(RhbConfig {
+                metric,
+                constraint,
+                ..Default::default()
+            }))
         }
         other => Err(format!("unknown partitioner '{other}' (ngd|rhb)")),
     }
@@ -131,9 +142,10 @@ pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
         "hypergraph" => {
             let tau = match args.get("tau") {
                 None => None,
-                Some(v) => {
-                    Some(v.parse().map_err(|_| format!("bad value for --tau: '{v}'"))?)
-                }
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("bad value for --tau: '{v}'"))?,
+                ),
             };
             Ok(RhsOrdering::Hypergraph { tau })
         }
@@ -144,9 +156,7 @@ pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
 /// Loads the input matrix: `--matrix FILE.mtx` or `--generate KIND`.
 pub fn load_matrix(args: &Args) -> Result<Csr, String> {
     match (args.get("matrix"), args.get("generate")) {
-        (Some(path), None) => {
-            sparsekit::io::read_matrix_market(path).map_err(|e| format!("{e}"))
-        }
+        (Some(path), None) => sparsekit::io::read_matrix_market(path).map_err(|e| format!("{e}")),
         (None, Some(kind)) => {
             let k = matrix_kind(kind)?;
             let s = scale(args.get_or("scale", "test"))?;
@@ -237,9 +247,15 @@ mod tests {
     #[test]
     fn ordering_resolution() {
         let a = parse_args(argv("solve --ordering hypergraph --tau 0.4")).unwrap();
-        assert_eq!(rhs_ordering(&a).unwrap(), RhsOrdering::Hypergraph { tau: Some(0.4) });
+        assert_eq!(
+            rhs_ordering(&a).unwrap(),
+            RhsOrdering::Hypergraph { tau: Some(0.4) }
+        );
         let b = parse_args(argv("solve --ordering hypergraph")).unwrap();
-        assert_eq!(rhs_ordering(&b).unwrap(), RhsOrdering::Hypergraph { tau: None });
+        assert_eq!(
+            rhs_ordering(&b).unwrap(),
+            RhsOrdering::Hypergraph { tau: None }
+        );
     }
 
     #[test]

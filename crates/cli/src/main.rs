@@ -3,9 +3,7 @@
 use std::process::ExitCode;
 
 use pdslin::{PartitionStats, Pdslin, PdslinConfig};
-use pdslin_cli::{
-    load_matrix, parse_args, partitioner, rhs_ordering, scale, Args, HELP,
-};
+use pdslin_cli::{load_matrix, parse_args, partitioner, rhs_ordering, scale, Args, HELP};
 use sparsekit::ops::residual_inf_norm;
 
 fn main() -> ExitCode {
@@ -51,6 +49,12 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         ..Default::default()
     };
     let mut solver = Pdslin::setup(&a, cfg).map_err(|e| format!("{e}"))?;
+    if !solver.stats.recovery.is_empty() {
+        println!("setup recovered from {}:", solver.stats.recovery.summary());
+        for ev in &solver.stats.recovery.events {
+            println!("  - {ev}");
+        }
+    }
     let t = &solver.stats.times;
     println!(
         "setup: sep = {}, nnz(S̃) = {} | partition {:.2}s, extract {:.2}s, LU(D) {:.2}s, Comp(S) {:.2}s, LU(S) {:.2}s",
@@ -63,10 +67,24 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         t.lu_s
     );
     let b = vec![1.0; a.nrows()];
-    let out = solver.solve(&b);
+    let out = solver.solve(&b).map_err(|e| format!("{e}"))?;
+    if !out.recovery.is_empty() {
+        println!("solve recovered from {}:", out.recovery.summary());
+        for ev in &out.recovery.events {
+            println!("  - {ev}");
+        }
+    }
     println!(
-        "solve: {} iterations, {:.2}s, Schur residual {:.2e}",
-        out.iterations, out.seconds, out.schur_residual
+        "solve: {} via {}, {} iterations, {:.2}s, Schur residual {:.2e}",
+        if out.converged {
+            "converged"
+        } else {
+            "accepted"
+        },
+        out.method,
+        out.iterations,
+        out.seconds,
+        out.schur_residual
     );
     println!("‖b − Ax‖∞ = {:.3e}", residual_inf_norm(&a, &out.x, &b));
     Ok(())
@@ -80,19 +98,34 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     let part = pdslin::compute_partition(&a, k, &kind);
     let secs = t.elapsed().as_secs_f64();
     let st = PartitionStats::compute(&a, &part);
-    println!("{} partition of n = {} into k = {k} ({secs:.2}s)", kind.label(), a.nrows());
+    println!(
+        "{} partition of n = {} into k = {k} ({secs:.2}s)",
+        kind.label(),
+        a.nrows()
+    );
     println!("separator: {}", st.separator_size);
     println!("dim(D):  {:?}  (balance {:.2})", st.dims, st.dim_balance());
-    println!("nnz(D):  {:?}  (balance {:.2})", st.nnz_d, st.nnz_d_balance());
-    println!("col(E):  {:?}  (balance {:.2})", st.nnzcol_e, st.col_e_balance());
-    println!("nnz(E):  {:?}  (balance {:.2})", st.nnz_e, st.nnz_e_balance());
+    println!(
+        "nnz(D):  {:?}  (balance {:.2})",
+        st.nnz_d,
+        st.nnz_d_balance()
+    );
+    println!(
+        "col(E):  {:?}  (balance {:.2})",
+        st.nnzcol_e,
+        st.col_e_balance()
+    );
+    println!(
+        "nnz(E):  {:?}  (balance {:.2})",
+        st.nnz_e,
+        st.nnz_e_balance()
+    );
     Ok(())
 }
 
 fn cmd_genmat(args: &Args) -> Result<(), String> {
-    let kind = pdslin_cli::matrix_kind(
-        args.get("generate").ok_or("genmat needs --generate KIND")?,
-    )?;
+    let kind =
+        pdslin_cli::matrix_kind(args.get("generate").ok_or("genmat needs --generate KIND")?)?;
     let s = scale(args.get_or("scale", "test"))?;
     let out = args.get("out").ok_or("genmat needs --out FILE.mtx")?;
     let a = matgen::generate(kind, s);
@@ -104,8 +137,14 @@ fn cmd_genmat(args: &Args) -> Result<(), String> {
 fn cmd_info(args: &Args) -> Result<(), String> {
     let a = load_matrix(args)?;
     let (min, max, _) = sparsekit::ops::row_nnz_stats(&a);
-    println!("n = {}, nnz = {} ({:.1}/row, min {}, max {})",
-        a.nrows(), a.nnz(), a.nnz() as f64 / a.nrows().max(1) as f64, min, max);
+    println!(
+        "n = {}, nnz = {} ({:.1}/row, min {}, max {})",
+        a.nrows(),
+        a.nnz(),
+        a.nnz() as f64 / a.nrows().max(1) as f64,
+        min,
+        max
+    );
     println!("pattern symmetric: {}", a.pattern_symmetric());
     println!("value symmetric:   {}", a.value_symmetric(1e-12));
     Ok(())

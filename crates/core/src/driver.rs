@@ -1,20 +1,34 @@
-//! The PDSLin driver: setup (phases 1–5) and solve (phase 6).
+//! The PDSLin driver: setup (phases 1–5) and solve (phase 6), with the
+//! resilience layer wrapped around every fallible stage.
+//!
+//! Setup validates its inputs up front (NaN/Inf, dimensions), walks the
+//! partition fallback chain on degeneracy, retries failed subdomain and
+//! Schur factorisations with escalating pivoting and diagonal
+//! perturbation, and repairs poisoned interface blocks. The solve walks
+//! a Krylov fallback chain (primary method → restart growth → method
+//! switch → direct `LU(S̃)` solve with iterative refinement). Every
+//! recovery action is recorded in a [`RecoveryReport`] so a clean run
+//! is distinguishable from a rescued one.
 
 use std::time::Instant;
 
-use krylov::{bicgstab, gmres, BicgstabConfig, GmresConfig};
-use rayon::prelude::*;
-use slu::{LuError, LuFactors};
+use krylov::{bicgstab, gmres, BicgstabConfig, GmresConfig, LinearOperator};
+use slu::LuFactors;
+use sparsekit::ops::{axpy, norm2};
 use sparsekit::Csr;
 
+use crate::error::PdslinError;
 use crate::extract::{extract_dbbd, DbbdSystem};
+use crate::fault::FaultPlan;
 use crate::interface::{compute_interface, InterfaceConfig};
-use crate::partition::{compute_partition, PartitionerKind};
+use crate::par::{par_map, seq_map};
+use crate::partition::{compute_partition_robust, PartitionerKind};
 use crate::precond::{ImplicitSchur, SchurPrecond};
+use crate::recovery::{RecoveryEvent, RecoveryReport};
 use crate::rhs_order::RhsOrdering;
-use crate::schur::{assemble_schur, factor_schur};
+use crate::schur::{assemble_schur, factor_schur_robust};
 use crate::stats::{InterfaceStats, SetupStats};
-use crate::subdomain::{factor_domain, FactoredDomain};
+use crate::subdomain::{factor_domain_robust, FactoredDomain};
 
 /// Which Krylov method solves the Schur system (2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +61,10 @@ pub struct PdslinConfig {
     pub krylov: KrylovKind,
     /// GMRES parameters for the Schur system.
     pub gmres: GmresConfig,
-    /// Run the subdomain phases in parallel (rayon).
+    /// Run the subdomain phases in parallel (scoped threads).
     pub parallel: bool,
+    /// Deterministic fault injection (testing; defaults to none).
+    pub fault: FaultPlan,
 }
 
 impl Default for PdslinConfig {
@@ -62,8 +78,13 @@ impl Default for PdslinConfig {
             schur_drop_tol: 1e-8,
             pivot_threshold: 0.1,
             krylov: KrylovKind::Gmres,
-            gmres: GmresConfig { restart: 100, max_iters: 500, tol: 1e-10 },
+            gmres: GmresConfig {
+                restart: 100,
+                max_iters: 500,
+                tol: 1e-10,
+            },
             parallel: true,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -76,7 +97,8 @@ pub struct Pdslin {
     pub factors: Vec<FactoredDomain>,
     /// LU factors of the approximate Schur complement `S̃`.
     pub schur_lu: LuFactors,
-    /// Setup statistics (phase times, balances, interface stats).
+    /// Setup statistics (phase times, balances, interface stats,
+    /// recovery log).
     pub stats: SetupStats,
     cfg: PdslinConfig,
 }
@@ -86,22 +108,74 @@ pub struct Pdslin {
 pub struct SolveOutcome {
     /// The solution vector.
     pub x: Vec<f64>,
-    /// GMRES iterations on the Schur system.
+    /// Krylov iterations on the Schur system (by the method that
+    /// produced the answer).
     pub iterations: usize,
     /// Final relative residual of the Schur solve.
     pub schur_residual: f64,
+    /// Whether the requested tolerance was met.
+    pub converged: bool,
+    /// Label of the method that produced the answer.
+    pub method: String,
+    /// Every recovery action taken during this solve (empty on a clean
+    /// run).
+    pub recovery: RecoveryReport,
     /// Wall-clock seconds of the whole solve phase.
     pub seconds: f64,
+}
+
+/// Residual level beyond which a rescued solve is reported as a failure
+/// rather than a degraded success (relative to the requested tolerance).
+fn acceptance_floor(tol: f64) -> f64 {
+    (tol * 1e3).max(1e-6)
+}
+
+fn first_nonfinite_row(a: &Csr) -> Option<usize> {
+    (0..a.nrows()).find(|&i| a.row_values(i).iter().any(|v| !v.is_finite()))
+}
+
+fn csr_is_finite(m: &Csr) -> bool {
+    m.values().iter().all(|v| v.is_finite())
 }
 
 impl Pdslin {
     /// Runs phases 1–5 (partition → extract → `LU(D)` → `Comp(S)` →
     /// `LU(S)`).
-    pub fn setup(a: &Csr, cfg: PdslinConfig) -> Result<Pdslin, LuError> {
+    pub fn setup(a: &Csr, cfg: PdslinConfig) -> Result<Pdslin, PdslinError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(PdslinError::InvalidInput {
+                message: format!("matrix must be square, got {n}x{}", a.ncols()),
+            });
+        }
+        if n == 0 {
+            return Err(PdslinError::InvalidInput {
+                message: "matrix is empty".to_string(),
+            });
+        }
+        if cfg.k == 0 || cfg.k > n {
+            return Err(PdslinError::InvalidInput {
+                message: format!("k = {} must be in 1..={n}", cfg.k),
+            });
+        }
+        if let Some(i) = first_nonfinite_row(a) {
+            return Err(PdslinError::NonFiniteInput {
+                what: "A",
+                index: i,
+            });
+        }
+
         let mut stats = SetupStats::default();
+        let mut recovery = RecoveryReport::default();
 
         let t = Instant::now();
-        let part = compute_partition(a, cfg.k, &cfg.partitioner);
+        let part = compute_partition_robust(
+            a,
+            cfg.k,
+            &cfg.partitioner,
+            cfg.fault.fail_partitioner,
+            &mut recovery,
+        )?;
         stats.times.partition = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -113,19 +187,28 @@ impl Pdslin {
         stats.nnzcol_e = sys.domains.iter().map(|d| d.e_cols.len()).collect();
         stats.nnz_e = sys.domains.iter().map(|d| d.e_hat.nnz()).collect();
 
-        // LU(D): one parallel task per subdomain (level-1 parallelism).
+        // LU(D): one parallel task per subdomain (level-1 parallelism),
+        // each with its own retry escalation.
         let t = Instant::now();
-        let timed_factor = |d: &crate::extract::LocalDomain| -> Result<(FactoredDomain, f64), LuError> {
+        let inject = cfg.fault.singular_domain;
+        let timed_factor = |l: usize, d: &crate::extract::LocalDomain| {
             let t0 = Instant::now();
-            let fd = factor_domain(&d.d, cfg.pivot_threshold)?;
-            Ok((fd, t0.elapsed().as_secs_f64()))
+            factor_domain_robust(&d.d, l, cfg.pivot_threshold, inject == Some(l))
+                .map(|(fd, ev)| (fd, t0.elapsed().as_secs_f64(), ev))
         };
-        let results: Result<Vec<(FactoredDomain, f64)>, LuError> = if cfg.parallel {
-            sys.domains.par_iter().map(timed_factor).collect()
+        let results = if cfg.parallel {
+            par_map(&sys.domains, timed_factor)
         } else {
-            sys.domains.iter().map(timed_factor).collect()
+            seq_map(&sys.domains, timed_factor)
         };
-        let (factors, lu_times): (Vec<_>, Vec<_>) = results?.into_iter().unzip();
+        let mut factors = Vec::with_capacity(results.len());
+        let mut lu_times = Vec::with_capacity(results.len());
+        for r in results {
+            let (fd, secs, events) = r?;
+            factors.push(fd);
+            lu_times.push(secs);
+            recovery.events.extend(events);
+        }
         stats.times.lu_d = t.elapsed().as_secs_f64();
         stats.domain_costs.lu_d = lu_times;
 
@@ -136,15 +219,18 @@ impl Pdslin {
             ordering: cfg.rhs_ordering,
             drop_tol: cfg.interface_drop_tol,
         };
-        let timed_interface = |(dom, fd): (&crate::extract::LocalDomain, &FactoredDomain)| {
-            let t0 = Instant::now();
-            let out = compute_interface(fd, dom, &icfg);
-            (out, t0.elapsed().as_secs_f64())
-        };
-        let outs: Vec<(crate::interface::InterfaceOutcome, f64)> = if cfg.parallel {
-            sys.domains.par_iter().zip(factors.par_iter()).map(timed_interface).collect()
+        let pairs: Vec<(&crate::extract::LocalDomain, &FactoredDomain)> =
+            sys.domains.iter().zip(factors.iter()).collect();
+        let timed_interface =
+            |_l: usize, (dom, fd): &(&crate::extract::LocalDomain, &FactoredDomain)| {
+                let t0 = Instant::now();
+                let out = compute_interface(fd, dom, &icfg);
+                (out, t0.elapsed().as_secs_f64())
+            };
+        let outs = if cfg.parallel {
+            par_map(&pairs, timed_interface)
         } else {
-            sys.domains.iter().zip(factors.iter()).map(timed_interface).collect()
+            seq_map(&pairs, timed_interface)
         };
         let mut t_tildes = Vec::with_capacity(outs.len());
         let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(outs.len());
@@ -154,28 +240,69 @@ impl Pdslin {
             iface_stats.push(out.stats);
             comp_times.push(secs);
         }
+        // Fault injection: poison one interface block with a NaN so the
+        // validation sweep below has something real to detect.
+        if let Some(l) = cfg.fault.poison_interface {
+            if let Some(t) = t_tildes.get_mut(l) {
+                if let Some(v) = t.values_mut().first_mut() {
+                    *v = f64::NAN;
+                }
+            }
+        }
+        // NaN/Inf sweep over the gathered T̃ blocks: a poisoned block
+        // would silently corrupt Ŝ, so recompute it from the (finite)
+        // factors before assembly.
+        for (l, t_tilde) in t_tildes.iter_mut().enumerate() {
+            if csr_is_finite(t_tilde) {
+                continue;
+            }
+            *t_tilde = compute_interface(&factors[l], &sys.domains[l], &icfg).t_tilde;
+            recovery.push(RecoveryEvent::InterfaceRecomputed { domain: l });
+        }
         stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
         let s_hat = assemble_schur(&sys, &t_tildes);
         stats.times.comp_s = t.elapsed().as_secs_f64();
         stats.domain_costs.comp_s = comp_times;
         stats.interface = iface_stats;
 
-        // LU(S).
+        // LU(S), with the same retry escalation. A still-poisoned Ŝ is
+        // caught here: the factorisation reports `NonFinite` and setup
+        // fails with a typed error instead of propagating NaNs.
         let t = Instant::now();
-        let (s_tilde, schur_lu) = factor_schur(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold)?;
+        let (s_tilde, schur_lu, schur_events) =
+            factor_schur_robust(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold)?;
+        recovery.events.extend(schur_events);
         stats.times.lu_s = t.elapsed().as_secs_f64();
         stats.nnz_schur = s_tilde.nnz();
+        stats.recovery = recovery;
 
-        Ok(Pdslin { sys, factors, schur_lu, stats, cfg })
+        Ok(Pdslin {
+            sys,
+            factors,
+            schur_lu,
+            stats,
+            cfg,
+        })
     }
 
     /// Solves `A x = b` via the Schur complement method (equations
-    /// (2)–(4) of the paper).
-    pub fn solve(&mut self, b: &[f64]) -> SolveOutcome {
+    /// (2)–(4) of the paper), falling back through the Krylov chain on
+    /// stagnation or breakdown.
+    pub fn solve(&mut self, b: &[f64]) -> Result<SolveOutcome, PdslinError> {
         let t = Instant::now();
         let sys = &self.sys;
         let n: usize = sys.domains.iter().map(|d| d.dim()).sum::<usize>() + sys.nsep();
-        assert_eq!(b.len(), n);
+        if b.len() != n {
+            return Err(PdslinError::InvalidInput {
+                message: format!("rhs has length {}, expected {n}", b.len()),
+            });
+        }
+        if let Some(i) = b.iter().position(|v| !v.is_finite()) {
+            return Err(PdslinError::NonFiniteInput {
+                what: "b",
+                index: i,
+            });
+        }
         // Split b into interior parts f_ℓ and the separator part g.
         let f_parts: Vec<Vec<f64>> = sys
             .domains
@@ -198,23 +325,11 @@ impl Pdslin {
                 ghat[rg] -= w[rl];
             }
         }
-        // Solve S y = ĝ with the preconditioned Krylov method.
+        // Solve S y = ĝ with the preconditioned Krylov fallback chain.
         let op = ImplicitSchur::new(sys, &self.factors);
         let m = SchurPrecond::new(self.schur_lu.clone());
-        let (y, iterations, schur_residual) = match self.cfg.krylov {
-            KrylovKind::Gmres => {
-                let res = gmres(&op, &m, &ghat, None, &self.cfg.gmres);
-                (res.x, res.iterations, res.residual)
-            }
-            KrylovKind::Bicgstab => {
-                let bcfg = BicgstabConfig {
-                    max_iters: self.cfg.gmres.max_iters,
-                    tol: self.cfg.gmres.tol,
-                };
-                let res = bicgstab(&op, &m, &ghat, None, &bcfg);
-                (res.x, res.iterations, res.residual)
-            }
-        };
+        let (y, iterations, schur_residual, converged, method, recovery) =
+            self.solve_schur(&op, &m, &ghat)?;
         // Back-substitute the interiors: u_ℓ = D⁻¹ (f_ℓ − Ê_ℓ y).
         let mut x = vec![0.0; n];
         for ((dom, fd), f) in sys.domains.iter().zip(&self.factors).zip(&f_parts) {
@@ -231,7 +346,166 @@ impl Pdslin {
         }
         let seconds = t.elapsed().as_secs_f64();
         self.stats.times.solve += seconds;
-        SolveOutcome { x, iterations, schur_residual, seconds }
+        Ok(SolveOutcome {
+            x,
+            iterations,
+            schur_residual,
+            converged,
+            method,
+            recovery,
+            seconds,
+        })
+    }
+
+    /// The Krylov fallback chain on the Schur system: primary method,
+    /// then restart growth / method switch, then the direct `LU(S̃)`
+    /// solve refined against the implicit `S`.
+    #[allow(clippy::type_complexity)]
+    fn solve_schur(
+        &self,
+        op: &ImplicitSchur<'_>,
+        m: &SchurPrecond,
+        ghat: &[f64],
+    ) -> Result<(Vec<f64>, usize, f64, bool, String, RecoveryReport), PdslinError> {
+        let base = self.cfg.gmres;
+        let tol = base.tol;
+        let floor = acceptance_floor(tol);
+        let mut recovery = RecoveryReport::default();
+        let mut tried: Vec<String> = Vec::new();
+        // Best iterate seen so far: (y, iterations, residual, method).
+        let mut best: Option<(Vec<f64>, usize, f64, String)> = None;
+
+        // (label, method) chain after the primary attempt.
+        enum Stage {
+            Gmres(GmresConfig),
+            Bicg(BicgstabConfig),
+        }
+        let mut chain: Vec<(String, Stage)> = Vec::new();
+        match self.cfg.krylov {
+            KrylovKind::Gmres => {
+                let mut first = base;
+                if self.cfg.fault.krylov_stall {
+                    // Starve the first attempt (zero iterations allowed)
+                    // so the fallback chain is genuinely exercised.
+                    first.restart = 1;
+                    first.max_iters = 0;
+                }
+                chain.push(("gmres".to_string(), Stage::Gmres(first)));
+                chain.push((
+                    "gmres(restart-grow)".to_string(),
+                    Stage::Gmres(GmresConfig {
+                        restart: base.restart.saturating_mul(2),
+                        max_iters: base.max_iters.saturating_mul(2),
+                        tol,
+                    }),
+                ));
+                chain.push((
+                    "bicgstab".to_string(),
+                    Stage::Bicg(BicgstabConfig {
+                        max_iters: base.max_iters.saturating_mul(2),
+                        tol,
+                    }),
+                ));
+            }
+            KrylovKind::Bicgstab => {
+                let mut first = BicgstabConfig {
+                    max_iters: base.max_iters,
+                    tol,
+                };
+                if self.cfg.fault.krylov_stall {
+                    first.max_iters = 0;
+                }
+                chain.push(("bicgstab".to_string(), Stage::Bicg(first)));
+                chain.push((
+                    "gmres".to_string(),
+                    Stage::Gmres(GmresConfig {
+                        restart: base.restart,
+                        max_iters: base.max_iters.saturating_mul(2),
+                        tol,
+                    }),
+                ));
+            }
+        }
+
+        let mut prev_reason = String::new();
+        for (label, stage) in chain {
+            if let Some(last) = tried.last() {
+                recovery.push(RecoveryEvent::KrylovFallback {
+                    from: last.clone(),
+                    to: label.clone(),
+                    reason: prev_reason.clone(),
+                });
+            }
+            let (y, iters, residual, ok, breakdown) = match stage {
+                Stage::Gmres(cfg) => {
+                    let r = gmres(op, m, ghat, None, &cfg);
+                    (r.x, r.iterations, r.residual, r.converged, r.breakdown)
+                }
+                Stage::Bicg(cfg) => {
+                    let r = bicgstab(op, m, ghat, None, &cfg);
+                    (r.x, r.iterations, r.residual, r.converged, r.breakdown)
+                }
+            };
+            tried.push(label.clone());
+            if ok {
+                return Ok((y, iters, residual, true, label, recovery));
+            }
+            prev_reason = match breakdown {
+                Some(b) => b.to_string(),
+                None => format!("residual {residual:.1e} after {iters} iterations"),
+            };
+            if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
+                best = Some((y, iters, residual, label));
+            }
+        }
+
+        // Last resort: y = S̃⁻¹ ĝ, refined against the implicit S.
+        recovery.push(RecoveryEvent::KrylovFallback {
+            from: tried.last().cloned().unwrap_or_default(),
+            to: "direct".to_string(),
+            reason: prev_reason,
+        });
+        let label = "direct(LU(S~)+IR)".to_string();
+        tried.push(label.clone());
+        let bnorm = {
+            let t = norm2(ghat);
+            if t == 0.0 {
+                1.0
+            } else {
+                t
+            }
+        };
+        let mut y = self.schur_lu.solve(ghat);
+        let mut work = vec![0.0; ghat.len()];
+        let mut steps = 0usize;
+        let mut residual = f64::INFINITY;
+        for _ in 0..=10 {
+            op.apply(&y, &mut work);
+            let r: Vec<f64> = ghat.iter().zip(&work).map(|(gi, wi)| gi - wi).collect();
+            residual = norm2(&r) / bnorm;
+            if !residual.is_finite() || residual <= tol {
+                break;
+            }
+            let dy = self.schur_lu.solve(&r);
+            axpy(1.0, &dy, &mut y);
+            steps += 1;
+        }
+        recovery.push(RecoveryEvent::DirectSchurSolve {
+            refinement_steps: steps,
+            residual,
+        });
+        if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
+            best = Some((y, steps, residual, label));
+        }
+        match best {
+            Some((y, iters, residual, label)) if residual <= floor => {
+                Ok((y, iters, residual, residual <= tol, label, recovery))
+            }
+            _ => {
+                let residual = best.map(|(_, _, r, _)| r).unwrap_or(f64::INFINITY);
+                Err(PdslinError::SolveFailed { residual, tried })
+            }
+        }
     }
 
     /// The configuration this solver was set up with.
@@ -246,11 +520,12 @@ mod tests {
     use hypergraph::RhbConfig;
     use matgen::stencil::{laplace2d, laplace3d};
     use sparsekit::ops::residual_inf_norm;
+    use sparsekit::Coo;
 
     fn solve_and_check(a: &Csr, cfg: PdslinConfig) -> SolveOutcome {
         let mut solver = Pdslin::setup(a, cfg).expect("setup");
         let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 11) as f64) - 5.0).collect();
-        let out = solver.solve(&b);
+        let out = solver.solve(&b).expect("solve");
         let res = residual_inf_norm(a, &out.x, &b);
         assert!(res < 1e-6, "residual {res} too large");
         out
@@ -259,7 +534,10 @@ mod tests {
     #[test]
     fn solves_2d_poisson_with_ngd() {
         let a = laplace2d(16, 16);
-        let cfg = PdslinConfig { k: 2, ..Default::default() };
+        let cfg = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
         let out = solve_and_check(&a, cfg);
         assert!(out.iterations < 50);
     }
@@ -278,7 +556,10 @@ mod tests {
     #[test]
     fn solves_3d_poisson_k4() {
         let a = laplace3d(8, 8, 8);
-        let cfg = PdslinConfig { k: 4, ..Default::default() };
+        let cfg = PdslinConfig {
+            k: 4,
+            ..Default::default()
+        };
         solve_and_check(&a, cfg);
     }
 
@@ -292,7 +573,11 @@ mod tests {
             ..Default::default()
         };
         let out = solve_and_check(&a, cfg);
-        assert!(out.iterations <= 3, "exact S̃ should converge immediately, got {}", out.iterations);
+        assert!(
+            out.iterations <= 3,
+            "exact S̃ should converge immediately, got {}",
+            out.iterations
+        );
     }
 
     #[test]
@@ -316,22 +601,39 @@ mod tests {
         // Both still solve.
         let b = vec![1.0; a.nrows()];
         let mut s2 = s2;
-        let out = s2.solve(&b);
+        let out = s2.solve(&b).unwrap();
         assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
     }
 
     #[test]
     fn sequential_and_parallel_agree() {
         let a = laplace2d(12, 12);
-        let base = PdslinConfig { k: 2, ..Default::default() };
-        let par = Pdslin::setup(&a, PdslinConfig { parallel: true, ..base }).unwrap();
-        let seq = Pdslin::setup(&a, PdslinConfig { parallel: false, ..base }).unwrap();
+        let base = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let par = Pdslin::setup(
+            &a,
+            PdslinConfig {
+                parallel: true,
+                ..base
+            },
+        )
+        .unwrap();
+        let seq = Pdslin::setup(
+            &a,
+            PdslinConfig {
+                parallel: false,
+                ..base
+            },
+        )
+        .unwrap();
         assert_eq!(par.stats.separator_size, seq.stats.separator_size);
         assert_eq!(par.stats.nnz_schur, seq.stats.nnz_schur);
         let b = vec![1.0; a.nrows()];
         let (mut par, mut seq) = (par, seq);
-        let xp = par.solve(&b).x;
-        let xs = seq.solve(&b).x;
+        let xp = par.solve(&b).unwrap().x;
+        let xs = seq.solve(&b).unwrap().x;
         for (p, s) in xp.iter().zip(&xs) {
             assert!((p - s).abs() < 1e-8);
         }
@@ -340,7 +642,11 @@ mod tests {
     #[test]
     fn bicgstab_outer_solver_works() {
         let a = laplace2d(14, 14);
-        let cfg = PdslinConfig { k: 2, krylov: KrylovKind::Bicgstab, ..Default::default() };
+        let cfg = PdslinConfig {
+            k: 2,
+            krylov: KrylovKind::Bicgstab,
+            ..Default::default()
+        };
         let out = solve_and_check(&a, cfg);
         assert!(out.iterations < 100);
     }
@@ -348,7 +654,14 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let a = laplace2d(12, 12);
-        let solver = Pdslin::setup(&a, PdslinConfig { k: 2, ..Default::default() }).unwrap();
+        let solver = Pdslin::setup(
+            &a,
+            PdslinConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let st = &solver.stats;
         assert_eq!(st.dims.len(), 2);
         assert!(st.separator_size > 0);
@@ -356,5 +669,254 @@ mod tests {
         assert_eq!(st.interface.len(), 2);
         assert!(st.domain_costs.lu_d.len() == 2);
         assert!(st.times.lu_d > 0.0);
+    }
+
+    // ----- input validation -----
+
+    #[test]
+    fn rejects_nonsquare_and_empty_and_bad_k() {
+        let rect = Csr::from_parts(2, 3, vec![0, 0, 0], vec![], vec![]);
+        assert!(matches!(
+            Pdslin::setup(&rect, PdslinConfig::default()),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+        let a = laplace2d(6, 6);
+        assert!(matches!(
+            Pdslin::setup(
+                &a,
+                PdslinConfig {
+                    k: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            Pdslin::setup(
+                &a,
+                PdslinConfig {
+                    k: 1000,
+                    ..Default::default()
+                }
+            ),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonfinite_matrix() {
+        let mut c = Coo::new(4, 4);
+        for i in 0..4 {
+            c.push(i, i, 4.0);
+        }
+        c.push(2, 3, f64::NAN);
+        c.push(3, 2, -1.0);
+        let a = c.to_csr();
+        match Pdslin::setup(
+            &a,
+            PdslinConfig {
+                k: 2,
+                ..Default::default()
+            },
+        ) {
+            Err(PdslinError::NonFiniteInput { what: "A", index }) => assert_eq!(index, 2),
+            Err(other) => panic!("expected NonFiniteInput, got {other:?}"),
+            Ok(_) => panic!("expected NonFiniteInput, got Ok"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let a = laplace2d(8, 8);
+        let mut s = Pdslin::setup(
+            &a,
+            PdslinConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            s.solve(&[1.0; 5]),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+        let mut b = vec![1.0; 64];
+        b[17] = f64::INFINITY;
+        match s.solve(&b) {
+            Err(PdslinError::NonFiniteInput {
+                what: "b",
+                index: 17,
+            }) => {}
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+    }
+
+    // ----- fault injection / recovery paths -----
+
+    #[test]
+    fn no_fault_run_has_zero_recovery_events() {
+        let a = laplace2d(16, 16);
+        let mut s = Pdslin::setup(
+            &a,
+            PdslinConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            s.stats.recovery.is_empty(),
+            "{}",
+            s.stats.recovery.summary()
+        );
+        let b = vec![1.0; a.nrows()];
+        let out = s.solve(&b).unwrap();
+        assert!(out.recovery.is_empty(), "{}", out.recovery.summary());
+        assert!(out.converged);
+        assert_eq!(out.method, "gmres");
+    }
+
+    #[test]
+    fn recovers_from_injected_singular_domain() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 2,
+            fault: FaultPlan {
+                singular_domain: Some(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).expect("setup must recover");
+        let retried = s
+            .stats
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SubdomainLuRetry { domain: 1, .. }));
+        assert!(retried, "{}", s.stats.recovery.summary());
+        let b = vec![1.0; a.nrows()];
+        let out = s.solve(&b).unwrap();
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn recovers_from_poisoned_interface() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 2,
+            fault: FaultPlan {
+                poison_interface: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).expect("setup must recover");
+        let repaired = s
+            .stats
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::InterfaceRecomputed { domain: 0 }));
+        assert!(repaired, "{}", s.stats.recovery.summary());
+        let b = vec![1.0; a.nrows()];
+        let out = s.solve(&b).unwrap();
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn recovers_from_failed_partitioner() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 2,
+            fault: FaultPlan {
+                fail_partitioner: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).expect("setup must recover");
+        let fellback = s
+            .stats
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::PartitionFallback { .. }));
+        assert!(fellback, "{}", s.stats.recovery.summary());
+        let b = vec![1.0; a.nrows()];
+        let out = s.solve(&b).unwrap();
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn krylov_stall_walks_the_fallback_chain() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 2,
+            fault: FaultPlan {
+                krylov_stall: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).unwrap();
+        assert!(s.stats.recovery.is_empty(), "stall only affects the solve");
+        let b = vec![1.0; a.nrows()];
+        let out = s.solve(&b).unwrap();
+        assert!(
+            out.recovery
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::KrylovFallback { .. })),
+            "{}",
+            out.recovery.summary()
+        );
+        assert_ne!(
+            out.method, "gmres",
+            "the starved primary cannot have produced the answer"
+        );
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn faulted_runs_match_clean_answers() {
+        let a = laplace2d(12, 12);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let clean = {
+            let mut s = Pdslin::setup(
+                &a,
+                PdslinConfig {
+                    k: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            s.solve(&b).unwrap().x
+        };
+        for fault in [
+            FaultPlan {
+                singular_domain: Some(0),
+                ..Default::default()
+            },
+            FaultPlan {
+                poison_interface: Some(1),
+                ..Default::default()
+            },
+            FaultPlan {
+                krylov_stall: true,
+                ..Default::default()
+            },
+        ] {
+            let cfg = PdslinConfig {
+                k: 2,
+                fault,
+                ..Default::default()
+            };
+            let mut s = Pdslin::setup(&a, cfg).unwrap();
+            let x = s.solve(&b).unwrap().x;
+            for (xc, xf) in clean.iter().zip(&x) {
+                assert!((xc - xf).abs() < 1e-6, "fault {fault:?} changed the answer");
+            }
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! The unified error taxonomy of the solver.
+//!
+//! Every fallible phase of the PDSLin pipeline reports through
+//! [`PdslinError`]: input validation, partitioning, the subdomain and
+//! Schur factorisations, and the outer Krylov solve. Callers get one
+//! `std::error::Error` type with enough structure to decide whether a
+//! failure is the user's (bad input) or numerical (factorisation or
+//! solver breakdown after every recovery attempt was exhausted).
+
+use slu::LuError;
+use std::fmt;
+
+/// Any failure of `Pdslin::setup` or `Pdslin::solve`.
+///
+/// Recoverable conditions (a singular subdomain pivot, a degenerate
+/// partition, a stalled Krylov method) never surface here directly —
+/// the driver retries through its fallback chains first and records the
+/// attempts in a [`crate::recovery::RecoveryReport`]. A `PdslinError`
+/// means the chain itself was exhausted.
+#[derive(Clone, Debug)]
+pub enum PdslinError {
+    /// The caller's input is structurally invalid (dimension mismatch,
+    /// `k = 0`, more subdomains than rows, ...).
+    InvalidInput {
+        /// What was wrong.
+        message: String,
+    },
+    /// The matrix or right-hand side carries a NaN or ±Inf entry.
+    NonFiniteInput {
+        /// Which input (`"A"` or `"b"`).
+        what: &'static str,
+        /// Row index of the first offending entry.
+        index: usize,
+    },
+    /// No partitioner in the fallback chain produced a usable DBBD form.
+    PartitionFailed {
+        /// Why the last fallback was rejected.
+        reason: String,
+    },
+    /// A subdomain `LU(D_ℓ)` failed after every retry (threshold
+    /// escalation and diagonal perturbation included).
+    SubdomainFactorization {
+        /// Index of the subdomain.
+        domain: usize,
+        /// Number of factorisation attempts made.
+        attempts: usize,
+        /// The error of the final attempt.
+        source: LuError,
+    },
+    /// `LU(S̃)` failed after every retry.
+    SchurFactorization {
+        /// Number of factorisation attempts made.
+        attempts: usize,
+        /// The error of the final attempt.
+        source: LuError,
+    },
+    /// The outer Krylov solve did not reach an acceptable residual even
+    /// after the full fallback chain (restart growth, method switch,
+    /// direct `LU(S̃)` solve with iterative refinement).
+    SolveFailed {
+        /// Best relative residual achieved by any method in the chain.
+        residual: f64,
+        /// Labels of the methods that were tried, in order.
+        tried: Vec<String>,
+    },
+}
+
+impl fmt::Display for PdslinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdslinError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            PdslinError::NonFiniteInput { what, index } => {
+                write!(f, "non-finite value (NaN/Inf) in {what} at row {index}")
+            }
+            PdslinError::PartitionFailed { reason } => {
+                write!(f, "no usable DBBD partition: {reason}")
+            }
+            PdslinError::SubdomainFactorization {
+                domain,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "LU(D_{domain}) failed after {attempts} attempt(s): {source}"
+            ),
+            PdslinError::SchurFactorization { attempts, source } => {
+                write!(f, "LU(S~) failed after {attempts} attempt(s): {source}")
+            }
+            PdslinError::SolveFailed { residual, tried } => write!(
+                f,
+                "Schur solve failed: best residual {residual:.3e} after trying [{}]",
+                tried.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdslinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdslinError::SubdomainFactorization { source, .. }
+            | PdslinError::SchurFactorization { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PdslinError::SubdomainFactorization {
+            domain: 3,
+            attempts: 4,
+            source: LuError::Singular { step: 7 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("LU(D_3)"), "{s}");
+        assert!(s.contains("4 attempt"), "{s}");
+    }
+
+    #[test]
+    fn source_chain_reaches_lu_error() {
+        let e = PdslinError::SchurFactorization {
+            attempts: 2,
+            source: LuError::Singular { step: 0 },
+        };
+        assert!(e.source().is_some());
+        let e = PdslinError::InvalidInput {
+            message: "k = 0".into(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn solve_failed_lists_methods() {
+        let e = PdslinError::SolveFailed {
+            residual: 1.0,
+            tried: vec!["gmres".into(), "bicgstab".into()],
+        };
+        assert!(e.to_string().contains("gmres, bicgstab"));
+    }
+}

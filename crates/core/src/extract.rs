@@ -80,9 +80,21 @@ pub fn extract_dbbd(a: &Csr, part: DbbdPartition) -> DbbdSystem {
                 "subdomain {l} has entries outside D and E — invalid DBBD partition"
             );
         }
-        domains.push(LocalDomain { rows, d, e_cols, e_hat, f_rows, f_hat });
+        domains.push(LocalDomain {
+            rows,
+            d,
+            e_cols,
+            e_hat,
+            f_rows,
+            f_hat,
+        });
     }
-    DbbdSystem { part, domains, sep_rows, c }
+    DbbdSystem {
+        part,
+        domains,
+        sep_rows,
+        c,
+    }
 }
 
 #[cfg(test)]

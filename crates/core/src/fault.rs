@@ -1,0 +1,74 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! A [`FaultPlan`] makes a chosen pipeline stage fail *on its first
+//! attempt only*: the injected fault corrupts the computation, the
+//! driver's recovery machinery detects it, and the retry (which the plan
+//! leaves untouched) succeeds. The final answer therefore stays correct
+//! while the recovery path is genuinely executed — which is exactly what
+//! the resilience tests need to assert.
+
+/// Which faults to inject into the next `setup`/`solve`.
+///
+/// The default plan injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Make `LU(D_i)` of this subdomain fail on the first attempt, as if
+    /// the block were numerically singular.
+    pub singular_domain: Option<usize>,
+    /// Poison this subdomain's interface block `T̃_i` with a NaN after
+    /// its first computation.
+    pub poison_interface: Option<usize>,
+    /// Make the requested partitioner report failure, forcing the
+    /// partition fallback chain.
+    pub fail_partitioner: bool,
+    /// Cripple the first outer Krylov attempt (starved iteration
+    /// budget), forcing the Krylov fallback chain.
+    pub krylov_stall: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `Default`).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+    }
+
+    #[test]
+    fn any_fault_makes_plan_non_empty() {
+        assert!(!FaultPlan {
+            singular_domain: Some(0),
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            fail_partitioner: true,
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            krylov_stall: true,
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            poison_interface: Some(1),
+            ..Default::default()
+        }
+        .is_none());
+    }
+}

@@ -174,7 +174,12 @@ pub fn compute_interface(
         padding_fraction: g_block.padding_fraction(),
         solve_seconds: g_seconds + w_seconds,
     };
-    InterfaceOutcome { t_tilde, stats, g_block, w_block }
+    InterfaceOutcome {
+        t_tilde,
+        stats,
+        g_block,
+        w_block,
+    }
 }
 
 #[cfg(test)]
@@ -245,11 +250,14 @@ mod tests {
         let (_a, sys) = small_system();
         let dom = &sys.domains[0];
         let fd = factor_domain(&dom.d, 0.1).unwrap();
-        let mk = |ordering| InterfaceConfig { block_size: 4, ordering, drop_tol: 0.0 };
+        let mk = |ordering| InterfaceConfig {
+            block_size: 4,
+            ordering,
+            drop_tol: 0.0,
+        };
         let t_nat = compute_interface(&fd, dom, &mk(RhsOrdering::Natural)).t_tilde;
         let t_post = compute_interface(&fd, dom, &mk(RhsOrdering::Postorder)).t_tilde;
-        let t_hyp =
-            compute_interface(&fd, dom, &mk(RhsOrdering::Hypergraph { tau: None })).t_tilde;
+        let t_hyp = compute_interface(&fd, dom, &mk(RhsOrdering::Hypergraph { tau: None })).t_tilde;
         for r in 0..t_nat.nrows() {
             for c in 0..t_nat.ncols() {
                 assert!((t_nat.get(r, c) - t_post.get(r, c)).abs() < 1e-10);
@@ -266,12 +274,20 @@ mod tests {
         let exact = compute_interface(
             &fd,
             dom,
-            &InterfaceConfig { block_size: 8, ordering: RhsOrdering::Natural, drop_tol: 0.0 },
+            &InterfaceConfig {
+                block_size: 8,
+                ordering: RhsOrdering::Natural,
+                drop_tol: 0.0,
+            },
         );
         let dropped = compute_interface(
             &fd,
             dom,
-            &InterfaceConfig { block_size: 8, ordering: RhsOrdering::Natural, drop_tol: 1e-2 },
+            &InterfaceConfig {
+                block_size: 8,
+                ordering: RhsOrdering::Natural,
+                drop_tol: 1e-2,
+            },
         );
         assert!(dropped.t_tilde.nnz() <= exact.t_tilde.nnz());
     }
@@ -296,9 +312,16 @@ mod tests {
         let mut post = 0u64;
         for dom in &sys.domains {
             let fd = factor_domain(&dom.d, 0.1).unwrap();
-            nat += g_solve_experiment(&fd, dom, 8, RhsOrdering::Natural).0.padded_zeros;
-            post += g_solve_experiment(&fd, dom, 8, RhsOrdering::Postorder).0.padded_zeros;
+            nat += g_solve_experiment(&fd, dom, 8, RhsOrdering::Natural)
+                .0
+                .padded_zeros;
+            post += g_solve_experiment(&fd, dom, 8, RhsOrdering::Postorder)
+                .0
+                .padded_zeros;
         }
-        assert!(post <= nat, "postorder padding {post} should not exceed natural {nat}");
+        assert!(
+            post <= nat,
+            "postorder padding {post} should not exceed natural {nat}"
+        );
     }
 }

@@ -11,8 +11,8 @@
 //!    Recursive Hypergraph Bisection (RHB) — [`partition`].
 //! 2. **Extract** the local systems `A_ℓ = [D_ℓ Ê_ℓ; F̂_ℓ 0]` —
 //!    [`extract`].
-//! 3. **Factor** each `D_ℓ = P_ℓᵀ L_ℓ U_ℓ Q_ℓᵀ` in parallel (rayon, one
-//!    task per subdomain) — [`subdomain`].
+//! 3. **Factor** each `D_ℓ = P_ℓᵀ L_ℓ U_ℓ Q_ℓᵀ` in parallel (scoped
+//!    threads, one task per subdomain — [`par`]) — [`subdomain`].
 //! 4. **Interface solves**: `G_ℓ = L⁻¹ P Ê_ℓ`, `W_ℓ = F̂ P̄ U⁻¹` with
 //!    blocked sparse triangular solves (block size `B`), the §IV
 //!    right-hand-side orderings, and threshold dropping — [`rhs_order`],
@@ -29,10 +29,14 @@
 //! cores of the host (see DESIGN.md §3).
 
 pub mod driver;
+pub mod error;
 pub mod extract;
+pub mod fault;
 pub mod interface;
+pub mod par;
 pub mod partition;
 pub mod precond;
+pub mod recovery;
 pub mod rhs_order;
 pub mod scaling;
 pub mod schur;
@@ -40,7 +44,10 @@ pub mod stats;
 pub mod subdomain;
 
 pub use driver::{KrylovKind, Pdslin, PdslinConfig, SolveOutcome};
+pub use error::PdslinError;
 pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
+pub use fault::FaultPlan;
 pub use partition::{compute_partition, PartitionStats, PartitionerKind};
+pub use recovery::{RecoveryEvent, RecoveryReport};
 pub use rhs_order::RhsOrdering;
 pub use stats::{PhaseTimes, SetupStats};

@@ -1,0 +1,110 @@
+//! Minimal scoped-thread parallel map.
+//!
+//! The per-subdomain phases (`LU(D)`, `Comp(S)`) are embarrassingly
+//! parallel with one coarse task per subdomain, so a work-stealing pool
+//! buys nothing over a handful of scoped threads pulling indices from a
+//! shared counter. Keeping this in-tree keeps the workspace
+//! dependency-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item, in parallel when the host has spare cores.
+///
+/// Results come back in input order. `f` receives `(index, &item)` so
+/// callers can zip against sibling slices without interior mutability.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    serial_or_parallel(items, f, true)
+}
+
+/// Serial twin of [`par_map`] (same traversal, no threads).
+pub fn seq_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    serial_or_parallel(items, f, false)
+}
+
+fn serial_or_parallel<T, R, F>(items: &[T], f: F, parallel: bool) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every index produces a result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys = par_map(&xs, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let xs: Vec<f64> = (0..37).map(|i| i as f64).collect();
+        let p = par_map(&xs, |_, &x| x.sin());
+        let s = seq_map(&xs, |_, &x| x.sin());
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<usize> = Vec::new();
+        assert!(par_map(&none, |_, &x: &usize| x).is_empty());
+        assert_eq!(par_map(&[7usize], |_, &x| x + 1), vec![8]);
+    }
+}

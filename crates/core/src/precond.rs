@@ -83,8 +83,11 @@ mod tests {
         let a = laplace2d(9, 9);
         let p = compute_partition(&a, 2, &PartitionerKind::Ngd);
         let sys = extract_dbbd(&a, p);
-        let factors: Vec<_> =
-            sys.domains.iter().map(|d| factor_domain(&d.d, 0.1).unwrap()).collect();
+        let factors: Vec<_> = sys
+            .domains
+            .iter()
+            .map(|d| factor_domain(&d.d, 0.1).unwrap())
+            .collect();
         let cfg = InterfaceConfig {
             block_size: 8,
             ordering: RhsOrdering::Postorder,
@@ -122,8 +125,11 @@ mod tests {
         let a = laplace2d(12, 12);
         let p = compute_partition(&a, 2, &PartitionerKind::Ngd);
         let sys = extract_dbbd(&a, p);
-        let factors: Vec<_> =
-            sys.domains.iter().map(|d| factor_domain(&d.d, 0.1).unwrap()).collect();
+        let factors: Vec<_> = sys
+            .domains
+            .iter()
+            .map(|d| factor_domain(&d.d, 0.1).unwrap())
+            .collect();
         let cfg = InterfaceConfig {
             block_size: 16,
             ordering: RhsOrdering::Postorder,

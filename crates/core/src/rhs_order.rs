@@ -70,12 +70,10 @@ pub fn order_columns(
 
 /// Symbolic solution patterns (reaches) of every column — compute once
 /// per subdomain and share across block sizes and orderings.
-pub fn column_reaches(
-    cols: &[SparseVec],
-    l: &Csc,
-    ws: &mut SolveWorkspace,
-) -> Vec<Vec<usize>> {
-    cols.iter().map(|c| solve_pattern(l, &c.indices, ws)).collect()
+pub fn column_reaches(cols: &[SparseVec], l: &Csc, ws: &mut SolveWorkspace) -> Vec<Vec<usize>> {
+    cols.iter()
+        .map(|c| solve_pattern(l, &c.indices, ws))
+        .collect()
 }
 
 /// Exact padded-zero accounting of a column order under block size
@@ -168,12 +166,8 @@ pub fn order_columns_precomputed(
                 .collect();
             let mut seed: Vec<usize> = (0..m).collect();
             seed.sort_by_key(|&j| (keys[j], j));
-            let part = recursive_partition_exact_seeded(
-                &h,
-                &sizes,
-                &BisectConfig::default(),
-                &seed,
-            );
+            let part =
+                recursive_partition_exact_seeded(&h, &sizes, &BisectConfig::default(), &seed);
             let mut order: Vec<usize> = (0..m).collect();
             order.sort_by_key(|&j| (part[j], keys[j], j));
             // Final refinement directly on the padded-zeros objective
@@ -284,7 +278,11 @@ pub fn refine_blocks_by_padding(
                         })
                         .collect();
                     scored.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
-                    scored.into_iter().take(CANDIDATES).map(|(_, p)| p).collect()
+                    scored
+                        .into_iter()
+                        .take(CANDIDATES)
+                        .map(|(_, p)| p)
+                        .collect()
                 };
                 let cand1 = pick(b1, &counts);
                 let cand2 = pick(b2, &counts);
@@ -306,8 +304,8 @@ pub fn refine_blocks_by_padding(
                             let base2 = unions[b2][w] & !uniq2[w];
                             new_u2 += (base2 | bits[j1][w]).count_ones() as i64;
                         }
-                        let delta = (new_u1 - u1) * sizes[b1] as i64
-                            + (new_u2 - u2) * sizes[b2] as i64;
+                        let delta =
+                            (new_u1 - u1) * sizes[b1] as i64 + (new_u2 - u2) * sizes[b2] as i64;
                         if delta < best.map_or(0, |(d, _, _)| d) {
                             best = Some((delta, p1, p2));
                         }
@@ -372,7 +370,10 @@ mod tests {
     }
 
     fn seeded_cols(seeds: &[usize]) -> Vec<SparseVec> {
-        seeds.iter().map(|&s| SparseVec::new(vec![s], vec![1.0])).collect()
+        seeds
+            .iter()
+            .map(|&s| SparseVec::new(vec![s], vec![1.0]))
+            .collect()
     }
 
     #[test]
@@ -402,10 +403,8 @@ mod tests {
         // duplicates together (zero padding), any other pairing pads.
         let cols = seeded_cols(&[2, 15, 2, 15]);
         let mut ws = SolveWorkspace::new(20);
-        let ord =
-            order_columns(&cols, &l, 2, RhsOrdering::Hypergraph { tau: None }, &mut ws);
-        let first_pair: std::collections::HashSet<usize> =
-            ord[..2].iter().copied().collect();
+        let ord = order_columns(&cols, &l, 2, RhsOrdering::Hypergraph { tau: None }, &mut ws);
+        let first_pair: std::collections::HashSet<usize> = ord[..2].iter().copied().collect();
         assert!(
             first_pair == [0usize, 2].into_iter().collect()
                 || first_pair == [1usize, 3].into_iter().collect(),
@@ -435,8 +434,7 @@ mod tests {
         let l = bidiag_l(8);
         let cols = seeded_cols(&[3, 1]);
         let mut ws = SolveWorkspace::new(8);
-        let ord =
-            order_columns(&cols, &l, 4, RhsOrdering::Hypergraph { tau: None }, &mut ws);
+        let ord = order_columns(&cols, &l, 4, RhsOrdering::Hypergraph { tau: None }, &mut ws);
         assert_eq!(ord, vec![0, 1]);
     }
 }

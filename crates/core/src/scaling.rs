@@ -12,8 +12,6 @@
 //! why — comes from the measured per-subdomain cost distribution, not
 //! from the model constants. See DESIGN.md §3.
 
-use serde::Serialize;
-
 use crate::stats::{DomainCosts, PhaseTimes};
 
 /// Model constants.
@@ -42,7 +40,7 @@ impl Default for ScalingModel {
 }
 
 /// Predicted phase breakdown at a given core count (one Fig. 1 bar).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PredictedTimes {
     /// Total cores.
     pub cores: usize,
@@ -119,7 +117,13 @@ impl ScalingModel {
             + comm;
         let lu_s = self.speedup(sequential.lu_s, cores as f64, self.alpha_lu) + comm;
         let solve = self.speedup(sequential.solve, cores as f64, self.alpha_solve) + comm;
-        PredictedTimes { cores, lu_d, comp_s, lu_s, solve }
+        PredictedTimes {
+            cores,
+            lu_d,
+            comp_s,
+            lu_s,
+            solve,
+        }
     }
 
     /// Predicts the whole Fig. 1 sweep.
@@ -130,7 +134,10 @@ impl ScalingModel {
         k: usize,
         core_counts: &[usize],
     ) -> Vec<PredictedTimes> {
-        core_counts.iter().map(|&p| self.predict(costs, sequential, k, p)).collect()
+        core_counts
+            .iter()
+            .map(|&p| self.predict(costs, sequential, k, p))
+            .collect()
     }
 }
 
@@ -143,7 +150,11 @@ mod tests {
             lu_d: vec![4.0, 5.0, 3.0, 4.5],
             comp_s: vec![8.0, 12.0, 7.0, 9.0],
         };
-        let seq = PhaseTimes { lu_s: 6.0, solve: 2.0, ..Default::default() };
+        let seq = PhaseTimes {
+            lu_s: 6.0,
+            solve: 2.0,
+            ..Default::default()
+        };
         (dc, seq)
     }
 
@@ -179,7 +190,10 @@ mod tests {
         // must win — this is exactly the RHB-vs-NGD effect of Fig. 3.
         let m = ScalingModel::default();
         let seq = PhaseTimes::default();
-        let balanced = DomainCosts { lu_d: vec![5.0; 4], comp_s: vec![10.0; 4] };
+        let balanced = DomainCosts {
+            lu_d: vec![5.0; 4],
+            comp_s: vec![10.0; 4],
+        };
         let skewed = DomainCosts {
             lu_d: vec![2.0, 2.0, 2.0, 14.0],
             comp_s: vec![4.0, 4.0, 4.0, 28.0],
@@ -209,7 +223,7 @@ mod tests {
         let (dc, seq) = costs();
         let m = ScalingModel::default();
         let p = m.predict(&dc, &seq, 4, 4); // one core per subdomain
-        // With one process per domain there is no intra-domain speedup.
+                                            // With one process per domain there is no intra-domain speedup.
         assert!((p.lu_d - (5.0 + m.comm_latency * 2.0)).abs() < 1e-9);
     }
 }

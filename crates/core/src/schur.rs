@@ -4,8 +4,10 @@
 use slu::{LuError, LuFactors};
 use sparsekit::{Coo, Csr};
 
+use crate::error::PdslinError;
 use crate::extract::DbbdSystem;
-use crate::subdomain::subdomain_ordering;
+use crate::recovery::RecoveryEvent;
+use crate::subdomain::{lu_retry_schedule, subdomain_ordering};
 
 /// Assembles `Ŝ` from the separator block `C` and the per-subdomain
 /// update matrices `T̃_ℓ` (one per subdomain, rows/columns indexed by
@@ -43,9 +45,63 @@ pub fn factor_schur(
 ) -> Result<(Csr, LuFactors), LuError> {
     let (s_tilde, _) = s_hat.drop_small(drop_tol, true);
     let order = subdomain_ordering(&s_tilde);
-    let cfg = slu::LuConfig { pivot_threshold };
+    let cfg = slu::LuConfig {
+        pivot_threshold,
+        ..Default::default()
+    };
     let lu = LuFactors::factorize(&s_tilde, &order, &cfg)?;
     Ok((s_tilde, lu))
+}
+
+/// [`factor_schur`] with the recovery layer: retries along the same
+/// threshold-escalation + diagonal-perturbation schedule as the
+/// subdomain factorisations, recording each retry.
+pub fn factor_schur_robust(
+    s_hat: &Csr,
+    drop_tol: f64,
+    base_threshold: f64,
+) -> Result<(Csr, LuFactors, Vec<RecoveryEvent>), PdslinError> {
+    let (s_tilde, _) = s_hat.drop_small(drop_tol, true);
+    let order = subdomain_ordering(&s_tilde);
+    let schedule = lu_retry_schedule(base_threshold);
+    let mut events = Vec::new();
+    let mut last_err = LuError::Singular { step: 0 };
+    let mut attempts = 0usize;
+    for (attempt, cfg) in schedule.iter().enumerate() {
+        attempts += 1;
+        match LuFactors::factorize(&s_tilde, &order, cfg) {
+            Ok(lu) => {
+                if attempt > 0 {
+                    events.push(RecoveryEvent::SchurLuRetry {
+                        attempt,
+                        pivot_threshold: cfg.pivot_threshold,
+                        perturbation: cfg.diag_perturb,
+                        perturbed_pivots: lu.perturbed.len(),
+                    });
+                }
+                return Ok((s_tilde, lu, events));
+            }
+            Err(e) => {
+                let fatal = matches!(e, LuError::NonFinite { .. });
+                if attempt > 0 {
+                    events.push(RecoveryEvent::SchurLuRetry {
+                        attempt,
+                        pivot_threshold: cfg.pivot_threshold,
+                        perturbation: cfg.diag_perturb,
+                        perturbed_pivots: 0,
+                    });
+                }
+                last_err = e;
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    Err(PdslinError::SchurFactorization {
+        attempts,
+        source: last_err,
+    })
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! Statistics records shared by the driver and the experiment harnesses.
 
-use serde::Serialize;
+use crate::recovery::RecoveryReport;
 
 /// Wall-clock seconds of each PDSLin phase (the stacked bars of Fig. 1).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimes {
     /// Computing the DBBD partition.
     pub partition: f64,
@@ -32,7 +32,7 @@ impl PhaseTimes {
 }
 
 /// Per-subdomain cost observations (feed the Fig. 1 schedule model).
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DomainCosts {
     /// Seconds to factor each `D_ℓ`.
     pub lu_d: Vec<f64>,
@@ -41,7 +41,7 @@ pub struct DomainCosts {
 }
 
 /// Interface-solve statistics per subdomain (Table III columns).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct InterfaceStats {
     /// Structural nonzeros of `G_ℓ`.
     pub nnz_g: u64,
@@ -93,7 +93,7 @@ impl SetupStats {
 }
 
 /// Everything recorded during `Pdslin::setup`.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SetupStats {
     /// Phase wall-clock times.
     pub times: PhaseTimes,
@@ -115,6 +115,8 @@ pub struct SetupStats {
     pub nnz_schur: usize,
     /// nnz of each subdomain's update matrix `T̃_ℓ` (gather volume).
     pub nnz_t: Vec<usize>,
+    /// Every recovery action taken during setup (empty on a clean run).
+    pub recovery: RecoveryReport,
 }
 
 /// `max/min` balance ratio of a sequence (∞ if the minimum is zero).

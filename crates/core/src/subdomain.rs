@@ -11,6 +11,9 @@ use slu::etree::{etree, postorder};
 use slu::{LuConfig, LuError, LuFactors};
 use sparsekit::{Csr, Perm};
 
+use crate::error::PdslinError;
+use crate::recovery::RecoveryEvent;
+
 /// A factored subdomain.
 #[derive(Clone, Debug)]
 pub struct FactoredDomain {
@@ -40,11 +43,19 @@ impl FactoredDomain {
 /// tens of percent — quotient-graph MD costs `O(n · deg²)` and buys
 /// nothing, so RCM takes over past a density threshold.
 pub fn subdomain_ordering(d: &Csr) -> Perm {
-    let sym = if d.pattern_symmetric() { d.clone() } else { d.symmetrize_abs() };
+    let sym = if d.pattern_symmetric() {
+        d.clone()
+    } else {
+        d.symmetrize_abs()
+    };
     let g = Graph::from_matrix(&sym);
     let n = sym.nrows().max(1);
     let density = sym.nnz() as f64 / (n as f64 * n as f64);
-    let md = if density > 0.02 && n > 2000 { rcm_order(&g) } else { min_degree_order(&g) };
+    let md = if density > 0.02 && n > 2000 {
+        rcm_order(&g)
+    } else {
+        min_degree_order(&g)
+    };
     // Postorder the e-tree of the MD-permuted pattern; composing keeps
     // the fill of the MD ordering (postorders are equivalent orderings).
     let pm = sym.permute(&md, &md);
@@ -55,15 +66,117 @@ pub fn subdomain_ordering(d: &Csr) -> Perm {
 
 /// Factors one subdomain with the standard ordering pipeline.
 pub fn factor_domain(d: &Csr, pivot_threshold: f64) -> Result<FactoredDomain, LuError> {
+    factor_domain_with(
+        d,
+        &LuConfig {
+            pivot_threshold,
+            ..Default::default()
+        },
+    )
+}
+
+/// Factors one subdomain with an explicit LU configuration.
+pub fn factor_domain_with(d: &Csr, cfg: &LuConfig) -> Result<FactoredDomain, LuError> {
     let order = subdomain_ordering(d);
-    let cfg = LuConfig { pivot_threshold };
-    let lu = LuFactors::factorize(d, &order, &cfg)?;
+    let lu = LuFactors::factorize(d, &order, cfg)?;
     // E-tree of the ordered symmetric pattern, in elimination coordinates
     // (used by diagnostics and the postorder RHS key).
-    let sym = if d.pattern_symmetric() { d.clone() } else { d.symmetrize_abs() };
+    let sym = if d.pattern_symmetric() {
+        d.clone()
+    } else {
+        d.symmetrize_abs()
+    };
     let pd = sym.permute(&order, &order);
     let etree_parent = etree(&pd);
     Ok(FactoredDomain { lu, etree_parent })
+}
+
+/// Relative diagonal perturbation used by the last-resort LU retry —
+/// the SuperLU_DIST recipe: failed pivots are replaced by
+/// `±ε·‖A‖_max` so the factorisation completes and the outer iteration
+/// absorbs the perturbation.
+pub const LAST_RESORT_PERTURBATION: f64 = 1e-8;
+
+/// Escalation schedule for a failed sparse LU: raise the pivot
+/// threshold toward full partial pivoting, then enable the diagonal
+/// perturbation.
+pub(crate) fn lu_retry_schedule(base_threshold: f64) -> Vec<LuConfig> {
+    let mut cfgs = vec![LuConfig {
+        pivot_threshold: base_threshold,
+        diag_perturb: None,
+    }];
+    for t in [0.5, 1.0] {
+        if t > base_threshold {
+            cfgs.push(LuConfig {
+                pivot_threshold: t,
+                diag_perturb: None,
+            });
+        }
+    }
+    cfgs.push(LuConfig {
+        pivot_threshold: base_threshold.max(1.0),
+        diag_perturb: Some(LAST_RESORT_PERTURBATION),
+    });
+    cfgs
+}
+
+/// [`factor_domain`] with the recovery layer: on failure the
+/// factorisation is retried along [`lu_retry_schedule`], each retry
+/// recorded. `inject_singular` fails the first attempt artificially
+/// (fault injection); retries run clean.
+pub fn factor_domain_robust(
+    d: &Csr,
+    domain: usize,
+    base_threshold: f64,
+    inject_singular: bool,
+) -> Result<(FactoredDomain, Vec<RecoveryEvent>), PdslinError> {
+    let schedule = lu_retry_schedule(base_threshold);
+    let mut events = Vec::new();
+    let mut last_err = LuError::Singular { step: 0 };
+    let mut attempts = 0usize;
+    for (attempt, cfg) in schedule.iter().enumerate() {
+        attempts += 1;
+        if attempt == 0 && inject_singular {
+            last_err = LuError::Singular { step: 0 };
+            continue;
+        }
+        match factor_domain_with(d, cfg) {
+            Ok(fd) => {
+                if attempt > 0 {
+                    events.push(RecoveryEvent::SubdomainLuRetry {
+                        domain,
+                        attempt,
+                        pivot_threshold: cfg.pivot_threshold,
+                        perturbation: cfg.diag_perturb,
+                        perturbed_pivots: fd.lu.perturbed.len(),
+                    });
+                }
+                return Ok((fd, events));
+            }
+            Err(e) => {
+                // NaN/Inf in the input cannot be pivoted away — stop.
+                let fatal = matches!(e, LuError::NonFinite { .. });
+                if attempt > 0 {
+                    events.push(RecoveryEvent::SubdomainLuRetry {
+                        domain,
+                        attempt,
+                        pivot_threshold: cfg.pivot_threshold,
+                        perturbation: cfg.diag_perturb,
+                        perturbed_pivots: 0,
+                    });
+                }
+                last_err = e;
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    Err(PdslinError::SubdomainFactorization {
+        domain,
+        attempts,
+        source: last_err,
+    })
 }
 
 #[cfg(test)]
@@ -112,6 +225,71 @@ mod tests {
             let p = fd.row_to_pivot(i);
             assert_eq!(fd.lu.row_perm.to_old(p), i);
         }
+    }
+
+    #[test]
+    fn robust_factor_clean_run_records_nothing() {
+        let d = laplace2d(8, 8);
+        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false).unwrap();
+        assert!(events.is_empty());
+        assert!(fd.lu.perturbed.is_empty());
+    }
+
+    #[test]
+    fn robust_factor_recovers_from_injected_singularity() {
+        let d = laplace2d(8, 8);
+        let (fd, events) = factor_domain_robust(&d, 3, 0.1, true).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            RecoveryEvent::SubdomainLuRetry {
+                domain: 3,
+                attempt: 1,
+                ..
+            }
+        ));
+        let b: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let x = fd.lu.solve(&b);
+        assert!(residual_inf_norm(&d, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn robust_factor_perturbs_truly_singular_block() {
+        // Structurally deficient: an empty row makes every pivot choice
+        // fail until the perturbation pass completes the factorisation.
+        let mut c = sparsekit::Coo::new(4, 4);
+        c.push(0, 0, 2.0);
+        c.push(1, 1, 3.0);
+        c.push(3, 3, 1.5);
+        c.push(0, 1, -1.0);
+        c.push(2, 2, 0.0); // keep row 2 present but numerically dead
+        let d = c.to_csr();
+        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false).unwrap();
+        let retried = events.iter().any(|e| {
+            matches!(
+                e,
+                RecoveryEvent::SubdomainLuRetry {
+                    perturbation: Some(_),
+                    ..
+                }
+            )
+        });
+        assert!(retried, "events: {events:?}");
+        assert!(!fd.lu.perturbed.is_empty());
+    }
+
+    #[test]
+    fn retry_schedule_escalates() {
+        let s = lu_retry_schedule(0.1);
+        assert_eq!(s[0].pivot_threshold, 0.1);
+        assert!(s.iter().rev().skip(1).all(|c| c.diag_perturb.is_none()));
+        assert_eq!(
+            s.last().unwrap().diag_perturb,
+            Some(LAST_RESORT_PERTURBATION)
+        );
+        assert!(s
+            .windows(2)
+            .all(|w| w[1].pivot_threshold >= w[0].pivot_threshold));
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn contract(g: &Graph, mate: &[usize]) -> CoarseLevel {
         }
         xadj[c + 1] = adj.len();
     }
-    CoarseLevel { graph: Graph::from_parts(xadj, adj, ewgt, vwgt), coarse_of }
+    CoarseLevel {
+        graph: Graph::from_parts(xadj, adj, ewgt, vwgt),
+        coarse_of,
+    }
 }
 
 /// Convenience: match + contract in one step.

@@ -19,7 +19,10 @@ impl FmLimits {
     /// `max_side = (1+eps) * total/2`.
     pub fn from_eps(total: i64, eps: f64) -> Self {
         let max_side = ((total as f64) * (1.0 + eps) / 2.0).ceil() as i64;
-        FmLimits { max_side, max_passes: 8 }
+        FmLimits {
+            max_side,
+            max_passes: 8,
+        }
     }
 }
 
@@ -135,7 +138,11 @@ mod tests {
         let side: Vec<u8> = (0..36).map(|v| (v % 2) as u8).collect();
         let mut b = Bisection::recompute(&g, side);
         let before = b.edgecut;
-        let gain = refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        let gain = refine(
+            &g,
+            &mut b,
+            FmLimits::from_eps(g.total_vertex_weight(), 0.05),
+        );
         assert!(gain >= 0);
         assert!(b.edgecut <= before);
         assert_eq!(b.edgecut, g.edge_cut(&b.side), "cut bookkeeping consistent");
@@ -146,7 +153,11 @@ mod tests {
         let g = grid(8, 8);
         let side: Vec<u8> = (0..64).map(|v| ((v / 3) % 2) as u8).collect();
         let mut b = Bisection::recompute(&g, side);
-        refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        refine(
+            &g,
+            &mut b,
+            FmLimits::from_eps(g.total_vertex_weight(), 0.05),
+        );
         // The optimal straight-line cut is 8; FM from a poor start should
         // get within a factor of ~3.
         assert!(b.edgecut <= 24, "cut {} too large", b.edgecut);
@@ -170,7 +181,11 @@ mod tests {
         let mut b = Bisection::recompute(&g, side);
         let before = b.edgecut;
         assert_eq!(before, 4);
-        refine(&g, &mut b, FmLimits::from_eps(g.total_vertex_weight(), 0.05));
+        refine(
+            &g,
+            &mut b,
+            FmLimits::from_eps(g.total_vertex_weight(), 0.05),
+        );
         assert_eq!(b.edgecut, 4);
     }
 }

@@ -48,7 +48,12 @@ impl Graph {
                 debug_assert!(set.contains(&(u, v)), "asymmetric edge ({v},{u})");
             }
         }
-        Graph { xadj, adj, ewgt, vwgt }
+        Graph {
+            xadj,
+            adj,
+            ewgt,
+            vwgt,
+        }
     }
 
     /// Builds the adjacency graph of a square sparse matrix.
@@ -57,7 +62,11 @@ impl Graph {
     /// diagonal is ignored. Vertex weights are 1, edge weights are 1.
     pub fn from_matrix(a: &Csr) -> Self {
         assert_eq!(a.nrows(), a.ncols(), "graph requires square matrix");
-        let s = if a.pattern_symmetric() { a.clone() } else { a.symmetrize_abs() };
+        let s = if a.pattern_symmetric() {
+            a.clone()
+        } else {
+            a.symmetrize_abs()
+        };
         let n = s.nrows();
         let mut xadj = vec![0usize; n + 1];
         let mut adj = Vec::with_capacity(s.nnz());
@@ -70,7 +79,12 @@ impl Graph {
             xadj[v + 1] = adj.len();
         }
         let m = adj.len();
-        Graph { xadj, adj, ewgt: vec![1; m], vwgt: vec![1; n] }
+        Graph {
+            xadj,
+            adj,
+            ewgt: vec![1; m],
+            vwgt: vec![1; n],
+        }
     }
 
     /// Number of vertices.
@@ -95,7 +109,10 @@ impl Graph {
 
     /// Iterates `(neighbour, edge_weight)` for `v`.
     pub fn edges(&self, v: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.edge_weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(v).iter().copied())
     }
 
     /// Degree (number of neighbours) of `v`.
@@ -142,7 +159,15 @@ impl Graph {
             xadj[new + 1] = adj.len();
             vwgt.push(self.vwgt[old]);
         }
-        (Graph { xadj, adj, ewgt, vwgt }, keep.to_vec())
+        (
+            Graph {
+                xadj,
+                adj,
+                ewgt,
+                vwgt,
+            },
+            keep.to_vec(),
+        )
     }
 
     /// Sum of edge weights crossing the bisection `side` (0/1 per vertex).
@@ -196,7 +221,11 @@ impl Graph {
             ecc = new_ecc;
             // Among the deepest vertices prefer the smallest degree — the
             // classical GPS heuristic.
-            let far: Vec<usize> = order.iter().copied().filter(|&u| level[u] == new_ecc).collect();
+            let far: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&u| level[u] == new_ecc)
+                .collect();
             v = far.into_iter().min_by_key(|&u| self.degree(u)).unwrap();
         }
         v

@@ -21,7 +21,11 @@ impl Bisection {
             weights[side[v] as usize] += g.vertex_weight(v);
         }
         let edgecut = g.edge_cut(&side);
-        Bisection { side, edgecut, weights }
+        Bisection {
+            side,
+            edgecut,
+            weights,
+        }
     }
 
     /// Imbalance `(Wmax − Wavg)/Wavg` of the bisection.
@@ -112,7 +116,11 @@ mod tests {
     fn grow_bisection_is_roughly_balanced() {
         let g = grid(8, 8);
         let b = grow_bisection(&g, g.total_vertex_weight() / 2);
-        assert!(b.imbalance() < 0.10, "imbalance {} too large", b.imbalance());
+        assert!(
+            b.imbalance() < 0.10,
+            "imbalance {} too large",
+            b.imbalance()
+        );
         assert!(b.edgecut > 0);
     }
 

@@ -48,6 +48,6 @@ pub mod separator;
 pub mod trim;
 
 pub use graph::Graph;
-pub use nd::{nested_dissection, nd_ordering, DbbdPartition, NdConfig, SEPARATOR};
+pub use nd::{nd_ordering, nested_dissection, DbbdPartition, NdConfig, SEPARATOR};
 pub use ordering::{mindeg::min_degree_order, rcm::rcm_order};
 pub use trim::trim_separator;

@@ -80,7 +80,10 @@ mod tests {
         let edges: Vec<(usize, usize, f64)> = (0..9).map(|i| (i, i + 1, 1.0)).collect();
         let g = graph_from_edges(10, &edges);
         let mate = heavy_edge_matching(&g);
-        assert!(matched_pairs(&mate) >= 4, "path of 10 should match at least 4 pairs");
+        assert!(
+            matched_pairs(&mate) >= 4,
+            "path of 10 should match at least 4 pairs"
+        );
     }
 
     #[test]

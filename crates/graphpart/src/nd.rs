@@ -27,7 +27,10 @@ pub struct NdConfig {
 
 impl Default for NdConfig {
     fn default() -> Self {
-        NdConfig { eps: 0.05, coarse_target: 96 }
+        NdConfig {
+            eps: 0.05,
+            coarse_target: 96,
+        }
     }
 }
 
@@ -43,12 +46,16 @@ pub struct DbbdPartition {
 impl DbbdPartition {
     /// Vertices of subdomain `l`, in ascending order.
     pub fn part_rows(&self, l: usize) -> Vec<usize> {
-        (0..self.part_of.len()).filter(|&v| self.part_of[v] == l).collect()
+        (0..self.part_of.len())
+            .filter(|&v| self.part_of[v] == l)
+            .collect()
     }
 
     /// Separator vertices, in ascending order.
     pub fn separator_rows(&self) -> Vec<usize> {
-        (0..self.part_of.len()).filter(|&v| self.part_of[v] == SEPARATOR).collect()
+        (0..self.part_of.len())
+            .filter(|&v| self.part_of[v] == SEPARATOR)
+            .collect()
     }
 
     /// Number of vertices in each subdomain.
@@ -110,7 +117,9 @@ pub fn multilevel_bisect(g: &Graph, cfg: &NdConfig) -> Bisection {
     }
     let coarse_bis = multilevel_bisect(&lvl.graph, cfg);
     // Project to the fine level.
-    let side: Vec<u8> = (0..g.nvertices()).map(|v| coarse_bis.side[lvl.coarse_of[v]]).collect();
+    let side: Vec<u8> = (0..g.nvertices())
+        .map(|v| coarse_bis.side[lvl.coarse_of[v]])
+        .collect();
     let mut b = Bisection::recompute(g, side);
     refine(g, &mut b, limits);
     b
@@ -120,7 +129,10 @@ pub fn multilevel_bisect(g: &Graph, cfg: &NdConfig) -> Bisection {
 ///
 /// `k` must be a power of two (the paper uses 8 and 32).
 pub fn nested_dissection(g: &Graph, k: usize, cfg: &NdConfig) -> DbbdPartition {
-    assert!(k.is_power_of_two(), "nested dissection requires k to be a power of two");
+    assert!(
+        k.is_power_of_two(),
+        "nested dissection requires k to be a power of two"
+    );
     assert!(k >= 1);
     let n = g.nvertices();
     let mut part_of = vec![SEPARATOR; n];
@@ -244,7 +256,11 @@ mod tests {
         let sizes = p.subdomain_sizes();
         assert!(sizes[0] > 0 && sizes[1] > 0);
         assert!(p.separator_size() > 0);
-        assert!(p.separator_size() <= 30, "separator too big: {}", p.separator_size());
+        assert!(
+            p.separator_size() <= 30,
+            "separator too big: {}",
+            p.separator_size()
+        );
         // Separator actually separates: no edge between part 0 and 1.
         for v in 0..g.nvertices() {
             if p.part_of[v] == SEPARATOR {

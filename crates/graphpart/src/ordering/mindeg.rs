@@ -117,8 +117,7 @@ mod tests {
         for step in 0..n {
             let p0 = p.to_old(step);
             gone[p0] = true;
-            let nbrs: Vec<usize> =
-                (0..n).filter(|&u| !gone[u] && adj[p0][u]).collect();
+            let nbrs: Vec<usize> = (0..n).filter(|&u| !gone[u] && adj[p0][u]).collect();
             for (a, &u) in nbrs.iter().enumerate() {
                 for &w in &nbrs[a + 1..] {
                     if !adj[u][w] {
@@ -143,7 +142,10 @@ mod tests {
         // The centre ties with the final leaf once only two vertices
         // remain, so it must appear among the last two eliminated.
         let centre_pos = p.to_new(0);
-        assert!(centre_pos >= 4, "centre eliminated too early (pos {centre_pos})");
+        assert!(
+            centre_pos >= 4,
+            "centre eliminated too early (pos {centre_pos})"
+        );
     }
 
     #[test]
@@ -151,7 +153,11 @@ mod tests {
         let edges: Vec<(usize, usize)> = (0..7).map(|i| (i, i + 1)).collect();
         let g = graph_from_sym_edges(8, &edges);
         let p = min_degree_order(&g);
-        assert_eq!(fill_count(&g, &p), 0, "paths are perfect-elimination under MD");
+        assert_eq!(
+            fill_count(&g, &p),
+            0,
+            "paths are perfect-elimination under MD"
+        );
     }
 
     #[test]
@@ -159,7 +165,11 @@ mod tests {
         let edges = [(0usize, 1usize), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)];
         let g = graph_from_sym_edges(7, &edges);
         let p = min_degree_order(&g);
-        assert_eq!(fill_count(&g, &p), 0, "trees are chordal: MD finds zero fill");
+        assert_eq!(
+            fill_count(&g, &p),
+            0,
+            "trees are chordal: MD finds zero fill"
+        );
     }
 
     #[test]
@@ -181,7 +191,10 @@ mod tests {
         let p = min_degree_order(&g);
         let natural = fill_count(&g, &Perm::identity(nx * nx));
         let md = fill_count(&g, &p);
-        assert!(md < natural, "MD fill {md} should beat natural fill {natural}");
+        assert!(
+            md < natural,
+            "MD fill {md} should beat natural fill {natural}"
+        );
     }
 
     #[test]

@@ -131,7 +131,12 @@ pub fn vertex_separator(g: &Graph, bis: &Bisection) -> VertexSeparator {
             s => side_weights[s as usize] += g.vertex_weight(v),
         }
     }
-    VertexSeparator { assign, separator, side_weights, sep_weight }
+    VertexSeparator {
+        assign,
+        separator,
+        side_weights,
+        sep_weight,
+    }
 }
 
 /// Checks that `assign` is a valid separator: no edge directly connects
@@ -199,7 +204,11 @@ mod tests {
         let b = Bisection::recompute(&g, side);
         let vs = vertex_separator(&g, &b);
         assert!(is_valid_separator(&g, &vs.assign));
-        assert_eq!(vs.separator.len(), 1, "path needs a single separator vertex");
+        assert_eq!(
+            vs.separator.len(),
+            1,
+            "path needs a single separator vertex"
+        );
     }
 
     #[test]

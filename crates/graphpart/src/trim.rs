@@ -52,9 +52,7 @@ pub fn trim_separator(g: &Graph, part: &mut DbbdPartition) -> usize {
                 continue;
             }
             // Isolated separator vertices go to the lightest subdomain.
-            let dest = owner.unwrap_or_else(|| {
-                (0..k).min_by_key(|&l| sizes[l]).expect("k >= 1")
-            });
+            let dest = owner.unwrap_or_else(|| (0..k).min_by_key(|&l| sizes[l]).expect("k >= 1"));
             part.part_of[v] = dest;
             sizes[dest] += 1;
             moved += 1;
@@ -109,7 +107,10 @@ mod tests {
             part_of: vec![0, 0, SEPARATOR, SEPARATOR, 1],
         };
         let moved = trim_separator(&g, &mut part);
-        assert_eq!(moved, 1, "exactly one of the two separator vertices is redundant");
+        assert_eq!(
+            moved, 1,
+            "exactly one of the two separator vertices is redundant"
+        );
         assert!(is_valid(&g, &part));
         assert_eq!(part.separator_size(), 1);
     }
@@ -118,7 +119,10 @@ mod tests {
     fn keeps_necessary_separator() {
         // Path 0-1-2: separator {1} is necessary.
         let g = path_graph(3);
-        let mut part = DbbdPartition { k: 2, part_of: vec![0, SEPARATOR, 1] };
+        let mut part = DbbdPartition {
+            k: 2,
+            part_of: vec![0, SEPARATOR, 1],
+        };
         let moved = trim_separator(&g, &mut part);
         assert_eq!(moved, 0);
         assert_eq!(part.separator_size(), 1);
@@ -133,9 +137,15 @@ mod tests {
             c.push(i, i, 1.0);
         }
         let g = Graph::from_matrix(&c.to_csr());
-        let mut part = DbbdPartition { k: 2, part_of: vec![0, 0, 1, SEPARATOR] };
+        let mut part = DbbdPartition {
+            k: 2,
+            part_of: vec![0, 0, 1, SEPARATOR],
+        };
         trim_separator(&g, &mut part);
-        assert_eq!(part.part_of[3], 1, "lone vertex should join the lighter part");
+        assert_eq!(
+            part.part_of[3], 1,
+            "lone vertex should join the lighter part"
+        );
         assert!(is_valid(&g, &part));
     }
 
@@ -151,6 +161,10 @@ mod tests {
         };
         trim_separator(&g, &mut part);
         assert!(is_valid(&g, &part));
-        assert_eq!(part.separator_size(), 1, "fixpoint should leave one separator");
+        assert_eq!(
+            part.separator_size(),
+            1,
+            "fixpoint should leave one separator"
+        );
     }
 }

@@ -15,7 +15,10 @@ pub struct BisectConfig {
 
 impl Default for BisectConfig {
     fn default() -> Self {
-        BisectConfig { eps: 0.05, coarse_target: 128 }
+        BisectConfig {
+            eps: 0.05,
+            coarse_target: 128,
+        }
     }
 }
 
@@ -86,7 +89,9 @@ pub fn multilevel_bisect(h: &Hypergraph, cfg: &BisectConfig) -> HBisection {
         return b;
     }
     let coarse = multilevel_bisect(&lvl.hg, cfg);
-    let side: Vec<u8> = (0..h.nvertices()).map(|v| coarse.side[lvl.coarse_of[v]]).collect();
+    let side: Vec<u8> = (0..h.nvertices())
+        .map(|v| coarse.side[lvl.coarse_of[v]])
+        .collect();
     let mut b = HBisection::recompute(h, side);
     refine(h, &mut b, &limits);
     b

@@ -106,7 +106,10 @@ pub fn contract(h: &Hypergraph, mate: &[usize]) -> CoarseHg {
             ncost.push(h.net_cost(net));
         }
     }
-    CoarseHg { hg: Hypergraph::from_pin_lists(nc, &pins, vwgt, ncon, ncost), coarse_of }
+    CoarseHg {
+        hg: Hypergraph::from_pin_lists(nc, &pins, vwgt, ncon, ncost),
+        coarse_of,
+    }
 }
 
 /// Match + contract in one step.
@@ -164,13 +167,7 @@ mod tests {
 
     #[test]
     fn multiconstraint_weights_summed() {
-        let h = Hypergraph::from_pin_lists(
-            2,
-            &[vec![0, 1]],
-            vec![1, 10, 2, 20],
-            2,
-            vec![1],
-        );
+        let h = Hypergraph::from_pin_lists(2, &[vec![0, 1]], vec![1, 10, 2, 20], 2, vec![1]);
         let lvl = contract(&h, &[1, 0]);
         assert_eq!(lvl.hg.vertex_weights(0), &[3, 30]);
     }

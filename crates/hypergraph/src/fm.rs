@@ -74,7 +74,10 @@ impl HFmLimits {
             .iter()
             .map(|&t| ((t as f64) * (1.0 + eps) / 2.0).ceil() as i64)
             .collect();
-        HFmLimits { max_side, max_passes: 6 }
+        HFmLimits {
+            max_side,
+            max_passes: 6,
+        }
     }
 }
 

@@ -36,7 +36,11 @@ impl Hypergraph {
         ncost: Vec<i64>,
     ) -> Self {
         assert!(ncon >= 1, "at least one constraint required");
-        assert_eq!(vwgt.len(), nvert * ncon, "vertex weight array size mismatch");
+        assert_eq!(
+            vwgt.len(),
+            nvert * ncon,
+            "vertex weight array size mismatch"
+        );
         assert_eq!(ncost.len(), pins.len(), "net cost array size mismatch");
         let nnets = pins.len();
         let mut nptr = vec![0usize; nnets + 1];
@@ -62,7 +66,15 @@ impl Hypergraph {
                 next[v] += 1;
             }
         }
-        Hypergraph { ncon, vptr, vnets, nptr, npins, vwgt, ncost }
+        Hypergraph {
+            ncon,
+            vptr,
+            vnets,
+            nptr,
+            npins,
+            vwgt,
+            ncost,
+        }
     }
 
     /// Number of vertices.
@@ -178,13 +190,7 @@ mod tests {
 
     #[test]
     fn multiconstraint_weights() {
-        let h = Hypergraph::from_pin_lists(
-            2,
-            &[vec![0, 1]],
-            vec![1, 10, 2, 20],
-            2,
-            vec![5],
-        );
+        let h = Hypergraph::from_pin_lists(2, &[vec![0, 1]], vec![1, 10, 2, 20], 2, vec![5]);
         assert_eq!(h.vertex_weights(0), &[1, 10]);
         assert_eq!(h.vertex_weights(1), &[2, 20]);
         assert_eq!(h.total_weights(), vec![3, 30]);

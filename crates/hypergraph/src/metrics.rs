@@ -149,13 +149,7 @@ mod tests {
 
     #[test]
     fn net_costs_scale_metrics() {
-        let h = Hypergraph::from_pin_lists(
-            2,
-            &[vec![0, 1], vec![0]],
-            vec![1, 1],
-            1,
-            vec![7, 3],
-        );
+        let h = Hypergraph::from_pin_lists(2, &[vec![0, 1], vec![0]], vec![1, 1], 1, vec![7, 3]);
         let cs = cut_sizes(&h, &[0, 1], 2);
         assert_eq!(cs.cnet, 7);
         assert_eq!(cs.con1, 7);

@@ -14,12 +14,7 @@ pub fn column_net_model(m: &Csr) -> Hypergraph {
 
 /// Column-net model with caller-supplied vertex weights (row-major,
 /// `ncon` per row) and a uniform net cost.
-pub fn column_net_model_weighted(
-    m: &Csr,
-    vwgt: &[i64],
-    ncon: usize,
-    net_cost: i64,
-) -> Hypergraph {
+pub fn column_net_model_weighted(m: &Csr, vwgt: &[i64], ncon: usize, net_cost: i64) -> Hypergraph {
     let mut pins: Vec<Vec<usize>> = vec![Vec::new(); m.ncols()];
     for i in 0..m.nrows() {
         for &j in m.row_indices(i) {

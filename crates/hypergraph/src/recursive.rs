@@ -40,7 +40,10 @@ pub fn induce_subhypergraph(h: &Hypergraph, vertices: &[usize]) -> (Hypergraph, 
             ncost.push(h.net_cost(net));
         }
     }
-    (Hypergraph::from_pin_lists(vertices.len(), &pins, vwgt, ncon, ncost), vertices.to_vec())
+    (
+        Hypergraph::from_pin_lists(vertices.len(), &pins, vwgt, ncon, ncost),
+        vertices.to_vec(),
+    )
 }
 
 /// Recursively partitions `h` into parts of *exactly* the given sizes
@@ -69,8 +72,16 @@ pub fn recursive_partition_exact_seeded(
     seed_order: &[usize],
 ) -> Vec<usize> {
     let total: usize = sizes.iter().sum();
-    assert_eq!(total, h.nvertices(), "part sizes must sum to the vertex count");
-    assert_eq!(seed_order.len(), h.nvertices(), "seed order must cover all vertices");
+    assert_eq!(
+        total,
+        h.nvertices(),
+        "part sizes must sum to the vertex count"
+    );
+    assert_eq!(
+        seed_order.len(),
+        h.nvertices(),
+        "seed order must cover all vertices"
+    );
     let mut part = vec![0usize; h.nvertices()];
     recurse(h, seed_order, sizes, 0, cfg, &mut part);
     part
@@ -98,8 +109,9 @@ fn recurse(
     repair_to_exact_count(&sub, &mut ml, target0);
     // Candidate B: the contiguous split of the seed order, FM-refined
     // under a tight balance bound, then repaired.
-    let seed_side: Vec<u8> =
-        (0..sub.nvertices()).map(|v| if v < target0 { 0u8 } else { 1u8 }).collect();
+    let seed_side: Vec<u8> = (0..sub.nvertices())
+        .map(|v| if v < target0 { 0u8 } else { 1u8 })
+        .collect();
     let mut seeded = crate::fm::HBisection::recompute(&sub, seed_side);
     let tight = crate::fm::HFmLimits::from_eps(&sub, 0.02);
     crate::fm::refine(&sub, &mut seeded, &tight);

@@ -172,8 +172,15 @@ fn structural_factor(a: &Csr, f: StructuralFactor) -> Csr {
 /// assigns every **column** of `m` (equivalently every vertex of `A`) to
 /// a subdomain `0..k` or to the separator.
 pub fn rhb_partition(m: &Csr, k: usize, cfg: &RhbConfig) -> DbbdPartition {
-    assert!(k.is_power_of_two() && k >= 1, "RHB requires a power-of-two part count");
-    assert_eq!(m.nrows(), m.ncols(), "RHB expects the (symmetrised) square matrix");
+    assert!(
+        k.is_power_of_two() && k >= 1,
+        "RHB requires a power-of-two part count"
+    );
+    assert_eq!(
+        m.nrows(),
+        m.ncols(),
+        "RHB expects the (symmetrised) square matrix"
+    );
     let ncols = m.ncols();
     let mfac = structural_factor(m, cfg.factor);
     let m = &mfac;
@@ -187,7 +194,12 @@ pub fn rhb_partition(m: &Csr, k: usize, cfg: &RhbConfig) -> DbbdPartition {
     let mut row_part = vec![0usize; nrows];
     let rows: Vec<usize> = (0..nrows).collect();
     let cols: Vec<(usize, i64)> = (0..ncols).map(|j| (j, initial_cost)).collect();
-    let mut state = RhbState { m, cfg, global_row_nnz: &global_row_nnz, row_part: &mut row_part };
+    let mut state = RhbState {
+        m,
+        cfg,
+        global_row_nnz: &global_row_nnz,
+        row_part: &mut row_part,
+    };
     rhb_recurse(&mut state, rows, cols, k, 0, cfg.unit_first_level);
     // Column classification from the final row partition: a column whose
     // pins touch a single part is interior to it; otherwise it joins the
@@ -278,7 +290,10 @@ fn rhb_recurse(
     };
     let ncost: Vec<i64> = cols.iter().map(|&(_, c)| c).collect();
     let h = Hypergraph::from_pin_lists(rows.len(), &pins, vwgt, ncon, ncost);
-    let bcfg = BisectConfig { eps: st.cfg.eps, coarse_target: st.cfg.coarse_target };
+    let bcfg = BisectConfig {
+        eps: st.cfg.eps,
+        coarse_target: st.cfg.coarse_target,
+    };
     let bis = multilevel_bisect(&h, &bcfg);
     // Partition rows.
     let mut rows0 = Vec::new();
@@ -397,7 +412,10 @@ mod tests {
     fn rhb_cnet_and_con1_also_valid() {
         let a = grid_matrix(10, 10);
         for metric in [CutMetric::Cnet, CutMetric::Con1] {
-            let cfg = RhbConfig { metric, ..Default::default() };
+            let cfg = RhbConfig {
+                metric,
+                ..Default::default()
+            };
             let p = rhb_partition(&a, 2, &cfg);
             check_dbbd_valid(&a, &p);
         }
@@ -406,7 +424,10 @@ mod tests {
     #[test]
     fn rhb_multiconstraint_valid() {
         let a = grid_matrix(12, 12);
-        let cfg = RhbConfig { constraint: ConstraintMode::Multi, ..Default::default() };
+        let cfg = RhbConfig {
+            constraint: ConstraintMode::Multi,
+            ..Default::default()
+        };
         let p = rhb_partition(&a, 4, &cfg);
         check_dbbd_valid(&a, &p);
     }
@@ -414,7 +435,10 @@ mod tests {
     #[test]
     fn rhb_unit_weights_valid() {
         let a = grid_matrix(10, 10);
-        let cfg = RhbConfig { constraint: ConstraintMode::Unit, ..Default::default() };
+        let cfg = RhbConfig {
+            constraint: ConstraintMode::Unit,
+            ..Default::default()
+        };
         let p = rhb_partition(&a, 2, &cfg);
         check_dbbd_valid(&a, &p);
     }
@@ -423,7 +447,10 @@ mod tests {
     fn edge_cover_factor_is_valid_and_thinner() {
         let a = grid_matrix(14, 14);
         let tril = RhbConfig::default();
-        let edge = RhbConfig { factor: StructuralFactor::EdgeCover, ..Default::default() };
+        let edge = RhbConfig {
+            factor: StructuralFactor::EdgeCover,
+            ..Default::default()
+        };
         let p_tril = rhb_partition(&a, 4, &tril);
         let p_edge = rhb_partition(&a, 4, &edge);
         check_dbbd_valid(&a, &p_tril);

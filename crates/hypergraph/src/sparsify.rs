@@ -37,7 +37,11 @@ pub fn filter_quasi_dense(g: &Csr, tau: f64) -> SparsifyReport {
             kept_rows.push(i);
         }
     }
-    SparsifyReport { kept_rows, removed_empty, removed_dense }
+    SparsifyReport {
+        kept_rows,
+        removed_empty,
+        removed_dense,
+    }
 }
 
 /// Applies the filter and returns the row-submatrix of `g` on the kept

@@ -5,6 +5,7 @@
 //! for a long Arnoldi basis is unwelcome.
 
 use crate::operator::{LinearOperator, Preconditioner};
+use crate::Breakdown;
 use sparsekit::ops::{axpy, dot, norm2};
 
 /// BiCGSTAB parameters.
@@ -18,7 +19,10 @@ pub struct BicgstabConfig {
 
 impl Default for BicgstabConfig {
     fn default() -> Self {
-        BicgstabConfig { max_iters: 500, tol: 1e-10 }
+        BicgstabConfig {
+            max_iters: 500,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -31,11 +35,13 @@ pub struct BicgstabResult {
     pub iterations: usize,
     /// Final true relative residual.
     pub residual: f64,
-    /// Whether the tolerance was met.
+    /// Whether the tolerance was met (judged on the true residual
+    /// `‖b − Ax‖/‖b‖`, not the recursion residual).
     pub converged: bool,
-    /// Breakdown flag (`rho` or `omega` collapsed); the returned iterate
-    /// is the best one available.
-    pub breakdown: bool,
+    /// Set when the recurrence broke down (`rho`/`omega` collapse or a
+    /// non-finite residual) and restarting did not help; the returned
+    /// iterate is the best one available.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Solves `A x = b` with right-preconditioned BiCGSTAB.
@@ -58,75 +64,126 @@ pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
         }
     };
     let mut work = vec![0.0; n];
-    op.apply(&x, &mut work);
-    let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
-    let r0: Vec<f64> = r.clone();
-    let mut rho = 1.0f64;
-    let mut alpha = 1.0f64;
-    let mut omega = 1.0f64;
     let mut v = vec![0.0f64; n];
     let mut p = vec![0.0f64; n];
     let mut z = vec![0.0f64; n];
-    let mut breakdown = false;
+    let mut breakdown: Option<Breakdown> = None;
     let mut iterations = 0usize;
-    for _ in 0..cfg.max_iters {
-        if norm2(&r) / bnorm <= cfg.tol {
+    // Outer cycles restart the recurrence from the *true* residual: both
+    // when the recursion residual claims convergence (so the convergence
+    // decision is never taken on a drifted recursion vector) and as the
+    // classical remedy for a rho/omega collapse.
+    'outer: while iterations < cfg.max_iters {
+        op.apply(&x, &mut work);
+        let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
+        let rnorm = norm2(&r);
+        if !rnorm.is_finite() {
+            breakdown = Some(Breakdown::NonFinite);
             break;
         }
-        let rho_new = dot(&r0, &r);
-        if rho_new.abs() < 1e-300 {
-            breakdown = true;
+        if rnorm / bnorm <= cfg.tol {
             break;
         }
-        let beta = (rho_new / rho) * (alpha / omega);
-        rho = rho_new;
-        // p = r + beta (p − omega v)
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        let r0: Vec<f64> = r.clone();
+        let mut rho = 1.0f64;
+        let mut alpha = 1.0f64;
+        let mut omega = 1.0f64;
+        v.iter_mut().for_each(|t| *t = 0.0);
+        p.iter_mut().for_each(|t| *t = 0.0);
+        let cycle_start = iterations;
+        // On a scalar collapse: restart if this cycle made progress,
+        // otherwise report the breakdown (a restart already failed).
+        macro_rules! collapse {
+            ($kind:expr) => {{
+                if iterations > cycle_start {
+                    continue 'outer;
+                }
+                breakdown = Some($kind);
+                break 'outer;
+            }};
         }
-        // v = A M⁻¹ p
-        precond.apply(&p, &mut z);
-        op.apply(&z, &mut v);
-        let r0v = dot(&r0, &v);
-        if r0v.abs() < 1e-300 {
-            breakdown = true;
-            break;
+        while iterations < cfg.max_iters {
+            let rho_new = dot(&r0, &r);
+            if !rho_new.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if rho_new.abs() < 1e-300 {
+                collapse!(Breakdown::RhoCollapse);
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
+            // p = r + beta (p − omega v)
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            // v = A M⁻¹ p
+            precond.apply(&p, &mut z);
+            op.apply(&z, &mut v);
+            let r0v = dot(&r0, &v);
+            if !r0v.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if r0v.abs() < 1e-300 {
+                collapse!(Breakdown::RhoCollapse);
+            }
+            alpha = rho / r0v;
+            // s = r − alpha v  (reuse r)
+            axpy(-alpha, &v, &mut r);
+            // x += alpha M⁻¹ p
+            axpy(alpha, &z, &mut x);
+            iterations += 1;
+            let snorm = norm2(&r);
+            if !snorm.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if snorm / bnorm <= cfg.tol {
+                continue 'outer;
+            }
+            // t = A M⁻¹ s
+            precond.apply(&r, &mut z);
+            op.apply(&z, &mut work);
+            let tt = dot(&work, &work);
+            if !tt.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if tt == 0.0 {
+                collapse!(Breakdown::OmegaCollapse);
+            }
+            omega = dot(&work, &r) / tt;
+            if omega.abs() < 1e-300 {
+                collapse!(Breakdown::OmegaCollapse);
+            }
+            // x += omega M⁻¹ s ; r = s − omega t
+            axpy(omega, &z, &mut x);
+            axpy(-omega, &work, &mut r);
+            iterations += 1;
+            let rn = norm2(&r);
+            if !rn.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if rn / bnorm <= cfg.tol {
+                continue 'outer;
+            }
         }
-        alpha = rho / r0v;
-        // s = r − alpha v  (reuse r)
-        axpy(-alpha, &v, &mut r);
-        // x += alpha M⁻¹ p
-        axpy(alpha, &z, &mut x);
-        iterations += 1;
-        if norm2(&r) / bnorm <= cfg.tol {
-            break;
-        }
-        // t = A M⁻¹ s
-        precond.apply(&r, &mut z);
-        op.apply(&z, &mut work);
-        let tt = dot(&work, &work);
-        if tt == 0.0 {
-            breakdown = true;
-            break;
-        }
-        omega = dot(&work, &r) / tt;
-        if omega.abs() < 1e-300 {
-            breakdown = true;
-            break;
-        }
-        // x += omega M⁻¹ s ; r = s − omega t
-        axpy(omega, &z, &mut x);
-        axpy(-omega, &work, &mut r);
-        iterations += 1;
     }
     op.apply(&x, &mut work);
-    let res = norm2(&b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect::<Vec<_>>());
+    let res = norm2(
+        &b.iter()
+            .zip(&work)
+            .map(|(bi, wi)| bi - wi)
+            .collect::<Vec<_>>(),
+    );
     let residual = res / bnorm;
     BicgstabResult {
         x,
         iterations,
         residual,
-        converged: residual <= cfg.tol * 10.0,
+        converged: residual <= cfg.tol,
         breakdown,
     }
 }

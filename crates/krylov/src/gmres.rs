@@ -5,6 +5,7 @@
 //! available at every inner step.
 
 use crate::operator::{LinearOperator, Preconditioner};
+use crate::Breakdown;
 use sparsekit::ops::{axpy, norm2};
 
 /// GMRES parameters.
@@ -20,7 +21,11 @@ pub struct GmresConfig {
 
 impl Default for GmresConfig {
     fn default() -> Self {
-        GmresConfig { restart: 50, max_iters: 500, tol: 1e-10 }
+        GmresConfig {
+            restart: 50,
+            max_iters: 500,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -33,8 +38,11 @@ pub struct GmresResult {
     pub iterations: usize,
     /// Final *true* relative residual norm.
     pub residual: f64,
-    /// Whether the tolerance was met.
+    /// Whether the tolerance was met (judged on the true residual).
     pub converged: bool,
+    /// Set when the iteration stopped on a numerical breakdown rather
+    /// than convergence or budget exhaustion.
+    pub breakdown: Option<Breakdown>,
     /// Estimated relative residual after each iteration.
     pub history: Vec<f64>,
 }
@@ -68,6 +76,7 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
     };
     let mut history = Vec::new();
     let mut total_iters = 0usize;
+    let mut breakdown = None;
     let mut work = vec![0.0; n];
     let mut z = vec![0.0; n];
     'outer: loop {
@@ -75,6 +84,12 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
         op.apply(&x, &mut work);
         let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
         let beta = norm2(&r);
+        if !beta.is_finite() {
+            // Iterating on NaN/Inf can only produce more of it; stop now
+            // and report the typed breakdown.
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
         if beta / bnorm <= cfg.tol || total_iters >= cfg.max_iters {
             break;
         }
@@ -124,6 +139,10 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
             inner = j + 1;
             let rel = g[j + 1].abs() / bnorm;
             history.push(rel);
+            if !rel.is_finite() || !hj1.is_finite() {
+                breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
             if rel <= cfg.tol || hj1 == 0.0 {
                 break;
             }
@@ -158,11 +177,26 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
             break;
         }
     }
-    // True residual.
+    // True residual. The convergence flag is judged on it directly — no
+    // slack factor — so `converged` means exactly "the requested
+    // tolerance was met" (NaN compares false, so a poisoned run can
+    // never claim convergence).
     op.apply(&x, &mut work);
-    let res: f64 = norm2(&b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect::<Vec<_>>());
+    let res: f64 = norm2(
+        &b.iter()
+            .zip(&work)
+            .map(|(bi, wi)| bi - wi)
+            .collect::<Vec<_>>(),
+    );
     let residual = res / bnorm;
-    GmresResult { x, iterations: total_iters, residual, converged: residual <= cfg.tol * 10.0, history }
+    GmresResult {
+        x,
+        iterations: total_iters,
+        residual,
+        converged: residual <= cfg.tol,
+        breakdown,
+        history,
+    }
 }
 
 fn givens(a: f64, b: f64) -> (f64, f64) {
@@ -241,7 +275,16 @@ mod tests {
         let op = CsrOperator::new(&a);
         let m = JacobiPrecond::new(&a);
         let b = vec![1.0; n];
-        let rp = gmres(&op, &m, &b, None, &GmresConfig { restart: 30, ..Default::default() });
+        let rp = gmres(
+            &op,
+            &m,
+            &b,
+            None,
+            &GmresConfig {
+                restart: 30,
+                ..Default::default()
+            },
+        );
         assert!(rp.converged);
         assert!(residual_inf_norm(&a, &rp.x, &b) < 1e-6);
     }
@@ -251,7 +294,11 @@ mod tests {
         let a = laplace2d(8);
         let op = CsrOperator::new(&a);
         let b = vec![1.0; 64];
-        let cfg = GmresConfig { restart: 5, max_iters: 2000, tol: 1e-9 };
+        let cfg = GmresConfig {
+            restart: 5,
+            max_iters: 2000,
+            tol: 1e-9,
+        };
         let r = gmres(&op, &IdentityPrecond, &b, None, &cfg);
         assert!(r.converged, "GMRES(5) residual {}", r.residual);
     }
@@ -262,8 +309,17 @@ mod tests {
         let op = CsrOperator::new(&a);
         let b = vec![1.0; 64];
         let cold = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
-        let warm = gmres(&op, &IdentityPrecond, &b, Some(&cold.x), &GmresConfig::default());
-        assert!(warm.iterations <= 1, "warm start from the solution should converge at once");
+        let warm = gmres(
+            &op,
+            &IdentityPrecond,
+            &b,
+            Some(&cold.x),
+            &GmresConfig::default(),
+        );
+        assert!(
+            warm.iterations <= 1,
+            "warm start from the solution should converge at once"
+        );
     }
 
     #[test]
@@ -271,10 +327,17 @@ mod tests {
         let a = laplace2d(6);
         let op = CsrOperator::new(&a);
         let b = vec![1.0; 36];
-        let cfg = GmresConfig { restart: 36, max_iters: 36, tol: 1e-12 };
+        let cfg = GmresConfig {
+            restart: 36,
+            max_iters: 36,
+            tol: 1e-12,
+        };
         let r = gmres(&op, &IdentityPrecond, &b, None, &cfg);
         for w in r.history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "GMRES residual must not increase within a cycle");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "GMRES residual must not increase within a cycle"
+            );
         }
     }
 

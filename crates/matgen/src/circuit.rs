@@ -1,8 +1,6 @@
 //! Circuit-simulation analogues (`ASIC_680ks`, `G3_circuit`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sparsekit::{Coo, Csr};
+use sparsekit::{Coo, Csr, Rng64};
 
 /// `ASIC_680ks` analogue: extremely sparse (~2–3 nnz/row), irregular,
 /// pattern-symmetric but value-unsymmetric, with a handful of
@@ -10,21 +8,21 @@ use sparsekit::{Coo, Csr};
 /// §V-B(c) quasi-dense-row filter.
 pub fn asic_like(n: usize, seed: u64) -> Csr {
     assert!(n >= 64, "asic_like needs a reasonable size");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut c = Coo::with_capacity(n, n, 4 * n);
     // Diagonal (always present in circuit matrices).
     for i in 0..n {
-        c.push(i, i, 1.0 + rng.random::<f64>());
+        c.push(i, i, 1.0 + rng.f64());
     }
     // Sparse random two-terminal devices: symmetric pattern, unsymmetric
     // values (e.g. controlled sources).
     let devices = n; // ~1 extra entry pair per node on average
     for _ in 0..devices {
-        let i = rng.random_range(0..n);
-        let j = rng.random_range(0..n);
+        let i = rng.below(n);
+        let j = rng.below(n);
         if i != j {
-            c.push(i, j, -(0.1 + rng.random::<f64>()));
-            c.push(j, i, -(0.1 + 0.5 * rng.random::<f64>()));
+            c.push(i, j, -(0.1 + rng.f64()));
+            c.push(j, i, -(0.1 + 0.5 * rng.f64()));
         }
     }
     // Power rails: a few rows connected to ~n/64 random nodes.
@@ -33,10 +31,10 @@ pub fn asic_like(n: usize, seed: u64) -> Csr {
         let row = r * (n / rails);
         let fan = n / 64;
         for _ in 0..fan {
-            let j = rng.random_range(0..n);
+            let j = rng.below(n);
             if j != row {
-                c.push(row, j, -0.01 - 0.01 * rng.random::<f64>());
-                c.push(j, row, -0.01 - 0.005 * rng.random::<f64>());
+                c.push(row, j, -0.01 - 0.01 * rng.f64());
+                c.push(j, row, -0.01 - 0.005 * rng.f64());
             }
         }
     }

@@ -8,9 +8,7 @@
 //! blocks on the 9-point neighbourhood, and an extra *upwind-only* block
 //! in the +x direction that breaks pattern symmetry.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sparsekit::{Coo, Csr};
+use sparsekit::{Coo, Csr, Rng64};
 
 /// Generates a `matrix211`-like operator with `nb` fields per node.
 ///
@@ -18,14 +16,14 @@ use sparsekit::{Coo, Csr};
 /// the upwind block); `nb = 7` matches the paper's ~70.
 pub fn fusion_like(nx: usize, ny: usize, nb: usize, seed: u64) -> Csr {
     let n = nx * ny * nb;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let node = |i: usize, j: usize| (i * ny + j) * nb;
     let mut c = Coo::with_capacity(n, n, 10 * nb * n);
     // Random dense block values, diagonally dominant on the self block.
-    let push_block = |c: &mut Coo, r0: usize, c0: usize, scale: f64, rng: &mut StdRng, dom: f64| {
+    let push_block = |c: &mut Coo, r0: usize, c0: usize, scale: f64, rng: &mut Rng64, dom: f64| {
         for a in 0..nb {
             for b in 0..nb {
-                let v = scale * (rng.random::<f64>() - 0.5);
+                let v = scale * (rng.f64() - 0.5);
                 let v = if a == b { v + dom } else { v };
                 if v != 0.0 {
                     c.push(r0 + a, c0 + b, v);
@@ -74,7 +72,10 @@ mod tests {
     #[test]
     fn pattern_is_unsymmetric() {
         let a = fusion_like(8, 8, 3, 7);
-        assert!(!a.pattern_symmetric(), "fusion analogue must have unsymmetric pattern");
+        assert!(
+            !a.pattern_symmetric(),
+            "fusion analogue must have unsymmetric pattern"
+        );
     }
 
     #[test]

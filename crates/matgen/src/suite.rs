@@ -120,7 +120,11 @@ mod tests {
             let a = generate(kind, Scale::Test);
             assert!(a.nrows() > 1000, "{} too small: {}", kind.name(), a.nrows());
             assert_eq!(a.nrows(), a.ncols());
-            assert!(a.nnz() > a.nrows(), "{} must be more than diagonal", kind.name());
+            assert!(
+                a.nnz() > a.nrows(),
+                "{} must be more than diagonal",
+                kind.name()
+            );
         }
     }
 

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn serial_fraction_floors_the_runtime() {
-        let m = Machine { serial_fraction: 0.1, ..Default::default() };
+        let m = Machine {
+            serial_fraction: 0.1,
+            ..Default::default()
+        };
         let t = m.compute_time(10.0, 1_000_000);
         assert!(t >= 1.0, "10% serial of 10s can never go below 1s, got {t}");
     }

@@ -4,7 +4,6 @@
 use crate::machine::Machine;
 use crate::schedule::{simulate, Schedule};
 use crate::task::TaskGraph;
-use serde::Serialize;
 
 /// Measured inputs for one solver configuration.
 #[derive(Clone, Debug, Default)]
@@ -23,7 +22,7 @@ pub struct MeasuredCosts {
 }
 
 /// Phase breakdown of one simulated configuration (a Fig.-1 bar).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimulatedTimes {
     /// Total cores.
     pub cores: usize,
@@ -124,7 +123,12 @@ mod tests {
     #[test]
     fn one_core_per_domain_matches_sequential_maxima() {
         let c = costs();
-        let m = Machine { cores: 4, serial_fraction: 0.0, latency: 0.0, ..Default::default() };
+        let m = Machine {
+            cores: 4,
+            serial_fraction: 0.0,
+            latency: 0.0,
+            ..Default::default()
+        };
         let (t, _s) = simulate_config(&c, &m, 4);
         // Each domain runs on 1 core: LU(D) window = max sequential cost.
         assert!((t.lu_d - 6.0).abs() < 1e-9, "lu_d window {}", t.lu_d);
@@ -134,7 +138,10 @@ mod tests {
     fn imbalance_dominates_the_makespan() {
         let mut skew = costs();
         skew.comp_s[2] = 60.0;
-        let m = Machine { cores: 32, ..Default::default() };
+        let m = Machine {
+            cores: 32,
+            ..Default::default()
+        };
         let balanced = simulate_config(&costs(), &m, 4).0;
         let skewed = simulate_config(&skew, &m, 4).0;
         assert!(skewed.makespan > balanced.makespan + 1.0);
@@ -145,7 +152,10 @@ mod tests {
         // LU(S) depends on every gather, so its window starts after the
         // last Comp(S) finishes.
         let c = costs();
-        let m = Machine { cores: 8, ..Default::default() };
+        let m = Machine {
+            cores: 8,
+            ..Default::default()
+        };
         let g = build_graph(&c, m.cores, 4);
         let s = simulate(&g, &m);
         let (_, comp_end) = s.phase_window(&g, "comp_s").unwrap();
@@ -157,7 +167,10 @@ mod tests {
     fn gather_volume_matters_at_scale() {
         let mut heavy = costs();
         heavy.gather_bytes = vec![5e9; 4]; // 1 second each at 5 GB/s
-        let m = Machine { cores: 1024, ..Default::default() };
+        let m = Machine {
+            cores: 1024,
+            ..Default::default()
+        };
         let light = simulate_config(&costs(), &m, 4).0;
         let loaded = simulate_config(&heavy, &m, 4).0;
         assert!(loaded.makespan > light.makespan + 0.5);

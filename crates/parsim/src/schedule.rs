@@ -125,7 +125,11 @@ pub fn simulate(g: &TaskGraph, m: &Machine) -> Schedule {
         }
     }
     let makespan = finish.iter().copied().fold(0.0, f64::max);
-    Schedule { start, finish, makespan }
+    Schedule {
+        start,
+        finish,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +139,13 @@ mod tests {
 
     fn machine(cores: usize) -> Machine {
         // Linear speedup, zero latency: makes hand-checked numbers exact.
-        Machine { cores, alpha: 1.0, serial_fraction: 0.0, latency: 0.0, bandwidth: 1e9 }
+        Machine {
+            cores,
+            alpha: 1.0,
+            serial_fraction: 0.0,
+            latency: 0.0,
+            bandwidth: 1e9,
+        }
     }
 
     #[test]
@@ -146,7 +156,11 @@ mod tests {
         let s = simulate(&g, &machine(2));
         assert!((s.makespan - 10.0).abs() < 1e-12);
         let s1 = simulate(&g, &machine(1));
-        assert!((s1.makespan - 20.0).abs() < 1e-12, "1 core serialises: {}", s1.makespan);
+        assert!(
+            (s1.makespan - 20.0).abs() < 1e-12,
+            "1 core serialises: {}",
+            s1.makespan
+        );
     }
 
     #[test]
@@ -171,12 +185,20 @@ mod tests {
         let mut g = TaskGraph::new();
         g.add_compute("a", 12.0, 64, &[]);
         let s = simulate(&g, &machine(4));
-        assert!((s.makespan - 3.0).abs() < 1e-12, "gang must clamp to 4 cores");
+        assert!(
+            (s.makespan - 3.0).abs() < 1e-12,
+            "gang must clamp to 4 cores"
+        );
     }
 
     #[test]
     fn messages_cost_latency_plus_volume() {
-        let m = Machine { cores: 1, latency: 0.5, bandwidth: 100.0, ..machine(1) };
+        let m = Machine {
+            cores: 1,
+            latency: 0.5,
+            bandwidth: 100.0,
+            ..machine(1)
+        };
         let mut g = TaskGraph::new();
         let a = g.add_compute("a", 1.0, 1, &[]);
         g.add_message("msg", 50.0, &[a]);

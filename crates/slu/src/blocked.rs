@@ -116,7 +116,12 @@ pub fn blocked_lower_solve(
         }
     }
     let padded_zeros = (union_rows * bsize) as u64 - true_nnz;
-    let stats = BlockSolveStats { union_rows, true_nnz, padded_zeros, flops };
+    let stats = BlockSolveStats {
+        union_rows,
+        true_nnz,
+        padded_zeros,
+        flops,
+    };
     (union_pattern, panel, stats)
 }
 
@@ -226,8 +231,9 @@ mod tests {
     #[test]
     fn block_size_one_has_zero_padding() {
         let l = bidiag_l(16);
-        let cols: Vec<SparseVec> =
-            (0..6).map(|i| SparseVec::new(vec![i * 2], vec![1.0])).collect();
+        let cols: Vec<SparseVec> = (0..6)
+            .map(|i| SparseVec::new(vec![i * 2], vec![1.0]))
+            .collect();
         let mut ws = SolveWorkspace::new(16);
         let (_x, stats) = solve_in_blocks(&l, true, &cols, 1, &mut ws);
         assert_eq!(stats.padded_zeros, 0, "B=1 never pads (paper §V-B)");
@@ -236,8 +242,9 @@ mod tests {
     #[test]
     fn bigger_blocks_pad_at_least_as_much() {
         let l = bidiag_l(32);
-        let cols: Vec<SparseVec> =
-            (0..8).map(|i| SparseVec::new(vec![i * 4], vec![1.0])).collect();
+        let cols: Vec<SparseVec> = (0..8)
+            .map(|i| SparseVec::new(vec![i * 4], vec![1.0]))
+            .collect();
         let mut ws = SolveWorkspace::new(32);
         let (_x1, s1) = solve_in_blocks(&l, true, &cols, 2, &mut ws);
         let (_x2, s2) = solve_in_blocks(&l, true, &cols, 4, &mut ws);
@@ -249,8 +256,7 @@ mod tests {
     #[test]
     fn solve_in_blocks_returns_all_columns() {
         let l = bidiag_l(10);
-        let cols: Vec<SparseVec> =
-            (0..5).map(|i| SparseVec::new(vec![i], vec![1.0])).collect();
+        let cols: Vec<SparseVec> = (0..5).map(|i| SparseVec::new(vec![i], vec![1.0])).collect();
         let mut ws = SolveWorkspace::new(10);
         let (xs, _stats) = solve_in_blocks(&l, true, &cols, 2, &mut ws);
         assert_eq!(xs.len(), 5);

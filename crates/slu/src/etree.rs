@@ -95,7 +95,10 @@ pub fn postorder(parent: &[usize]) -> Perm {
 /// `rows` is the nonzero row pattern of the column; `post` the subdomain
 /// postorder. Empty columns sort last.
 pub fn first_nonzero_postorder_key(rows: &[usize], post: &Perm) -> usize {
-    rows.iter().map(|&r| post.to_new(r)).min().unwrap_or(usize::MAX)
+    rows.iter()
+        .map(|&r| post.to_new(r))
+        .min()
+        .unwrap_or(usize::MAX)
 }
 
 /// The fill path from node `v` to its root (inclusive): the positions

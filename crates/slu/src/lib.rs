@@ -37,7 +37,7 @@ pub mod trisolve;
 
 pub use blocked::{blocked_lower_solve, BlockSolveStats};
 pub use etree::{etree, first_nonzero_postorder_key, postorder};
-pub use supernodes::{detect_supernodes, supernodal_blocked_solve, Supernodes};
 pub use lu::{LuConfig, LuError, LuFactors};
 pub use refine::{condest_1, solve_refined, RefinedSolve};
+pub use supernodes::{detect_supernodes, supernodal_blocked_solve, Supernodes};
 pub use trisolve::{solution_pattern, sparse_lower_solve, SparseVec};

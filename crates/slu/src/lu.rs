@@ -10,11 +10,24 @@ pub struct LuConfig {
     /// kept when `|a_dd| ≥ pivot_threshold · max_i |a_id|`. `1.0` is
     /// classical partial pivoting.
     pub pivot_threshold: f64,
+    /// SuperLU_DIST-style small-pivot perturbation: when `Some(ε)` and an
+    /// elimination step finds no admissible pivot (or only one with
+    /// `|pivot| ≤ ε·‖A‖_max`), the pivot is *replaced* by `±ε·‖A‖_max`
+    /// instead of failing. The factorisation then completes for any
+    /// input, at the price of being approximate — callers are expected
+    /// to compensate with iterative refinement or an outer Krylov
+    /// method, and the perturbed steps are reported in
+    /// [`LuFactors::perturbed`]. `None` (the default) keeps the strict
+    /// behaviour: a singular step is a [`LuError::Singular`].
+    pub diag_perturb: Option<f64>,
 }
 
 impl Default for LuConfig {
     fn default() -> Self {
-        LuConfig { pivot_threshold: 0.1 }
+        LuConfig {
+            pivot_threshold: 0.1,
+            diag_perturb: None,
+        }
     }
 }
 
@@ -27,12 +40,23 @@ pub enum LuError {
         /// The elimination step at which no pivot was found.
         step: usize,
     },
+    /// A NaN or ±Inf was encountered — in the input matrix or generated
+    /// during elimination. Factoring poison silently would let it
+    /// propagate into every downstream solve.
+    NonFinite {
+        /// The elimination step at which the non-finite value surfaced
+        /// (0 when detected during input validation).
+        step: usize,
+    },
 }
 
 impl std::fmt::Display for LuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LuError::Singular { step } => write!(f, "matrix singular at elimination step {step}"),
+            LuError::NonFinite { step } => {
+                write!(f, "non-finite value (NaN/Inf) at elimination step {step}")
+            }
         }
     }
 }
@@ -55,6 +79,10 @@ pub struct LuFactors {
     pub row_perm: Perm,
     /// Column permutation (fill-reducing ordering).
     pub col_perm: Perm,
+    /// Elimination steps whose pivot was replaced by `±ε·‖A‖_max`
+    /// (empty unless [`LuConfig::diag_perturb`] was enabled *and* the
+    /// matrix was singular or near-singular at those steps).
+    pub perturbed: Vec<usize>,
 }
 
 impl LuFactors {
@@ -68,6 +96,20 @@ impl LuFactors {
         assert!(cfg.pivot_threshold > 0.0 && cfg.pivot_threshold <= 1.0);
         let n = a.nrows();
         let acsc = a.to_csc();
+        // ‖A‖_max for the perturbation magnitude, plus an up-front poison
+        // check (NaN never wins a `>` comparison, so it would otherwise
+        // slip through pivot selection unnoticed).
+        let mut anorm = 0.0f64;
+        for j in 0..n {
+            for &v in acsc.col_values(j) {
+                if !v.is_finite() {
+                    return Err(LuError::NonFinite { step: 0 });
+                }
+                anorm = anorm.max(v.abs());
+            }
+        }
+        let tiny = cfg.diag_perturb.map(|eps| eps * anorm.max(1.0));
+        let mut perturbed: Vec<usize> = Vec::new();
         // Growing factors; row indices are *original* row ids during the
         // factorisation and are remapped to pivot order at the end.
         let mut lcols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
@@ -90,8 +132,7 @@ impl LuFactors {
                 mark[seed] = k;
                 while let Some(&mut (node, ref mut child)) = dfs_stack.last_mut() {
                     let j = pinv[node];
-                    let kids: &[(usize, f64)] =
-                        if j == usize::MAX { &[] } else { &lcols[j] };
+                    let kids: &[(usize, f64)] = if j == usize::MAX { &[] } else { &lcols[j] };
                     let mut advanced = false;
                     while *child < kids.len() {
                         let (r, _) = kids[*child];
@@ -146,14 +187,48 @@ impl LuFactors {
                     }
                 }
             }
-            if ipiv == usize::MAX || amax <= 0.0 {
-                return Err(LuError::Singular { step: k });
+            if !amax.is_finite() {
+                return Err(LuError::NonFinite { step: k });
             }
-            // Prefer the diagonal entry when it passes the threshold test.
-            if pinv[col] == usize::MAX && x[col].abs() >= cfg.pivot_threshold * amax {
-                ipiv = col;
+            let degenerate = ipiv == usize::MAX || amax <= 0.0;
+            let near_singular = tiny.is_some_and(|t| !degenerate && amax <= t);
+            let pivot;
+            if degenerate || near_singular {
+                let Some(t) = tiny else {
+                    return Err(LuError::Singular { step: k });
+                };
+                // SuperLU_DIST-style recovery: substitute a small pivot
+                // `±ε·‖A‖_max` so elimination can continue. Prefer the
+                // diagonal position; fall back to any not-yet-pivotal row
+                // (one always exists: k rows are pivotal before step k).
+                if pinv[col] == usize::MAX {
+                    ipiv = col;
+                } else if ipiv == usize::MAX {
+                    ipiv = (0..n)
+                        .find(|&i| pinv[i] == usize::MAX)
+                        .expect("unpivoted row exists");
+                }
+                let old = if mark[ipiv] == k { x[ipiv] } else { 0.0 };
+                pivot = if old < 0.0 { -t } else { t };
+                x[ipiv] = pivot;
+                if mark[ipiv] != k {
+                    // Row was outside the reach set: give it a synthetic
+                    // entry so the U-column split below records the pivot.
+                    mark[ipiv] = k;
+                    topo.push(ipiv);
+                }
+                perturbed.push(k);
+            } else {
+                // Prefer the diagonal entry when it passes the threshold
+                // test.
+                if pinv[col] == usize::MAX && x[col].abs() >= cfg.pivot_threshold * amax {
+                    ipiv = col;
+                }
+                pivot = x[ipiv];
             }
-            let pivot = x[ipiv];
+            if !pivot.is_finite() {
+                return Err(LuError::NonFinite { step: k });
+            }
             pinv[ipiv] = k;
             // --- Split the reach into the U column and the L column. ---
             let mut ucol: Vec<(usize, f64)> = Vec::new();
@@ -181,7 +256,13 @@ impl LuFactors {
         let row_perm = Perm::from_to_new(pinv);
         let l = assemble_csc(n, &lcols, |old_row| row_perm.to_new(old_row));
         let u = assemble_csc(n, &ucols, |r| r);
-        Ok(LuFactors { l, u, row_perm, col_perm: col_perm.clone() })
+        Ok(LuFactors {
+            l,
+            u,
+            row_perm,
+            col_perm: col_perm.clone(),
+            perturbed,
+        })
     }
 
     /// Order of the factored matrix.
@@ -236,11 +317,7 @@ impl LuFactors {
     }
 }
 
-fn assemble_csc(
-    n: usize,
-    cols: &[Vec<(usize, f64)>],
-    map_row: impl Fn(usize) -> usize,
-) -> Csc {
+fn assemble_csc(n: usize, cols: &[Vec<(usize, f64)>], map_row: impl Fn(usize) -> usize) -> Csc {
     let mut colptr = vec![0usize; n + 1];
     let nnz: usize = cols.iter().map(|c| c.len()).sum();
     let mut rowind = Vec::with_capacity(nnz);
@@ -349,8 +426,7 @@ mod tests {
             c.push_sym(0, i, 1.0);
         }
         let a = c.to_csr();
-        let f_nat =
-            LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let f_nat = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
         let rev = Perm::from_to_old((0..n).rev().collect());
         let f_rev = LuFactors::factorize(&a, &rev, &LuConfig::default()).unwrap();
         assert!(
@@ -363,6 +439,63 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
         assert!(residual_inf_norm(&a, &f_nat.solve(&b), &b) < 1e-10);
         assert!(residual_inf_norm(&a, &f_rev.solve(&b), &b) < 1e-10);
+    }
+
+    #[test]
+    fn perturbation_completes_singular_factorisation() {
+        // Structurally singular (empty second column): strict mode fails,
+        // perturbed mode completes and reports the patched step.
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 0, 1.0);
+        let a = c.to_csr();
+        let cfg = LuConfig {
+            diag_perturb: Some(1e-8),
+            ..Default::default()
+        };
+        let f = LuFactors::factorize(&a, &Perm::identity(2), &cfg).unwrap();
+        assert_eq!(
+            f.perturbed.len(),
+            1,
+            "exactly one pivot should be perturbed"
+        );
+        // The factors are usable: L·U is nonsingular by construction.
+        let x = f.solve(&[1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perturbation_untouched_on_regular_matrix() {
+        let a = tridiag(30);
+        let cfg = LuConfig {
+            diag_perturb: Some(1e-10),
+            ..Default::default()
+        };
+        let f = LuFactors::factorize(&a, &Perm::identity(30), &cfg).unwrap();
+        assert!(
+            f.perturbed.is_empty(),
+            "regular matrix must not be perturbed"
+        );
+        let b = vec![1.0; 30];
+        let x = f.solve(&b);
+        assert!(residual_inf_norm(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn nan_input_reports_nonfinite() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, f64::NAN);
+        c.push(1, 1, 1.0);
+        let a = c.to_csr();
+        let err = LuFactors::factorize(&a, &Perm::identity(2), &LuConfig::default());
+        assert!(matches!(err, Err(LuError::NonFinite { .. })), "got {err:?}");
+        // Perturbation must NOT mask poison — NaN is an error either way.
+        let cfg = LuConfig {
+            diag_perturb: Some(1e-8),
+            ..Default::default()
+        };
+        let err = LuFactors::factorize(&a, &Perm::identity(2), &cfg);
+        assert!(matches!(err, Err(LuError::NonFinite { .. })));
     }
 
     #[test]
@@ -390,11 +523,17 @@ mod tests {
         let f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
         for j in 0..n {
             let lr = f.l.col_indices(j);
-            assert!(lr.iter().all(|&r| r >= j), "L has entry above diagonal in col {j}");
+            assert!(
+                lr.iter().all(|&r| r >= j),
+                "L has entry above diagonal in col {j}"
+            );
             let d = lr.binary_search(&j).expect("L diagonal missing");
             assert_eq!(f.l.col_values(j)[d], 1.0);
             let ur = f.u.col_indices(j);
-            assert!(ur.iter().all(|&r| r <= j), "U has entry below diagonal in col {j}");
+            assert!(
+                ur.iter().all(|&r| r <= j),
+                "U has entry below diagonal in col {j}"
+            );
         }
     }
 }

@@ -43,7 +43,6 @@ pub fn solve_refined(
         let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         let rel = norm2(&r) / bnorm;
         if rel <= tol || rel >= best {
-            best = best.min(rel);
             break;
         }
         best = rel;
@@ -55,7 +54,11 @@ pub fn solve_refined(
     }
     let ax = a.matvec(&x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-    RefinedSolve { x, steps, relative_residual: norm2(&r) / bnorm }
+    RefinedSolve {
+        x,
+        steps,
+        relative_residual: norm2(&r) / bnorm,
+    }
 }
 
 /// Hager–Higham style 1-norm condition estimate: `‖A‖₁ · est(‖A⁻¹‖₁)`
@@ -83,7 +86,10 @@ pub fn condest_1(a: &Csr, lu: &LuFactors) -> f64 {
             break;
         }
         est = y1;
-        let s: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = y
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let z = lu.solve(&s);
         // Next probe: the unit vector at the largest |z| component.
         let (jmax, _) = z
@@ -120,7 +126,11 @@ mod tests {
         let lu = LuFactors::factorize(&a, &Perm::identity(60), &LuConfig::default()).unwrap();
         let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.7).cos()).collect();
         let r = solve_refined(&a, &lu, &b, 1e-14, 5);
-        assert!(r.relative_residual < 1e-12, "residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-12,
+            "residual {}",
+            r.relative_residual
+        );
     }
 
     #[test]
@@ -151,17 +161,18 @@ mod tests {
         // κ(tridiag(-1,2,-1)) ~ n²; the estimate must reflect the trend.
         let small = {
             let a = tridiag(8);
-            let lu =
-                LuFactors::factorize(&a, &Perm::identity(8), &LuConfig::default()).unwrap();
+            let lu = LuFactors::factorize(&a, &Perm::identity(8), &LuConfig::default()).unwrap();
             condest_1(&a, &lu)
         };
         let large = {
             let a = tridiag(64);
-            let lu =
-                LuFactors::factorize(&a, &Perm::identity(64), &LuConfig::default()).unwrap();
+            let lu = LuFactors::factorize(&a, &Perm::identity(64), &LuConfig::default()).unwrap();
             condest_1(&a, &lu)
         };
-        assert!(large > 10.0 * small, "condest {small} -> {large} should grow fast");
+        assert!(
+            large > 10.0 * small,
+            "condest {small} -> {large} should grow fast"
+        );
     }
 
     #[test]

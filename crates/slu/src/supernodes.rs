@@ -37,7 +37,10 @@ impl Supernodes {
 
     /// Size of the largest supernode.
     pub fn max_size(&self) -> usize {
-        (0..self.count()).map(|s| self.columns(s).len()).max().unwrap_or(0)
+        (0..self.count())
+            .map(|s| self.columns(s).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -59,7 +62,11 @@ pub fn detect_supernodes(l: &Csc, relax: usize) -> Supernodes {
         let prev = l.col_indices(j - 1);
         let cur = l.col_indices(j);
         // prev[0] is the diagonal j-1; the remainder must cover `cur`.
-        let prev_tail = if prev.first() == Some(&(j - 1)) { &prev[1..] } else { prev };
+        let prev_tail = if prev.first() == Some(&(j - 1)) {
+            &prev[1..]
+        } else {
+            prev
+        };
         let joined = prev_tail.len() >= cur.len()
             && prev_tail.len() - cur.len() <= relax
             && is_subset(cur, prev_tail);
@@ -153,7 +160,10 @@ pub fn supernodal_blocked_solve(
                 continue;
             }
             let pr = pos[r];
-            debug_assert!(pr != usize::MAX && pr > t, "supernodal pattern must be closed");
+            debug_assert!(
+                pr != usize::MAX && pr > t,
+                "supernodal pattern must be closed"
+            );
             let dst = &mut tail[(pr - t - 1) * bsize..(pr - t) * bsize];
             for c in 0..bsize {
                 dst[c] -= v * xrow[c];
@@ -162,7 +172,12 @@ pub fn supernodal_blocked_solve(
         }
     }
     let padded_zeros = (union_rows * bsize) as u64 - true_nnz;
-    let stats = BlockSolveStats { union_rows, true_nnz, padded_zeros, flops };
+    let stats = BlockSolveStats {
+        union_rows,
+        true_nnz,
+        padded_zeros,
+        flops,
+    };
     (pattern, panel, stats)
 }
 
@@ -180,7 +195,16 @@ mod tests {
         for j in 0..5 {
             c.push(j, j, 1.0);
         }
-        for &(i, j) in &[(1, 0), (2, 0), (3, 0), (2, 1), (3, 1), (3, 2), (4, 2), (4, 3)] {
+        for &(i, j) in &[
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (2, 1),
+            (3, 1),
+            (3, 2),
+            (4, 2),
+            (4, 3),
+        ] {
             c.push(i, j, -0.5);
         }
         c.to_csr().to_csc()

@@ -139,7 +139,9 @@ pub fn sparse_lower_solve(
         let mut xj = ws.x[j];
         if !unit_diag {
             let col = l.col_indices(j);
-            let d = col.binary_search(&j).expect("missing diagonal in triangular solve");
+            let d = col
+                .binary_search(&j)
+                .expect("missing diagonal in triangular solve");
             xj /= l.col_values(j)[d];
             ws.x[j] = xj;
         }

@@ -20,7 +20,13 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty `nrows × ncols` triplet matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with room for `cap` entries.
@@ -55,8 +61,16 @@ impl Coo {
     ///
     /// Panics if `i` or `j` is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows, "row index {i} out of bounds ({})", self.nrows);
-        assert!(j < self.ncols, "col index {j} out of bounds ({})", self.ncols);
+        assert!(
+            i < self.nrows,
+            "row index {i} out of bounds ({})",
+            self.nrows
+        );
+        assert!(
+            j < self.ncols,
+            "col index {j} out of bounds ({})",
+            self.ncols
+        );
         self.rows.push(i);
         self.cols.push(j);
         self.vals.push(v);

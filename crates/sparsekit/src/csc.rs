@@ -38,7 +38,13 @@ impl Csc {
                 assert!(last < nrows, "row index out of bounds in column {c}");
             }
         }
-        Csc { nrows, ncols, colptr, rowind, values }
+        Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowind,
+            values,
+        }
     }
 
     /// Internal: reinterprets the transpose of a CSR matrix as CSC.
@@ -103,7 +109,10 @@ impl Csc {
 
     /// Iterates over `(row, value)` pairs of column `j`.
     pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.col_indices(j).iter().copied().zip(self.col_values(j).iter().copied())
+        self.col_indices(j)
+            .iter()
+            .copied()
+            .zip(self.col_values(j).iter().copied())
     }
 
     /// Value at `(i, j)`, or `0.0` if not stored.

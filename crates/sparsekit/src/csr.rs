@@ -33,8 +33,16 @@ impl Csr {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length mismatch");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end mismatch");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end mismatch"
+        );
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
         for r in 0..nrows {
             assert!(indptr[r] <= indptr[r + 1], "indptr must be nondecreasing");
             let row = &indices[indptr[r]..indptr[r + 1]];
@@ -45,7 +53,13 @@ impl Csr {
                 assert!(last < ncols, "column index out of bounds in row {r}");
             }
         }
-        Csr { nrows, ncols, indptr, indices, values }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -111,7 +125,10 @@ impl Csr {
 
     /// Iterates over `(col, value)` pairs of row `i`.
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.row_indices(i).iter().copied().zip(self.row_values(i).iter().copied())
+        self.row_indices(i)
+            .iter()
+            .copied()
+            .zip(self.row_values(i).iter().copied())
     }
 
     /// Value at `(i, j)`, or `0.0` if not stored. `O(log row_nnz)`.
@@ -145,7 +162,13 @@ impl Csr {
         }
         // Rows of the transpose are filled in increasing source-row order,
         // so indices are already sorted.
-        Csr { nrows: self.ncols, ncols: self.nrows, indptr, indices, values }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Converts to compressed sparse column storage.
@@ -175,7 +198,10 @@ impl Csr {
     ///
     /// Panics if the matrix is not square.
     pub fn symmetrize_abs(&self) -> Csr {
-        assert_eq!(self.nrows, self.ncols, "symmetrize_abs requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetrize_abs requires a square matrix"
+        );
         let t = self.transpose();
         // Merge row r of |A| and row r of |Aᵀ|.
         let mut indptr = vec![0usize; self.nrows + 1];
@@ -205,7 +231,13 @@ impl Csr {
             }
             indptr[r + 1] = indices.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Returns `P A Qᵀ`: row `i` of the result is row `p.to_old(i)` of `A`
@@ -233,7 +265,13 @@ impl Csr {
             }
             indptr[new_r + 1] = indices.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Extracts the submatrix with the given rows and columns (in the given
@@ -263,7 +301,13 @@ impl Csr {
             }
             indptr[new_r + 1] = indices.len();
         }
-        Csr { nrows: rows.len(), ncols: cols.len(), indptr, indices, values }
+        Csr {
+            nrows: rows.len(),
+            ncols: cols.len(),
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Drops entries with `|a_ij| <= tol`, returning the pruned matrix and
@@ -285,7 +329,16 @@ impl Csr {
             }
             indptr[r + 1] = indices.len();
         }
-        (Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, values }, dropped)
+        (
+            Csr {
+                nrows: self.nrows,
+                ncols: self.ncols,
+                indptr,
+                indices,
+                values,
+            },
+            dropped,
+        )
     }
 
     /// Indices of columns that contain at least one nonzero.

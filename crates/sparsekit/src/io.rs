@@ -17,6 +17,32 @@ pub enum MmError {
     Io(io::Error),
     /// Structural or syntactic problem in the file, with a message.
     Parse(String),
+    /// An entry's value is NaN or ±∞ (1-based coordinates as written).
+    NonFinite {
+        /// 1-based row index of the offending entry.
+        row: usize,
+        /// 1-based column index of the offending entry.
+        col: usize,
+    },
+    /// The file ended before the declared number of entries was read.
+    Truncated {
+        /// Entries declared on the size line.
+        declared: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// More entries were present than the size line declared.
+    TooManyEntries {
+        /// Entries declared on the size line.
+        declared: usize,
+    },
+    /// The size line declares a matrix with no rows or no columns.
+    ZeroDimension {
+        /// Declared row count.
+        nrows: usize,
+        /// Declared column count.
+        ncols: usize,
+    },
 }
 
 impl std::fmt::Display for MmError {
@@ -24,11 +50,32 @@ impl std::fmt::Display for MmError {
         match self {
             MmError::Io(e) => write!(f, "I/O error: {e}"),
             MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+            MmError::NonFinite { row, col } => {
+                write!(f, "non-finite value at entry ({row},{col})")
+            }
+            MmError::Truncated { declared, found } => write!(
+                f,
+                "truncated file: size line declared {declared} entries but only {found} were present"
+            ),
+            MmError::TooManyEntries { declared } => write!(
+                f,
+                "trailing data: more entries than the {declared} the size line declared"
+            ),
+            MmError::ZeroDimension { nrows, ncols } => {
+                write!(f, "degenerate size line: {nrows} x {ncols} matrix")
+            }
         }
     }
 }
 
-impl std::error::Error for MmError {}
+impl std::error::Error for MmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for MmError {
     fn from(e: io::Error) -> Self {
@@ -50,12 +97,18 @@ pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr, MmError> {
 pub fn read_matrix_market_from<R: BufRead>(mut r: R) -> Result<Csr, MmError> {
     let mut header = String::new();
     r.read_line(&mut header)?;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(parse_err("missing %%MatrixMarket matrix header"));
     }
     if h[2] != "coordinate" {
-        return Err(parse_err(format!("unsupported format '{}' (only coordinate)", h[2])));
+        return Err(parse_err(format!(
+            "unsupported format '{}' (only coordinate)",
+            h[2]
+        )));
     }
     let field = h[3].as_str();
     if !matches!(field, "real" | "integer" | "pattern") {
@@ -78,33 +131,56 @@ pub fn read_matrix_market_from<R: BufRead>(mut r: R) -> Result<Csr, MmError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let nr: usize =
-            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad nrows"))?;
-        let nc: usize =
-            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad ncols"))?;
-        let nz: usize =
-            it.next().ok_or_else(|| parse_err("bad size line"))?.parse().map_err(|_| parse_err("bad nnz"))?;
+        let nr: usize = it
+            .next()
+            .ok_or_else(|| parse_err("bad size line"))?
+            .parse()
+            .map_err(|_| parse_err("bad nrows"))?;
+        let nc: usize = it
+            .next()
+            .ok_or_else(|| parse_err("bad size line"))?
+            .parse()
+            .map_err(|_| parse_err("bad ncols"))?;
+        let nz: usize = it
+            .next()
+            .ok_or_else(|| parse_err("bad size line"))?
+            .parse()
+            .map_err(|_| parse_err("bad nnz"))?;
         break (nr, nc, nz);
     };
+    if nrows == 0 || ncols == 0 {
+        return Err(MmError::ZeroDimension { nrows, ncols });
+    }
 
     let mut coo = Coo::with_capacity(nrows, ncols, if sym == "general" { nnz } else { 2 * nnz });
     let mut seen = 0usize;
     while seen < nnz {
         line.clear();
         if r.read_line(&mut line)? == 0 {
-            return Err(parse_err(format!("unexpected EOF: expected {nnz} entries, got {seen}")));
+            return Err(MmError::Truncated {
+                declared: nnz,
+                found: seen,
+            });
         }
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i: usize =
-            it.next().ok_or_else(|| parse_err("bad entry line"))?.parse().map_err(|_| parse_err("bad row index"))?;
-        let j: usize =
-            it.next().ok_or_else(|| parse_err("bad entry line"))?.parse().map_err(|_| parse_err("bad col index"))?;
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("bad entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("bad entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(format!("entry ({i},{j}) out of bounds (1-based)")));
+            return Err(parse_err(format!(
+                "entry ({i},{j}) out of bounds (1-based)"
+            )));
         }
         let v: f64 = match field {
             "pattern" => 1.0,
@@ -114,6 +190,9 @@ pub fn read_matrix_market_from<R: BufRead>(mut r: R) -> Result<Csr, MmError> {
                 .parse()
                 .map_err(|_| parse_err("bad value"))?,
         };
+        if !v.is_finite() {
+            return Err(MmError::NonFinite { row: i, col: j });
+        }
         let (i0, j0) = (i - 1, j - 1);
         coo.push(i0, j0, v);
         if i0 != j0 {
@@ -124,6 +203,18 @@ pub fn read_matrix_market_from<R: BufRead>(mut r: R) -> Result<Csr, MmError> {
             }
         }
         seen += 1;
+    }
+    // Anything left beyond the declared entry count (other than comments
+    // or blank lines) means the size line lied.
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            return Err(MmError::TooManyEntries { declared: nnz });
+        }
     }
     Ok(coo.to_csr())
 }
@@ -217,6 +308,59 @@ mod tests {
     fn rejects_out_of_bounds_entry() {
         let data = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market_from(Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_values() {
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let data = format!(
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 {bad}\n"
+            );
+            match read_matrix_market_from(Cursor::new(data)) {
+                Err(MmError::NonFinite { row: 2, col: 2 }) => {}
+                other => panic!("value '{bad}' should be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reports_truncated_file() {
+        let data = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n2 2 2.0\n";
+        match read_matrix_market_from(Cursor::new(data)) {
+            Err(MmError::Truncated {
+                declared: 5,
+                found: 2,
+            }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_surplus_entries() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n1 1 1.0\n2 2 2.0\n";
+        match read_matrix_market_from(Cursor::new(data)) {
+            Err(MmError::TooManyEntries { declared: 1 }) => {}
+            other => panic!("expected TooManyEntries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_comments_and_blanks_are_fine() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n1 1 1.0\n\n% trailing comment\n";
+        assert!(read_matrix_market_from(Cursor::new(data)).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_dimension_header() {
+        for size in ["0 3 0", "3 0 0", "0 0 0"] {
+            let data = format!("%%MatrixMarket matrix coordinate real general\n{size}\n");
+            match read_matrix_market_from(Cursor::new(data)) {
+                Err(MmError::ZeroDimension { .. }) => {}
+                other => panic!("size '{size}' should be rejected, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub mod csr;
 pub mod io;
 pub mod ops;
 pub mod perm;
+pub mod rng;
 pub mod spgemm;
 
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use perm::Perm;
+pub use rng::Rng64;

@@ -31,7 +31,10 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 /// Infinity norm of the residual `b − A x`.
 pub fn residual_inf_norm(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let ax = a.matvec(x);
-    ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Builds the adjacency structure (CSR pattern without self-loops) of a

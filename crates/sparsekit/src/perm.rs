@@ -15,7 +15,10 @@ impl Perm {
     /// Identity permutation of length `n`.
     pub fn identity(n: usize) -> Self {
         let v: Vec<usize> = (0..n).collect();
-        Perm { to_old: v.clone(), to_new: v }
+        Perm {
+            to_old: v.clone(),
+            to_new: v,
+        }
     }
 
     /// Builds a permutation from its `to_old` representation.
@@ -27,8 +30,14 @@ impl Perm {
         let n = to_old.len();
         let mut to_new = vec![usize::MAX; n];
         for (new, &old) in to_old.iter().enumerate() {
-            assert!(old < n, "index {old} out of range in permutation of length {n}");
-            assert!(to_new[old] == usize::MAX, "duplicate index {old} in permutation");
+            assert!(
+                old < n,
+                "index {old} out of range in permutation of length {n}"
+            );
+            assert!(
+                to_new[old] == usize::MAX,
+                "duplicate index {old} in permutation"
+            );
             to_new[old] = new;
         }
         Perm { to_old, to_new }
@@ -71,7 +80,10 @@ impl Perm {
 
     /// Inverse permutation.
     pub fn inverse(&self) -> Perm {
-        Perm { to_old: self.to_new.clone(), to_new: self.to_old.clone() }
+        Perm {
+            to_old: self.to_new.clone(),
+            to_new: self.to_old.clone(),
+        }
     }
 
     /// Composition: applying `self` *after* `first`.
@@ -79,7 +91,9 @@ impl Perm {
     /// `(self ∘ first).to_old(new) == first.to_old(self.to_old(new))`.
     pub fn compose(&self, first: &Perm) -> Perm {
         assert_eq!(self.len(), first.len());
-        let to_old: Vec<usize> = (0..self.len()).map(|i| first.to_old(self.to_old(i))).collect();
+        let to_old: Vec<usize> = (0..self.len())
+            .map(|i| first.to_old(self.to_old(i)))
+            .collect();
         Perm::from_to_old(to_old)
     }
 

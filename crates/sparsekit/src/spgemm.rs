@@ -93,7 +93,9 @@ mod tests {
         // Tiny deterministic LCG so this test has no external deps.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let mut c = Coo::new(n, m);
@@ -115,7 +117,10 @@ mod tests {
         let d = dense_mul(&a, &b);
         for i in 0..8 {
             for j in 0..7 {
-                assert!((c.get(i, j) - d[i][j]).abs() < 1e-12, "mismatch at ({i},{j})");
+                assert!(
+                    (c.get(i, j) - d[i][j]).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }

@@ -36,7 +36,13 @@ fn main() {
         ("RHB cnet", CutMetric::Cnet),
         ("RHB soed", CutMetric::Soed),
     ] {
-        show(label, &PartitionerKind::Rhb(RhbConfig { metric, ..Default::default() }));
+        show(
+            label,
+            &PartitionerKind::Rhb(RhbConfig {
+                metric,
+                ..Default::default()
+            }),
+        );
     }
     show(
         "RHB soed multi",

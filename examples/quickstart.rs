@@ -15,7 +15,10 @@ fn main() {
 
     // Configure the hybrid solver: 8 interior subdomains, defaults
     // everywhere else (NGD partitioner, postorder RHS ordering, B = 60).
-    let cfg = PdslinConfig { k: 8, ..Default::default() };
+    let cfg = PdslinConfig {
+        k: 8,
+        ..Default::default()
+    };
     let mut solver = Pdslin::setup(&a, cfg).expect("setup failed");
     println!(
         "setup: separator = {}, nnz(S̃) = {}, phases (s): partition {:.2}, LU(D) {:.2}, Comp(S) {:.2}, LU(S) {:.2}",
@@ -29,10 +32,13 @@ fn main() {
 
     // Solve A x = b.
     let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 13) as f64) - 6.0).collect();
-    let out = solver.solve(&b);
+    let out = solver.solve(&b).expect("solve failed");
     println!(
-        "solve: {} GMRES iterations on the Schur system, {:.2}s",
-        out.iterations, out.seconds
+        "solve: {} iterations of {} on the Schur system, {:.2}s",
+        out.iterations, out.method, out.seconds
     );
-    println!("residual ‖b − Ax‖∞ = {:.3e}", residual_inf_norm(&a, &out.x, &b));
+    println!(
+        "residual ‖b − Ax‖∞ = {:.3e}",
+        residual_inf_norm(&a, &out.x, &b)
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         dom.dim(),
         ncols
     );
-    println!("{:<8} {:<12} {:>16} {:>12}", "B", "ordering", "padded zeros", "time (s)");
+    println!(
+        "{:<8} {:<12} {:>16} {:>12}",
+        "B", "ordering", "padded zeros", "time (s)"
+    );
     for &b in &[10usize, 60, 150] {
         for ord in [
             RhsOrdering::Natural,

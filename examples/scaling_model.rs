@@ -13,14 +13,23 @@ use pdslin::{Pdslin, PdslinConfig};
 fn main() {
     let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
     println!("tdr190k analogue: n = {}, nnz = {}", a.nrows(), a.nnz());
-    let cfg = PdslinConfig { k: 8, parallel: false, ..Default::default() };
+    let cfg = PdslinConfig {
+        k: 8,
+        parallel: false,
+        ..Default::default()
+    };
     let mut solver = Pdslin::setup(&a, cfg).expect("setup");
     let b = vec![1.0; a.nrows()];
-    let _ = solver.solve(&b);
+    let _ = solver.solve(&b).expect("solve");
     let costs = MeasuredCosts {
         lu_d: solver.stats.domain_costs.lu_d.clone(),
         comp_s: solver.stats.domain_costs.comp_s.clone(),
-        gather_bytes: solver.stats.nnz_t.iter().map(|&n| 12.0 * n as f64).collect(),
+        gather_bytes: solver
+            .stats
+            .nnz_t
+            .iter()
+            .map(|&n| 12.0 * n as f64)
+            .collect(),
         lu_s: solver.stats.times.lu_s,
         solve: solver.stats.times.solve,
     };

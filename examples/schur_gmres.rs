@@ -17,8 +17,11 @@ fn main() {
     let a = matgen::stencil::laplace3d(14, 14, 14);
     let part = compute_partition(&a, 4, &PartitionerKind::Ngd);
     let sys = extract_dbbd(&a, part);
-    let factors: Vec<_> =
-        sys.domains.iter().map(|d| factor_domain(&d.d, 0.1).expect("LU(D)")).collect();
+    let factors: Vec<_> = sys
+        .domains
+        .iter()
+        .map(|d| factor_domain(&d.d, 0.1).expect("LU(D)"))
+        .collect();
     let icfg = InterfaceConfig {
         block_size: 60,
         ordering: RhsOrdering::Postorder,
@@ -39,7 +42,11 @@ fn main() {
     );
     let op = ImplicitSchur::new(&sys, &factors);
     let b = vec![1.0; sys.nsep()];
-    let cfg = GmresConfig { restart: 60, max_iters: 300, tol: 1e-10 };
+    let cfg = GmresConfig {
+        restart: 60,
+        max_iters: 300,
+        tol: 1e-10,
+    };
 
     let r0 = gmres(&op, &IdentityPrecond, &b, None, &cfg);
     println!(

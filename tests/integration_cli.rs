@@ -26,7 +26,7 @@ fn generate_and_solve_through_cli_options() {
     };
     let mut solver = pdslin::Pdslin::setup(&a, cfg).expect("setup");
     let b = vec![1.0; a.nrows()];
-    let out = solver.solve(&b);
+    let out = solver.solve(&b).expect("solve");
     assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
 }
 
@@ -37,8 +37,7 @@ fn matrix_market_file_loads_through_cli() {
     let path = dir.join("m.mtx");
     let a = matgen::stencil::laplace2d(15, 15);
     sparsekit::io::write_matrix_market(&path, &a).unwrap();
-    let args =
-        parse_args(argv(&format!("info --matrix {}", path.display()))).unwrap();
+    let args = parse_args(argv(&format!("info --matrix {}", path.display()))).unwrap();
     let b = load_matrix(&args).unwrap();
     assert_eq!(a, b);
 }

@@ -43,10 +43,13 @@ fn ngd_produces_valid_dbbd_on_all_matrices() {
 fn rhb_produces_valid_dbbd_on_all_matrices() {
     for kind in MatrixKind::ALL {
         let a = generate(kind, Scale::Test);
-        let part =
-            compute_partition(&a, 8, &PartitionerKind::Rhb(RhbConfig::default()));
+        let part = compute_partition(&a, 8, &PartitionerKind::Rhb(RhbConfig::default()));
         assert_valid_dbbd(&a, &part);
-        assert!(part.subdomain_sizes().iter().all(|&s| s > 0), "{}", kind.name());
+        assert!(
+            part.subdomain_sizes().iter().all(|&s| s > 0),
+            "{}",
+            kind.name()
+        );
     }
 }
 
@@ -83,9 +86,16 @@ fn separator_grows_only_modestly_under_rhb() {
 
 #[test]
 fn multiconstraint_rhb_is_valid_everywhere() {
-    for kind in [MatrixKind::Tdr190k, MatrixKind::G3Circuit, MatrixKind::Matrix211] {
+    for kind in [
+        MatrixKind::Tdr190k,
+        MatrixKind::G3Circuit,
+        MatrixKind::Matrix211,
+    ] {
         let a = generate(kind, Scale::Test);
-        let cfg = RhbConfig { constraint: ConstraintMode::Multi, ..Default::default() };
+        let cfg = RhbConfig {
+            constraint: ConstraintMode::Multi,
+            ..Default::default()
+        };
         let part = compute_partition(&a, 8, &PartitionerKind::Rhb(cfg));
         assert_valid_dbbd(&a, &part);
     }
@@ -108,7 +118,9 @@ fn dbbd_permutation_produces_block_structure() {
         if i >= sep_start {
             usize::MAX // separator
         } else {
-            (0..part.k).find(|&l| i >= offsets[l] && i < offsets[l + 1]).unwrap()
+            (0..part.k)
+                .find(|&l| i >= offsets[l] && i < offsets[l + 1])
+                .unwrap()
         }
     };
     for i in 0..pa.nrows() {

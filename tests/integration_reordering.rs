@@ -2,9 +2,7 @@
 
 use matgen::{generate, MatrixKind, Scale};
 use pdslin::interface::{ehat_columns_pivot, g_solve_experiment};
-use pdslin::rhs_order::{
-    column_reaches, order_columns_precomputed, padding_of_order,
-};
+use pdslin::rhs_order::{column_reaches, order_columns_precomputed, padding_of_order};
 use pdslin::subdomain::factor_domain;
 use pdslin::{compute_partition, extract_dbbd, PartitionerKind, RhsOrdering};
 use slu::trisolve::SolveWorkspace;
@@ -13,8 +11,11 @@ fn factored(kind: MatrixKind) -> (pdslin::DbbdSystem, Vec<pdslin::subdomain::Fac
     let a = generate(kind, Scale::Test);
     let part = compute_partition(&a, 8, &PartitionerKind::Ngd);
     let sys = extract_dbbd(&a, part);
-    let factors: Vec<_> =
-        sys.domains.iter().map(|d| factor_domain(&d.d, 0.1).expect("LU")).collect();
+    let factors: Vec<_> = sys
+        .domains
+        .iter()
+        .map(|d| factor_domain(&d.d, 0.1).expect("LU"))
+        .collect();
     (sys, factors)
 }
 
@@ -35,7 +36,12 @@ fn orderings_are_permutations() {
         let order = order_columns_precomputed(&cols, &reaches, fd.lu.n(), 16, ord);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..cols.len()).collect::<Vec<_>>(), "{:?}", ord.label());
+        assert_eq!(
+            sorted,
+            (0..cols.len()).collect::<Vec<_>>(),
+            "{:?}",
+            ord.label()
+        );
     }
 }
 
@@ -60,8 +66,14 @@ fn reordered_padding_beats_natural_on_average() {
                 *acc += padding_of_order(&reaches, n, &order, 32).0;
             }
         }
-        assert!(post < nat, "{kind:?}: postorder {post} should beat natural {nat}");
-        assert!(hyper <= post, "{kind:?}: hypergraph {hyper} should be ≤ postorder {post}");
+        assert!(
+            post < nat,
+            "{kind:?}: postorder {post} should beat natural {nat}"
+        );
+        assert!(
+            hyper <= post,
+            "{kind:?}: hypergraph {hyper} should be ≤ postorder {post}"
+        );
     }
 }
 
@@ -99,7 +111,10 @@ fn padding_is_monotone_in_block_size_for_natural_order() {
         if b == 1 {
             assert_eq!(padded, 0, "B=1 must be padding-free");
         }
-        assert!(padded >= last, "padding decreased from {last} to {padded} at B={b}");
+        assert!(
+            padded >= last,
+            "padding decreased from {last} to {padded} at B={b}"
+        );
         last = padded;
     }
 }
@@ -114,8 +129,20 @@ fn quasi_dense_filter_speeds_up_ordering_without_quality_collapse() {
         let mut ws = SolveWorkspace::new(n);
         let cols = ehat_columns_pivot(fd, dom);
         let reaches = column_reaches(&cols, &fd.lu.l, &mut ws);
-        let o1 = order_columns_precomputed(&cols, &reaches, n, 32, RhsOrdering::Hypergraph { tau: None });
-        let o2 = order_columns_precomputed(&cols, &reaches, n, 32, RhsOrdering::Hypergraph { tau: Some(0.4) });
+        let o1 = order_columns_precomputed(
+            &cols,
+            &reaches,
+            n,
+            32,
+            RhsOrdering::Hypergraph { tau: None },
+        );
+        let o2 = order_columns_precomputed(
+            &cols,
+            &reaches,
+            n,
+            32,
+            RhsOrdering::Hypergraph { tau: Some(0.4) },
+        );
         pad_none += padding_of_order(&reaches, n, &o1, 32).0;
         pad_filtered += padding_of_order(&reaches, n, &o2, 32).0;
     }

@@ -7,14 +7,23 @@ use pdslin::scaling::ScalingModel;
 use pdslin::{Pdslin, PdslinConfig};
 
 fn measured_costs(a: &sparsekit::Csr, k: usize) -> (MeasuredCosts, pdslin::stats::SetupStats) {
-    let cfg = PdslinConfig { k, parallel: false, ..Default::default() };
+    let cfg = PdslinConfig {
+        k,
+        parallel: false,
+        ..Default::default()
+    };
     let mut solver = Pdslin::setup(a, cfg).expect("setup");
     let b = vec![1.0; a.nrows()];
-    let _ = solver.solve(&b);
+    let _ = solver.solve(&b).expect("solve");
     let costs = MeasuredCosts {
         lu_d: solver.stats.domain_costs.lu_d.clone(),
         comp_s: solver.stats.domain_costs.comp_s.clone(),
-        gather_bytes: solver.stats.nnz_t.iter().map(|&n| 12.0 * n as f64).collect(),
+        gather_bytes: solver
+            .stats
+            .nnz_t
+            .iter()
+            .map(|&n| 12.0 * n as f64)
+            .collect(),
         lu_s: solver.stats.times.lu_s,
         solve: solver.stats.times.solve,
     };
@@ -55,7 +64,10 @@ fn comp_s_dominates_at_low_core_counts() {
     // dominates the runtime at small core counts on cavity problems.
     let a = matgen::generate(matgen::MatrixKind::Tdr190k, matgen::Scale::Test);
     let (costs, _stats) = measured_costs(&a, 8);
-    let machine = Machine { cores: 8, ..Default::default() };
+    let machine = Machine {
+        cores: 8,
+        ..Default::default()
+    };
     let (t, _s) = parsim::pdslin_model::simulate_config(&costs, &machine, 8);
     assert!(
         t.comp_s > t.lu_d,

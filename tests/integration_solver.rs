@@ -2,16 +2,22 @@
 //! Table-I matrix analogue, both partitioners, at test scale.
 
 use matgen::{generate, MatrixKind, Scale};
-use pdslin::{Pdslin, PdslinConfig, PartitionerKind, RhsOrdering};
+use pdslin::{PartitionerKind, Pdslin, PdslinConfig, RhsOrdering};
 use sparsekit::ops::residual_inf_norm;
 use sparsekit::Csr;
 
 fn solve_check(a: &Csr, cfg: PdslinConfig, tol: f64) -> pdslin::SolveOutcome {
     let mut solver = Pdslin::setup(a, cfg).expect("setup");
-    let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + ((i * 7) % 23) as f64 / 23.0).collect();
-    let out = solver.solve(&b);
+    let b: Vec<f64> = (0..a.nrows())
+        .map(|i| 1.0 + ((i * 7) % 23) as f64 / 23.0)
+        .collect();
+    let out = solver.solve(&b).expect("solve");
     let res = residual_inf_norm(a, &out.x, &b);
     assert!(res < tol, "residual {res} above tolerance {tol}");
+    assert!(
+        out.recovery.is_empty(),
+        "clean run recorded recovery events"
+    );
     out
 }
 
@@ -64,7 +70,11 @@ fn solves_with_all_rhs_orderings() {
         RhsOrdering::Postorder,
         RhsOrdering::Hypergraph { tau: Some(0.4) },
     ] {
-        let cfg = PdslinConfig { k: 4, rhs_ordering: ordering, ..Default::default() };
+        let cfg = PdslinConfig {
+            k: 4,
+            rhs_ordering: ordering,
+            ..Default::default()
+        };
         solve_check(&a, cfg, 1e-5);
     }
 }
@@ -73,14 +83,25 @@ fn solves_with_all_rhs_orderings() {
 fn unsymmetric_fusion_matrix_solves() {
     let a = generate(MatrixKind::Matrix211, Scale::Test);
     assert!(!a.pattern_symmetric());
-    let cfg = PdslinConfig { k: 4, ..Default::default() };
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
     solve_check(&a, cfg, 1e-4);
 }
 
 #[test]
 fn quasi_dense_circuit_matrix_solves() {
     let a = generate(MatrixKind::Asic680ks, Scale::Test);
-    let cfg = PdslinConfig { k: 4, gmres: krylov::GmresConfig { restart: 100, max_iters: 800, tol: 1e-10 }, ..Default::default() };
+    let cfg = PdslinConfig {
+        k: 4,
+        gmres: krylov::GmresConfig {
+            restart: 100,
+            max_iters: 800,
+            tol: 1e-10,
+        },
+        ..Default::default()
+    };
     solve_check(&a, cfg, 1e-4);
 }
 
@@ -98,7 +119,7 @@ fn block_size_does_not_change_the_answer() {
         };
         let mut solver = Pdslin::setup(&a, cfg).expect("setup");
         let b = vec![1.0; a.nrows()];
-        xs.push(solver.solve(&b).x);
+        xs.push(solver.solve(&b).expect("solve").x);
     }
     for pair in xs.windows(2) {
         for (u, v) in pair[0].iter().zip(&pair[1]) {
@@ -110,11 +131,14 @@ fn block_size_does_not_change_the_answer() {
 #[test]
 fn repeated_solves_reuse_the_setup() {
     let a = generate(MatrixKind::G3Circuit, Scale::Test);
-    let cfg = PdslinConfig { k: 4, ..Default::default() };
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
     let mut solver = Pdslin::setup(&a, cfg).expect("setup");
     for trial in 0..3 {
         let b: Vec<f64> = (0..a.nrows()).map(|i| ((i + trial) % 5) as f64).collect();
-        let out = solver.solve(&b);
+        let out = solver.solve(&b).expect("solve");
         assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
     }
 }

@@ -27,14 +27,21 @@ fn gmres_and_bicgstab_agree_with_direct_solve() {
         &m,
         &b,
         None,
-        &krylov::GmresConfig { restart: 80, max_iters: 2000, tol: 1e-12 },
+        &krylov::GmresConfig {
+            restart: 80,
+            max_iters: 2000,
+            tol: 1e-12,
+        },
     );
     let x_bicg = krylov::bicgstab(
         &op,
         &m,
         &b,
         None,
-        &krylov::BicgstabConfig { max_iters: 4000, tol: 1e-12 },
+        &krylov::BicgstabConfig {
+            max_iters: 4000,
+            tol: 1e-12,
+        },
     );
     assert!(x_gmres.converged, "GMRES residual {}", x_gmres.residual);
     assert!(x_bicg.converged, "BiCGSTAB residual {}", x_bicg.residual);
@@ -93,9 +100,11 @@ fn supernodal_solve_agrees_with_lu_solve_via_scatter() {
     // Dense b scattered as one sparse column; the supernodal lower solve
     // must match the L-solve stage of the full solve.
     let seed_rows: Vec<usize> = (0..n).step_by(97).collect();
-    let cols = vec![slu::SparseVec::new(seed_rows.clone(), vec![1.0; seed_rows.len()])];
-    let (pat, panel, _stats) =
-        slu::supernodal_blocked_solve(&fd.lu.l, &sn, &cols, &mut ws);
+    let cols = vec![slu::SparseVec::new(
+        seed_rows.clone(),
+        vec![1.0; seed_rows.len()],
+    )];
+    let (pat, panel, _stats) = slu::supernodal_blocked_solve(&fd.lu.l, &sn, &cols, &mut ws);
     let ref_x = slu::sparse_lower_solve(
         &fd.lu.l,
         true,
@@ -107,7 +116,10 @@ fn supernodal_solve_agrees_with_lu_solve_via_scatter() {
         dense[i] = v;
     }
     for (t, &row) in pat.iter().enumerate() {
-        assert!((panel[t] - dense[row]).abs() < 1e-12, "mismatch at row {row}");
+        assert!(
+            (panel[t] - dense[row]).abs() < 1e-12,
+            "mismatch at row {row}"
+        );
     }
 }
 
@@ -132,7 +144,10 @@ fn lu_with_refinement_beats_gmres_tolerance_on_hard_matrix() {
     let fd = factor_domain(d, 0.5).expect("LU of indefinite block");
     let b = vec![1.0; d.nrows()];
     let x = fd.lu.solve(&b);
-    assert!(residual_inf_norm(d, &x, &b) < 1e-8, "threshold pivoting must stay stable");
+    assert!(
+        residual_inf_norm(d, &x, &b) < 1e-8,
+        "threshold pivoting must stay stable"
+    );
 }
 
 #[test]

@@ -1,89 +1,100 @@
-//! Property-based tests (proptest) of the core data structures and the
-//! invariants the solver stack relies on.
+//! Randomized property tests of the core data structures and the
+//! invariants the solver stack relies on. Each test sweeps a batch of
+//! deterministic SplitMix64 seeds, so failures reproduce exactly.
 
-use proptest::prelude::*;
-use sparsekit::{Coo, Csr, Perm};
+use sparsekit::{Coo, Csr, Perm, Rng64};
 
-/// Strategy: a random sparse square matrix with a guaranteed nonzero,
-/// dominant diagonal (so it is factorisable without pivoting drama).
-fn diag_dominant(n_max: usize) -> impl Strategy<Value = Csr> {
-    (2..n_max).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0..n, 0..n, -1.0f64..1.0),
-            0..(4 * n),
-        );
-        entries.prop_map(move |es| {
-            let mut c = Coo::new(n, n);
-            let mut rowsum = vec![0.0f64; n];
-            for &(i, j, v) in &es {
-                if i != j {
-                    c.push(i, j, v);
-                    rowsum[i] += v.abs();
-                }
-            }
-            for (i, rs) in rowsum.iter().enumerate() {
-                c.push(i, i, 2.0 + rs);
-            }
-            c.to_csr()
-        })
-    })
-}
-
-fn permutation(n: usize) -> impl Strategy<Value = Perm> {
-    Just(()).prop_perturb(move |_, mut rng| {
-        let mut v: Vec<usize> = (0..n).collect();
-        // Fisher–Yates with proptest's rng.
-        for i in (1..n).rev() {
-            let j = (rng.next_u64() as usize) % (i + 1);
-            v.swap(i, j);
+/// Random sparse square matrix with a guaranteed nonzero, dominant
+/// diagonal (so it is factorisable without pivoting drama).
+fn diag_dominant(rng: &mut Rng64, n_max: usize) -> Csr {
+    let n = rng.range(2, n_max);
+    let nnz = rng.below(4 * n);
+    let mut c = Coo::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for _ in 0..nnz {
+        let i = rng.below(n);
+        let j = rng.below(n);
+        let v = rng.f64_range(-1.0, 1.0);
+        if i != j {
+            c.push(i, j, v);
+            rowsum[i] += v.abs();
         }
-        Perm::from_to_old(v)
-    })
+    }
+    for (i, rs) in rowsum.iter().enumerate() {
+        c.push(i, i, 2.0 + rs);
+    }
+    c.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn permutation(rng: &mut Rng64, n: usize) -> Perm {
+    let mut v: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut v);
+    Perm::from_to_old(v)
+}
 
-    #[test]
-    fn transpose_is_involutive(a in diag_dominant(24)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_is_involutive() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 24);
+        assert_eq!(a.transpose().transpose(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_preserves_entries(a in diag_dominant(16)) {
+#[test]
+fn transpose_preserves_entries() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 16);
         let t = a.transpose();
         for i in 0..a.nrows() {
             for (j, v) in a.row_iter(i) {
-                prop_assert_eq!(t.get(j, i), v);
+                assert_eq!(t.get(j, i), v, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn symmetrize_abs_is_symmetric_and_dominates(a in diag_dominant(20)) {
+#[test]
+fn symmetrize_abs_is_symmetric_and_dominates() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 20);
         let s = a.symmetrize_abs();
-        prop_assert!(s.pattern_symmetric());
-        prop_assert!(s.value_symmetric(1e-12));
+        assert!(s.pattern_symmetric(), "seed {seed}");
+        assert!(s.value_symmetric(1e-12), "seed {seed}");
         // |A| + |Aᵀ| ≥ |A| entrywise.
         for i in 0..a.nrows() {
             for (j, v) in a.row_iter(i) {
-                prop_assert!(s.get(i, j) >= v.abs() - 1e-14);
+                assert!(s.get(i, j) >= v.abs() - 1e-14, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn csr_csc_roundtrip(a in diag_dominant(24)) {
-        prop_assert_eq!(a.to_csc().to_csr(), a);
+#[test]
+fn csr_csc_roundtrip() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 24);
+        assert_eq!(a.to_csc().to_csr(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn coo_roundtrip(a in diag_dominant(24)) {
-        prop_assert_eq!(a.to_coo().to_csr(), a);
+#[test]
+fn coo_roundtrip() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 24);
+        assert_eq!(a.to_coo().to_csr(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn matvec_linearity(a in diag_dominant(16)) {
+#[test]
+fn matvec_linearity() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 16);
         let n = a.ncols();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
@@ -94,79 +105,107 @@ proptest! {
         let ax = a.matvec(&x);
         let ay = a.matvec(&y);
         for i in 0..n {
-            prop_assert!((axy[i] - ax[i] - ay[i]).abs() < 1e-10);
+            assert!((axy[i] - ax[i] - ay[i]).abs() < 1e-10, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn spgemm_with_identity_is_identity(a in diag_dominant(16)) {
+#[test]
+fn spgemm_with_identity_is_identity() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 16);
         let i = Csr::identity(a.nrows());
         let left = sparsekit::spgemm::spgemm(&i, &a);
-        prop_assert_eq!(left, a);
+        assert_eq!(left, a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn lu_solves_diag_dominant(a in diag_dominant(20)) {
+#[test]
+fn lu_solves_diag_dominant() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 20);
         let n = a.nrows();
         let f = slu::LuFactors::factorize(&a, &Perm::identity(n), &slu::LuConfig::default());
         let f = f.expect("diagonally dominant matrices must factor");
         let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let x = f.solve(&b);
-        prop_assert!(sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8);
+        assert!(
+            sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn lu_respects_any_column_permutation(a in diag_dominant(14)) {
+#[test]
+fn lu_respects_any_column_permutation() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 14);
         let n = a.nrows();
-        let mut runner_perm: Vec<usize> = (0..n).collect();
-        runner_perm.reverse();
-        let q = Perm::from_to_old(runner_perm);
+        let q = permutation(&mut rng, n);
         let f = slu::LuFactors::factorize(&a, &q, &slu::LuConfig::default()).unwrap();
         let b = vec![1.0; n];
         let x = f.solve(&b);
-        prop_assert!(sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8);
+        assert!(
+            sparsekit::ops::residual_inf_norm(&a, &x, &b) < 1e-8,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn etree_postorder_children_precede_parents(a in diag_dominant(24)) {
+#[test]
+fn etree_postorder_children_precede_parents() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 24);
         let s = a.symmetrize_abs();
         let parent = slu::etree(&s);
         let post = slu::postorder(&parent);
         for v in 0..s.nrows() {
             if parent[v] != slu::etree::NO_PARENT {
-                prop_assert!(post.to_new(v) < post.to_new(parent[v]));
+                assert!(post.to_new(v) < post.to_new(parent[v]), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn perm_apply_roundtrip(p in permutation(12)) {
+#[test]
+fn perm_apply_roundtrip() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let p = permutation(&mut rng, 12);
         let x: Vec<i64> = (0..12).map(|i| i * i).collect();
         let y = p.apply(&x);
-        prop_assert_eq!(p.apply_inverse(&y), x);
-    }
-
-    #[test]
-    fn perm_compose_matches_sequential(p in permutation(10), q in permutation(10)) {
-        let x: Vec<i64> = (0..10).collect();
-        let seq = q.apply(&p.apply(&x));
-        let comp = q.compose(&p).apply(&x);
-        prop_assert_eq!(seq, comp);
+        assert_eq!(p.apply_inverse(&y), x, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn perm_compose_matches_sequential() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let p = permutation(&mut rng, 10);
+        let q = permutation(&mut rng, 10);
+        let x: Vec<i64> = (0..10).collect();
+        let seq = q.apply(&p.apply(&x));
+        let comp = q.compose(&p).apply(&x);
+        assert_eq!(seq, comp, "seed {seed}");
+    }
+}
 
-    #[test]
-    fn soed_equals_con1_plus_cnet(
-        nets in proptest::collection::vec(proptest::collection::vec(0usize..12, 0..6), 1..20),
-        nparts in 2usize..5,
-    ) {
-        let nv = 12;
-        let pins: Vec<Vec<usize>> = nets
-            .into_iter()
-            .map(|mut p| {
+#[test]
+fn soed_equals_con1_plus_cnet() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let nv = 12usize;
+        let nparts = rng.range(2, 5);
+        let nnets = rng.range(1, 20);
+        let pins: Vec<Vec<usize>> = (0..nnets)
+            .map(|_| {
+                let len = rng.below(6);
+                let mut p: Vec<usize> = (0..len).map(|_| rng.below(nv)).collect();
                 p.sort_unstable();
                 p.dedup();
                 p
@@ -176,22 +215,26 @@ proptest! {
         let h = hypergraph::Hypergraph::from_pin_lists(nv, &pins, vec![1; nv], 1, ncost);
         let part: Vec<usize> = (0..nv).map(|v| v % nparts).collect();
         let cs = hypergraph::cut_sizes(&h, &part, nparts);
-        prop_assert_eq!(cs.soed, cs.con1 + cs.cnet);
-        prop_assert!(cs.con1 >= 0 && cs.cnet >= 0);
+        assert_eq!(cs.soed, cs.con1 + cs.cnet, "seed {seed}");
+        assert!(cs.con1 >= 0 && cs.cnet >= 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn exact_partition_always_hits_sizes(
-        seed_edges in proptest::collection::vec((0usize..30, 0usize..30), 10..60),
-    ) {
-        let nv = 30;
-        let pins: Vec<Vec<usize>> = seed_edges
-            .into_iter()
-            .filter(|(u, v)| u != v)
-            .map(|(u, v)| vec![u.min(v), u.max(v)])
+#[test]
+fn exact_partition_always_hits_sizes() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let nv = 30usize;
+        let nedges = rng.range(10, 60);
+        let pins: Vec<Vec<usize>> = (0..nedges)
+            .filter_map(|_| {
+                let u = rng.below(nv);
+                let v = rng.below(nv);
+                (u != v).then(|| vec![u.min(v), u.max(v)])
+            })
             .collect();
         if pins.is_empty() {
-            return Ok(());
+            continue;
         }
         let ncost = vec![1i64; pins.len()];
         let h = hypergraph::Hypergraph::from_pin_lists(nv, &pins, vec![1; nv], 1, ncost);
@@ -205,16 +248,18 @@ proptest! {
         for &p in &part {
             counts[p] += 1;
         }
-        prop_assert_eq!(counts, sizes);
+        assert_eq!(counts, sizes, "seed {seed}");
     }
+}
 
-    #[test]
-    fn sparse_lower_solve_matches_dense(
-        subdiag in proptest::collection::vec(-0.9f64..0.9, 9),
-        seed in 0usize..9,
-    ) {
+#[test]
+fn sparse_lower_solve_matches_dense() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
         // Bidiagonal unit-lower solve vs dense forward substitution.
-        let n = 10;
+        let n = 10usize;
+        let subdiag: Vec<f64> = (0..n - 1).map(|_| rng.f64_range(-0.9, 0.9)).collect();
+        let start = rng.below(n - 1);
         let mut c = Coo::new(n, n);
         for i in 0..n {
             c.push(i, i, 1.0);
@@ -226,11 +271,11 @@ proptest! {
         }
         let l = c.to_csr().to_csc();
         let mut ws = slu::trisolve::SolveWorkspace::new(n);
-        let b = slu::trisolve::SparseVec::new(vec![seed], vec![1.0]);
+        let b = slu::trisolve::SparseVec::new(vec![start], vec![1.0]);
         let x = slu::trisolve::sparse_lower_solve(&l, true, &b, &mut ws);
         // Dense reference.
         let mut xd = vec![0.0f64; n];
-        xd[seed] = 1.0;
+        xd[start] = 1.0;
         for i in 1..n {
             let lij = l.get(i, i - 1);
             if lij != 0.0 {
@@ -242,7 +287,7 @@ proptest! {
             got[i] = v;
         }
         for i in 0..n {
-            prop_assert!((got[i] - xd[i]).abs() < 1e-12);
+            assert!((got[i] - xd[i]).abs() < 1e-12, "seed {seed}");
         }
     }
 }

@@ -1,37 +1,40 @@
-//! Property-based tests of the parallel-schedule simulator: the
+//! Randomized property tests of the parallel-schedule simulator: the
 //! scheduler must respect the classical makespan bounds for any random
-//! task DAG.
+//! task DAG (deterministic SplitMix64 seeds).
 
 use parsim::{simulate, Machine, TaskGraph};
-use proptest::prelude::*;
+use sparsekit::Rng64;
 
 /// Builds a random DAG: each task may depend on a subset of earlier ones.
-fn random_graph() -> impl Strategy<Value = TaskGraph> {
-    proptest::collection::vec(
-        (0.1f64..10.0, 1usize..8, proptest::collection::vec(any::<u8>(), 0..3)),
-        1..20,
-    )
-    .prop_map(|specs| {
-        let mut g = TaskGraph::new();
-        for (i, (cost, gang, dep_picks)) in specs.into_iter().enumerate() {
-            let deps: Vec<usize> = if i == 0 {
-                Vec::new()
-            } else {
-                let mut d: Vec<usize> =
-                    dep_picks.iter().map(|&p| (p as usize) % i).collect();
-                d.sort_unstable();
-                d.dedup();
-                d
-            };
-            g.add_compute(&format!("t{i}"), cost, gang, &deps);
-        }
-        g
-    })
+fn random_graph(rng: &mut Rng64) -> TaskGraph {
+    let ntasks = rng.range(1, 20);
+    let mut g = TaskGraph::new();
+    for i in 0..ntasks {
+        let cost = rng.f64_range(0.1, 10.0);
+        let gang = rng.range(1, 8);
+        let ndeps = rng.below(3);
+        let deps: Vec<usize> = if i == 0 {
+            Vec::new()
+        } else {
+            let mut d: Vec<usize> = (0..ndeps).map(|_| rng.below(i)).collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        g.add_compute(&format!("t{i}"), cost, gang, &deps);
+    }
+    g
 }
 
-/// Sequential machine: one core, linear scaling, no comm cost.
+/// Sequential machine: `cores` cores, linear scaling, no comm cost.
 fn machine(cores: usize) -> Machine {
-    Machine { cores, alpha: 1.0, serial_fraction: 0.0, latency: 0.0, bandwidth: 1e12 }
+    Machine {
+        cores,
+        alpha: 1.0,
+        serial_fraction: 0.0,
+        latency: 0.0,
+        bandwidth: 1e12,
+    }
 }
 
 /// Critical-path length (with gang-parallel runtimes on `m`).
@@ -40,77 +43,92 @@ fn critical_path(g: &TaskGraph, m: &Machine) -> f64 {
     let mut longest = vec![0.0f64; n];
     for (id, t) in g.iter() {
         let dur = m.compute_time(t.cost, t.gang.min(m.cores).max(1));
-        let start = t
-            .deps
-            .iter()
-            .map(|&d| longest[d])
-            .fold(0.0f64, f64::max);
+        let start = t.deps.iter().map(|&d| longest[d]).fold(0.0f64, f64::max);
         longest[id] = start + dur;
     }
     longest.iter().copied().fold(0.0, f64::max)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn makespan_at_least_critical_path(g in random_graph()) {
+#[test]
+fn makespan_at_least_critical_path() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let g = random_graph(&mut rng);
         let m = machine(4);
         let s = simulate(&g, &m);
         let cp = critical_path(&g, &m);
-        prop_assert!(
+        assert!(
             s.makespan >= cp - 1e-9,
-            "makespan {} below critical path {cp}",
+            "seed {seed}: makespan {} below critical path {cp}",
             s.makespan
         );
     }
+}
 
-    #[test]
-    fn makespan_at_most_serialised_sum(g in random_graph()) {
-        // Even a 1-core machine can run everything back to back; the
-        // scheduler must never exceed the fully serialised sum on any
-        // machine at least that large.
+#[test]
+fn makespan_at_most_serialised_sum() {
+    // Even a 1-core machine can run everything back to back; the
+    // scheduler must never exceed the fully serialised sum on any
+    // machine at least that large.
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let g = random_graph(&mut rng);
         let m = machine(4);
         let s = simulate(&g, &m);
         let serial: f64 = g
             .iter()
             .map(|(_, t)| m.compute_time(t.cost, t.gang.min(m.cores).max(1)))
             .sum();
-        prop_assert!(s.makespan <= serial + 1e-9);
+        assert!(s.makespan <= serial + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn starts_respect_dependencies(g in random_graph()) {
+#[test]
+fn starts_respect_dependencies() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let g = random_graph(&mut rng);
         let m = machine(3);
         let s = simulate(&g, &m);
         for (id, t) in g.iter() {
             for &d in &t.deps {
-                prop_assert!(
+                assert!(
                     s.start[id] >= s.finish[d] - 1e-9,
-                    "task {id} started before dependency {d} finished"
+                    "seed {seed}: task {id} started before dependency {d} finished"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(g in random_graph()) {
+#[test]
+fn simulation_is_deterministic() {
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let g = random_graph(&mut rng);
         let m = machine(3);
         let s1 = simulate(&g, &m);
         let s2 = simulate(&g, &m);
-        prop_assert_eq!(s1.start, s2.start);
-        prop_assert_eq!(s1.finish, s2.finish);
+        assert_eq!(s1.start, s2.start, "seed {seed}");
+        assert_eq!(s1.finish, s2.finish, "seed {seed}");
     }
+}
 
-    #[test]
-    fn unbounded_machine_reaches_critical_path(g in random_graph()) {
-        // With cores ≥ sum of gangs there is no resource contention, so
-        // the greedy schedule attains exactly the critical path.
+#[test]
+fn unbounded_machine_reaches_critical_path() {
+    // With cores ≥ sum of gangs there is no resource contention, so the
+    // greedy schedule attains exactly the critical path.
+    for seed in 0..48 {
+        let mut rng = Rng64::new(seed);
+        let g = random_graph(&mut rng);
         let total_gangs: usize = g.iter().map(|(_, t)| t.gang).sum();
         let m = machine(total_gangs.max(1));
         let s = simulate(&g, &m);
         let cp = critical_path(&g, &m);
-        prop_assert!((s.makespan - cp).abs() < 1e-9,
-            "uncontended makespan {} != critical path {cp}", s.makespan);
+        assert!(
+            (s.makespan - cp).abs() < 1e-9,
+            "seed {seed}: uncontended makespan {} != critical path {cp}",
+            s.makespan
+        );
     }
 }

@@ -1,33 +1,31 @@
-//! Property-based tests of the partitioning and reordering layers on
-//! randomly structured inputs.
+//! Randomized property tests of the partitioning and reordering layers
+//! on randomly structured inputs (deterministic SplitMix64 seeds).
 
 use graphpart::separator::{is_valid_separator, vertex_separator};
 use graphpart::{nested_dissection, Graph, NdConfig, SEPARATOR};
 use hypergraph::{rhb_partition, RhbConfig};
-use proptest::prelude::*;
-use sparsekit::{Coo, Csr};
+use sparsekit::{Coo, Csr, Rng64};
 
 /// Random connected-ish symmetric sparse matrix with a full diagonal.
-fn random_symmetric(n_max: usize) -> impl Strategy<Value = Csr> {
-    (8..n_max).prop_flat_map(|n| {
-        let extra = proptest::collection::vec((0..n, 0..n), n / 2..2 * n);
-        extra.prop_map(move |es| {
-            let mut c = Coo::new(n, n);
-            for i in 0..n {
-                c.push(i, i, 4.0);
-                // A backbone path keeps the graph connected.
-                if i + 1 < n {
-                    c.push_sym(i, i + 1, -1.0);
-                }
-            }
-            for &(u, v) in &es {
-                if u != v {
-                    c.push_sym(u, v, -0.5);
-                }
-            }
-            c.to_csr()
-        })
-    })
+fn random_symmetric(rng: &mut Rng64, n_max: usize) -> Csr {
+    let n = rng.range(8, n_max);
+    let extra = rng.range(n / 2, 2 * n);
+    let mut c = Coo::new(n, n);
+    for i in 0..n {
+        c.push(i, i, 4.0);
+        // A backbone path keeps the graph connected.
+        if i + 1 < n {
+            c.push_sym(i, i + 1, -1.0);
+        }
+    }
+    for _ in 0..extra {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            c.push_sym(u, v, -0.5);
+        }
+    }
+    c.to_csr()
 }
 
 fn dbbd_is_valid(a: &Csr, part: &graphpart::DbbdPartition) -> bool {
@@ -46,70 +44,76 @@ fn dbbd_is_valid(a: &Csr, part: &graphpart::DbbdPartition) -> bool {
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ngd_always_yields_valid_dbbd(a in random_symmetric(80)) {
+#[test]
+fn ngd_always_yields_valid_dbbd() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = random_symmetric(&mut rng, 80);
         let g = Graph::from_matrix(&a);
         let part = nested_dissection(&g, 4, &NdConfig::default());
-        prop_assert!(dbbd_is_valid(&a, &part));
-        let total: usize = part.subdomain_sizes().iter().sum::<usize>()
-            + part.separator_size();
-        prop_assert_eq!(total, a.nrows());
+        assert!(dbbd_is_valid(&a, &part), "seed {seed}");
+        let total: usize = part.subdomain_sizes().iter().sum::<usize>() + part.separator_size();
+        assert_eq!(total, a.nrows(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn rhb_always_yields_valid_dbbd(a in random_symmetric(80)) {
+#[test]
+fn rhb_always_yields_valid_dbbd() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = random_symmetric(&mut rng, 80);
         let part = rhb_partition(&a, 4, &RhbConfig::default());
-        prop_assert!(dbbd_is_valid(&a, &part));
-        let total: usize = part.subdomain_sizes().iter().sum::<usize>()
-            + part.separator_size();
-        prop_assert_eq!(total, a.nrows());
+        assert!(dbbd_is_valid(&a, &part), "seed {seed}");
+        let total: usize = part.subdomain_sizes().iter().sum::<usize>() + part.separator_size();
+        assert_eq!(total, a.nrows(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn vertex_separator_always_separates(a in random_symmetric(60)) {
+#[test]
+fn vertex_separator_always_separates() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = random_symmetric(&mut rng, 60);
         let g = Graph::from_matrix(&a);
         let bis = graphpart::nd::multilevel_bisect(&g, &NdConfig::default());
         let vs = vertex_separator(&g, &bis);
-        prop_assert!(is_valid_separator(&g, &vs.assign));
+        assert!(is_valid_separator(&g, &vs.assign), "seed {seed}");
         // Accounting: weights partition the total.
-        prop_assert_eq!(
+        assert_eq!(
             vs.side_weights[0] + vs.side_weights[1] + vs.sep_weight,
-            g.total_vertex_weight()
+            g.total_vertex_weight(),
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn dbbd_permutation_is_bijective(a in random_symmetric(60)) {
+#[test]
+fn dbbd_permutation_is_bijective() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = random_symmetric(&mut rng, 60);
         let g = Graph::from_matrix(&a);
         let part = nested_dissection(&g, 2, &NdConfig::default());
         let perm = part.permutation();
         let mut seen = vec![false; a.nrows()];
         for p in 0..perm.len() {
             let old = perm.to_old(p);
-            prop_assert!(!seen[old]);
+            assert!(!seen[old], "seed {seed}");
             seen[old] = true;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Padding invariants on random lower-triangular factors: postorder
-    /// and hypergraph orderings never pad more than natural, and B = 1 is
-    /// padding-free — for arbitrary random column patterns.
-    #[test]
-    fn ordering_padding_invariants(
-        seeds in proptest::collection::vec(
-            proptest::collection::vec(0usize..40, 1..4),
-            6..20,
-        ),
-        subdiag_skip in 1usize..4,
-    ) {
-        let n = 40;
+/// Padding invariants on random lower-triangular factors: postorder and
+/// hypergraph orderings never pad more than natural, and B = 1 is
+/// padding-free — for arbitrary random column patterns.
+#[test]
+fn ordering_padding_invariants() {
+    for seed in 0..16 {
+        let mut rng = Rng64::new(seed);
+        let n = 40usize;
+        let ncols = rng.range(6, 20);
+        let subdiag_skip = rng.range(1, 4);
         // A lower factor with chain structure of stride `subdiag_skip`.
         let mut c = Coo::new(n, n);
         for i in 0..n {
@@ -119,10 +123,10 @@ proptest! {
             }
         }
         let l = c.to_csr().to_csc();
-        let cols: Vec<slu::SparseVec> = seeds
-            .iter()
-            .map(|s| {
-                let mut idx = s.clone();
+        let cols: Vec<slu::SparseVec> = (0..ncols)
+            .map(|_| {
+                let len = rng.range(1, 4);
+                let mut idx: Vec<usize> = (0..len).map(|_| rng.below(n)).collect();
                 idx.sort_unstable();
                 idx.dedup();
                 let k = idx.len();
@@ -133,25 +137,42 @@ proptest! {
         let reaches = pdslin::rhs_order::column_reaches(&cols, &l, &mut ws);
         let b = 4usize;
         let nat = pdslin::rhs_order::order_columns_precomputed(
-            &cols, &reaches, n, b, pdslin::RhsOrdering::Natural);
+            &cols,
+            &reaches,
+            n,
+            b,
+            pdslin::RhsOrdering::Natural,
+        );
         let post = pdslin::rhs_order::order_columns_precomputed(
-            &cols, &reaches, n, b, pdslin::RhsOrdering::Postorder);
+            &cols,
+            &reaches,
+            n,
+            b,
+            pdslin::RhsOrdering::Postorder,
+        );
         let hyp = pdslin::rhs_order::order_columns_precomputed(
-            &cols, &reaches, n, b, pdslin::RhsOrdering::Hypergraph { tau: None });
-        let p_nat = pdslin::rhs_order::padding_of_order(&reaches, n, &nat, b).0;
+            &cols,
+            &reaches,
+            n,
+            b,
+            pdslin::RhsOrdering::Hypergraph { tau: None },
+        );
         let p_post = pdslin::rhs_order::padding_of_order(&reaches, n, &post, b).0;
         let p_hyp = pdslin::rhs_order::padding_of_order(&reaches, n, &hyp, b).0;
         // B=1 never pads.
         let one = pdslin::rhs_order::padding_of_order(&reaches, n, &nat, 1).0;
-        prop_assert_eq!(one, 0);
+        assert_eq!(one, 0, "seed {seed}");
         // The hypergraph ordering is seeded with the postorder layout and
         // only refined downward.
-        prop_assert!(p_hyp <= p_post + 1, "hypergraph {p_hyp} vs postorder {p_post}");
+        assert!(
+            p_hyp <= p_post + 1,
+            "seed {seed}: hypergraph {p_hyp} vs postorder {p_post}"
+        );
         // All orderings are permutations.
         for ord in [&nat, &post, &hyp] {
             let mut s = (*ord).clone();
             s.sort_unstable();
-            prop_assert_eq!(s, (0..cols.len()).collect::<Vec<_>>());
+            assert_eq!(s, (0..cols.len()).collect::<Vec<_>>(), "seed {seed}");
         }
     }
 }
