@@ -10,10 +10,11 @@
 //! * `info` — print basic statistics of a matrix.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
 use matgen::{MatrixKind, Scale};
-use pdslin::{PartitionerKind, RhsOrdering};
+use pdslin::{Budget, ErrorCategory, PartitionerKind, RhsOrdering};
 use sparsekit::Csr;
 
 /// A parsed command line: subcommand plus `--key value` options.
@@ -153,6 +154,41 @@ pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
     }
 }
 
+/// Maps a solver error category to the CLI's exit code, so scripts can
+/// distinguish bad input (2) from numerical failure (3) from an
+/// exhausted budget (4) from an execution fault (5). Usage/IO errors
+/// keep the generic exit code 1.
+pub fn exit_code(category: ErrorCategory) -> u8 {
+    match category {
+        ErrorCategory::Input => 2,
+        ErrorCategory::Numerical => 3,
+        ErrorCategory::Budget => 4,
+        ErrorCategory::Execution => 5,
+    }
+}
+
+/// Builds the execution [`Budget`] from `--deadline SECS` and
+/// `--mem-budget-mb MB` (absent flags leave that resource unlimited).
+pub fn build_budget(args: &Args) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(v) = args.get("deadline") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("bad value for --deadline: '{v}'"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("bad value for --deadline: '{v}'"));
+        }
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = args.get("mem-budget-mb") {
+        let mb: usize = v
+            .parse()
+            .map_err(|_| format!("bad value for --mem-budget-mb: '{v}'"))?;
+        budget = budget.with_memory_limit(mb.saturating_mul(1024 * 1024));
+    }
+    Ok(budget)
+}
+
 /// Loads the input matrix: `--matrix FILE.mtx` or `--generate KIND`.
 pub fn load_matrix(args: &Args) -> Result<Csr, String> {
     match (args.get("matrix"), args.get("generate")) {
@@ -177,11 +213,17 @@ USAGE:
                    [--constraint single|multi|unit]
                    [--ordering natural|postorder|hypergraph [--tau T]]
                    [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
+                   [--deadline SECS] [--mem-budget-mb MB]
   pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
                    [--k K] [--partitioner ...]
   pdslin genmat    --generate KIND [--scale test|bench] --out FILE.mtx
   pdslin info      (--matrix F.mtx | --generate KIND [--scale ...])
   pdslin help
+
+EXIT CODES:
+  0 success, 1 usage/IO error, 2 invalid input matrix/config,
+  3 numerical failure, 4 budget exhausted (deadline/cancel/memory),
+  5 execution fault (worker panic)
 
 KIND: tdr190k tdr455k dds.quad dds.linear matrix211 ASIC_680ks G3_circuit
 ";
@@ -256,6 +298,36 @@ mod tests {
             rhs_ordering(&b).unwrap(),
             RhsOrdering::Hypergraph { tau: None }
         );
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let codes = [
+            exit_code(ErrorCategory::Input),
+            exit_code(ErrorCategory::Numerical),
+            exit_code(ErrorCategory::Budget),
+            exit_code(ErrorCategory::Execution),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            assert!(*a > 1, "category codes must not collide with 0/1");
+            for b in codes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_flags_build_a_limited_budget() {
+        let a = parse_args(argv("solve --deadline 2.5 --mem-budget-mb 64")).unwrap();
+        let budget = build_budget(&a).unwrap();
+        assert!(budget.is_limited());
+        assert_eq!(budget.mem_limit(), Some(64 * 1024 * 1024));
+        let none = parse_args(argv("solve")).unwrap();
+        assert!(!build_budget(&none).unwrap().is_limited());
+        let bad = parse_args(argv("solve --deadline soon")).unwrap();
+        assert!(build_budget(&bad).is_err());
+        let neg = parse_args(argv("solve --deadline -1")).unwrap();
+        assert!(build_budget(&neg).is_err());
     }
 
     #[test]

@@ -2,9 +2,33 @@
 
 use std::process::ExitCode;
 
-use pdslin::{PartitionStats, Pdslin, PdslinConfig};
-use pdslin_cli::{load_matrix, parse_args, partitioner, rhs_ordering, scale, Args, HELP};
+use pdslin::{PartitionStats, Pdslin, PdslinConfig, PdslinError, RecoveryReport};
+use pdslin_cli::{
+    build_budget, exit_code, load_matrix, parse_args, partitioner, rhs_ordering, scale, Args, HELP,
+};
 use sparsekit::ops::residual_inf_norm;
+
+/// A failed command: the message plus the process exit code (1 for
+/// usage/IO errors, category-specific for solver errors).
+struct CmdError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> CmdError {
+        CmdError { message, code: 1 }
+    }
+}
+
+impl From<PdslinError> for CmdError {
+    fn from(e: PdslinError) -> CmdError {
+        CmdError {
+            message: format!("{e}"),
+            code: exit_code(e.category()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -17,25 +41,37 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_str() {
         "solve" => cmd_solve(&args),
-        "partition" => cmd_partition(&args),
-        "genmat" => cmd_genmat(&args),
-        "info" => cmd_info(&args),
+        "partition" => cmd_partition(&args).map_err(CmdError::from),
+        "genmat" => cmd_genmat(&args).map_err(CmdError::from),
+        "info" => cmd_info(&args).map_err(CmdError::from),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}'\n\n{HELP}")),
+        other => Err(format!("unknown subcommand '{other}'\n\n{HELP}").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn cmd_solve(args: &Args) -> Result<(), String> {
+/// Prints a recovery report to stderr (where diagnostics belong; stdout
+/// carries the solve results).
+fn report_recovery(stage: &str, recovery: &RecoveryReport) {
+    if recovery.is_empty() {
+        return;
+    }
+    eprintln!("{stage} recovered from {}:", recovery.summary());
+    for ev in &recovery.events {
+        eprintln!("  - {ev}");
+    }
+}
+
+fn cmd_solve(args: &Args) -> Result<(), CmdError> {
     let a = load_matrix(args)?;
     println!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
     let cfg = PdslinConfig {
@@ -48,13 +84,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         schur_drop_tol: args.parse_or("schur-drop", 1e-8)?,
         ..Default::default()
     };
-    let mut solver = Pdslin::setup(&a, cfg).map_err(|e| format!("{e}"))?;
-    if !solver.stats.recovery.is_empty() {
-        println!("setup recovered from {}:", solver.stats.recovery.summary());
-        for ev in &solver.stats.recovery.events {
-            println!("  - {ev}");
-        }
-    }
+    let budget = build_budget(args)?;
+    let mut solver = Pdslin::setup_budgeted(&a, cfg, &budget).map_err(|f| f.error)?;
+    report_recovery("setup", &solver.stats.recovery);
     let t = &solver.stats.times;
     println!(
         "setup: sep = {}, nnz(S̃) = {} | partition {:.2}s, extract {:.2}s, LU(D) {:.2}s, Comp(S) {:.2}s, LU(S) {:.2}s",
@@ -67,13 +99,8 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         t.lu_s
     );
     let b = vec![1.0; a.nrows()];
-    let out = solver.solve(&b).map_err(|e| format!("{e}"))?;
-    if !out.recovery.is_empty() {
-        println!("solve recovered from {}:", out.recovery.summary());
-        for ev in &out.recovery.events {
-            println!("  - {ev}");
-        }
-    }
+    let out = solver.solve_budgeted(&b, &budget)?;
+    report_recovery("solve", &out.recovery);
     println!(
         "solve: {} via {}, {} iterations, {:.2}s, Schur residual {:.2e}",
         if out.converged {

@@ -1,0 +1,52 @@
+//! Budget plumbing for the driver: re-exports of the `sparsekit` budget
+//! types plus the mapping from a low-level [`BudgetInterrupt`] to the
+//! solver's typed [`PdslinError`].
+//!
+//! The [`Budget`] type itself lives in `sparsekit` — the bottom of the
+//! dependency stack — so the `slu` and `krylov` kernels can poll it
+//! without depending on this crate. Here it only gains the phase label
+//! that turns a bare interrupt into an auditable error.
+
+pub use sparsekit::budget::{Budget, BudgetInterrupt, CancelToken, Ticker};
+
+use crate::error::PdslinError;
+
+/// Converts a kernel-level interrupt into the solver error for the phase
+/// that observed it. The `partial` stats of a deadline error start out
+/// empty; the driver fills them with whatever phases completed.
+pub fn interrupt_error(interrupt: BudgetInterrupt, phase: &'static str) -> PdslinError {
+    match interrupt {
+        BudgetInterrupt::Cancelled => PdslinError::Cancelled { phase },
+        BudgetInterrupt::DeadlineExceeded { elapsed, .. } => PdslinError::DeadlineExceeded {
+            phase,
+            elapsed: elapsed.as_secs_f64(),
+            partial: Box::default(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn interrupts_map_to_phase_labelled_errors() {
+        match interrupt_error(BudgetInterrupt::Cancelled, "lu_d") {
+            PdslinError::Cancelled { phase: "lu_d" } => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let i = BudgetInterrupt::DeadlineExceeded {
+            elapsed: Duration::from_millis(1500),
+            limit: Duration::from_millis(1000),
+        };
+        match interrupt_error(i, "comp_s") {
+            PdslinError::DeadlineExceeded {
+                phase: "comp_s",
+                elapsed,
+                ..
+            } => assert!((elapsed - 1.5).abs() < 1e-9),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+}

@@ -9,24 +9,46 @@
 //! switch → direct `LU(S̃)` solve with iterative refinement). Every
 //! recovery action is recorded in a [`RecoveryReport`] so a clean run
 //! is distinguishable from a rescued one.
+//!
+//! On top of the retry chains sits the budgeted-execution layer:
+//!
+//! * every phase boundary and every hot kernel polls the [`Budget`]
+//!   (deadline + cancel token), surfacing typed
+//!   [`PdslinError::Cancelled`] / [`PdslinError::DeadlineExceeded`]
+//!   errors that carry the statistics of the phases that did finish;
+//! * the subdomain phases run their workers under `catch_unwind`; a
+//!   panicking task is retried once, then the whole setup is retried on
+//!   the natural-block fallback partition, then the typed
+//!   [`PdslinError::WorkerPanic`] surfaces;
+//! * the Schur assembly is guarded by memory admission control: a
+//!   symbolic byte predictor is checked against the budget's memory
+//!   limit *before* allocating, and an over-budget assembly degrades to
+//!   a sparser preconditioner (tighter drop threshold) instead of
+//!   blowing up;
+//! * setup failures past the `LU(D)` phase hand back a
+//!   [`SetupCheckpoint`] so a restart skips the refactorization.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use krylov::{bicgstab, gmres, BicgstabConfig, GmresConfig, LinearOperator};
+use krylov::{bicgstab_budgeted, gmres_budgeted, BicgstabConfig, GmresConfig, LinearOperator};
 use slu::LuFactors;
+use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, norm2};
 use sparsekit::Csr;
 
+use crate::budget::interrupt_error;
+use crate::checkpoint::SetupCheckpoint;
 use crate::error::PdslinError;
-use crate::extract::{extract_dbbd, DbbdSystem};
+use crate::extract::{extract_dbbd, DbbdSystem, LocalDomain};
 use crate::fault::FaultPlan;
-use crate::interface::{compute_interface, InterfaceConfig};
-use crate::par::{par_map, seq_map};
-use crate::partition::{compute_partition_robust, PartitionerKind};
+use crate::interface::{compute_interface, compute_interface_budgeted, InterfaceConfig};
+use crate::par::{panic_message, par_map_isolated, seq_map_isolated};
+use crate::partition::{compute_partition_robust, natural_block_partition, PartitionerKind};
 use crate::precond::{ImplicitSchur, SchurPrecond};
 use crate::recovery::{RecoveryEvent, RecoveryReport};
 use crate::rhs_order::RhsOrdering;
-use crate::schur::{assemble_schur, factor_schur_robust};
+use crate::schur::{assemble_schur, factor_schur_robust, schur_bytes_estimate};
 use crate::stats::{InterfaceStats, SetupStats};
 use crate::subdomain::{factor_domain_robust, FactoredDomain};
 
@@ -103,6 +125,16 @@ pub struct Pdslin {
     cfg: PdslinConfig,
 }
 
+impl std::fmt::Debug for Pdslin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pdslin")
+            .field("domains", &self.factors.len())
+            .field("separator", &self.sys.nsep())
+            .field("nnz_schur", &self.stats.nnz_schur)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Outcome of one solve.
 #[derive(Clone, Debug)]
 pub struct SolveOutcome {
@@ -124,11 +156,86 @@ pub struct SolveOutcome {
     pub seconds: f64,
 }
 
+/// A failed (or interrupted) setup: the typed error, plus — when the
+/// `LU(D)` phase had already completed — a [`SetupCheckpoint`] from
+/// which [`Pdslin::resume`] restarts without refactorizing.
+#[derive(Debug)]
+pub struct SetupFailure {
+    /// Why the setup stopped.
+    pub error: PdslinError,
+    /// Snapshot taken after `LU(D)`, if that phase completed.
+    pub checkpoint: Option<Box<SetupCheckpoint>>,
+}
+
+impl std::fmt::Display for SetupFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for SetupFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<PdslinError> for SetupFailure {
+    fn from(error: PdslinError) -> SetupFailure {
+        SetupFailure {
+            error,
+            checkpoint: None,
+        }
+    }
+}
+
 /// Residual level beyond which a rescued solve is reported as a failure
 /// rather than a degraded success (relative to the requested tolerance).
 fn acceptance_floor(tol: f64) -> f64 {
     (tol * 1e3).max(1e-6)
 }
+
+/// Attaches the statistics gathered so far to a deadline error (other
+/// errors pass through unchanged).
+fn fill_partial(e: PdslinError, stats: &SetupStats) -> PdslinError {
+    match e {
+        PdslinError::DeadlineExceeded { phase, elapsed, .. } => PdslinError::DeadlineExceeded {
+            phase,
+            elapsed,
+            partial: Box::new(stats.clone()),
+        },
+        e => e,
+    }
+}
+
+/// A phase-boundary budget check producing the typed solver error.
+fn phase_check(
+    budget: &Budget,
+    phase: &'static str,
+    stats: &SetupStats,
+) -> Result<(), PdslinError> {
+    budget
+        .check()
+        .map_err(|i| fill_partial(interrupt_error(i, phase), stats))
+}
+
+fn make_checkpoint(
+    sys: &DbbdSystem,
+    factors: &[FactoredDomain],
+    stats: &SetupStats,
+    cfg: &PdslinConfig,
+) -> SetupCheckpoint {
+    SetupCheckpoint {
+        sys: sys.clone(),
+        factors: factors.to_vec(),
+        stats: stats.clone(),
+        cfg: *cfg,
+    }
+}
+
+/// Ceiling of the memory-degradation escalation: beyond this drop
+/// threshold the preconditioner would be mostly diagonal and the outer
+/// iteration would stop converging, so admission control gives up.
+const MAX_DEGRADE_DROP_TOL: f64 = 1e-1;
 
 fn first_nonfinite_row(a: &Csr) -> Option<usize> {
     (0..a.nrows()).find(|&i| a.row_values(i).iter().any(|v| !v.is_finite()))
@@ -140,44 +247,115 @@ fn csr_is_finite(m: &Csr) -> bool {
 
 impl Pdslin {
     /// Runs phases 1–5 (partition → extract → `LU(D)` → `Comp(S)` →
-    /// `LU(S)`).
+    /// `LU(S)`) with no execution budget.
     pub fn setup(a: &Csr, cfg: PdslinConfig) -> Result<Pdslin, PdslinError> {
+        Self::setup_budgeted(a, cfg, &Budget::unlimited()).map_err(|f| f.error)
+    }
+
+    /// [`Pdslin::setup`] under an execution [`Budget`]. On failure past
+    /// the `LU(D)` phase the returned [`SetupFailure`] carries a
+    /// [`SetupCheckpoint`] so [`Pdslin::resume`] can restart without
+    /// refactorizing the subdomains.
+    pub fn setup_budgeted(
+        a: &Csr,
+        cfg: PdslinConfig,
+        budget: &Budget,
+    ) -> Result<Pdslin, SetupFailure> {
         let n = a.nrows();
         if a.ncols() != n {
             return Err(PdslinError::InvalidInput {
                 message: format!("matrix must be square, got {n}x{}", a.ncols()),
-            });
+            }
+            .into());
         }
         if n == 0 {
             return Err(PdslinError::InvalidInput {
                 message: "matrix is empty".to_string(),
-            });
+            }
+            .into());
         }
         if cfg.k == 0 || cfg.k > n {
             return Err(PdslinError::InvalidInput {
                 message: format!("k = {} must be in 1..={n}", cfg.k),
-            });
+            }
+            .into());
         }
         if let Some(i) = first_nonfinite_row(a) {
             return Err(PdslinError::NonFiniteInput {
                 what: "A",
                 index: i,
-            });
+            }
+            .into());
         }
 
-        let mut stats = SetupStats::default();
-        let mut recovery = RecoveryReport::default();
-
-        let t = Instant::now();
-        let part = compute_partition_robust(
+        match Self::setup_attempt(
             a,
-            cfg.k,
-            &cfg.partitioner,
-            cfg.fault.fail_partitioner,
-            &mut recovery,
-        )?;
+            &cfg,
+            budget,
+            RecoveryReport::default(),
+            false,
+            cfg.fault.worker_panic,
+        ) {
+            Err(SetupFailure {
+                error:
+                    PdslinError::WorkerPanic {
+                        phase,
+                        domain,
+                        message,
+                    },
+                ..
+            }) => {
+                // A task panicked twice on the same subdomain — the
+                // partition itself may be feeding it pathological data,
+                // so rerun the whole setup on the last element of the
+                // partition fallback chain before giving up.
+                let mut recovery = RecoveryReport::default();
+                recovery.push(RecoveryEvent::PartitionFallback {
+                    from: cfg.partitioner.label(),
+                    to: "natural-block".to_string(),
+                    reason: format!("worker panic in {phase} on subdomain {domain}: {message}"),
+                });
+                let inject = if cfg.fault.worker_panic_persistent {
+                    cfg.fault.worker_panic
+                } else {
+                    None
+                };
+                Self::setup_attempt(a, &cfg, budget, recovery, true, inject)
+            }
+            other => other,
+        }
+    }
+
+    /// One full setup pass. `force_natural_block` skips the configured
+    /// partitioner (used by the whole-setup retry after a double worker
+    /// panic); `inject_panic` is the fault-injection target for this
+    /// pass.
+    fn setup_attempt(
+        a: &Csr,
+        cfg: &PdslinConfig,
+        budget: &Budget,
+        mut recovery: RecoveryReport,
+        force_natural_block: bool,
+        inject_panic: Option<usize>,
+    ) -> Result<Pdslin, SetupFailure> {
+        let mut stats = SetupStats::default();
+
+        phase_check(budget, "partition", &stats)?;
+        let t = Instant::now();
+        let part = if force_natural_block {
+            natural_block_partition(a, cfg.k)
+        } else {
+            compute_partition_robust(
+                a,
+                cfg.k,
+                &cfg.partitioner,
+                cfg.fault.fail_partitioner,
+                &mut recovery,
+            )?
+        };
         stats.times.partition = t.elapsed().as_secs_f64();
 
+        phase_check(budget, "extract", &stats)?;
         let t = Instant::now();
         let sys = extract_dbbd(a, part);
         stats.times.extract = t.elapsed().as_secs_f64();
@@ -188,57 +366,155 @@ impl Pdslin {
         stats.nnz_e = sys.domains.iter().map(|d| d.e_hat.nnz()).collect();
 
         // LU(D): one parallel task per subdomain (level-1 parallelism),
-        // each with its own retry escalation.
+        // each with its own retry escalation, isolated under
+        // `catch_unwind` so one panicking task cannot tear down its
+        // siblings.
+        phase_check(budget, "lu_d", &stats)?;
         let t = Instant::now();
-        let inject = cfg.fault.singular_domain;
-        let timed_factor = |l: usize, d: &crate::extract::LocalDomain| {
+        let inject_singular = cfg.fault.singular_domain;
+        let persistent = cfg.fault.worker_panic_persistent;
+        let run_factor = |l: usize, d: &LocalDomain, first_try: bool| {
+            if inject_panic == Some(l) && (first_try || persistent) {
+                panic!("injected worker panic in LU(D_{l})");
+            }
             let t0 = Instant::now();
-            factor_domain_robust(&d.d, l, cfg.pivot_threshold, inject == Some(l))
-                .map(|(fd, ev)| (fd, t0.elapsed().as_secs_f64(), ev))
+            factor_domain_robust(
+                &d.d,
+                l,
+                cfg.pivot_threshold,
+                inject_singular == Some(l),
+                budget,
+            )
+            .map(|(fd, ev)| (fd, t0.elapsed().as_secs_f64(), ev))
         };
-        let results = if cfg.parallel {
-            par_map(&sys.domains, timed_factor)
+        let isolated = if cfg.parallel {
+            par_map_isolated(&sys.domains, |l, d| run_factor(l, d, true))
         } else {
-            seq_map(&sys.domains, timed_factor)
+            seq_map_isolated(&sys.domains, |l, d| run_factor(l, d, true))
         };
-        let mut factors = Vec::with_capacity(results.len());
-        let mut lu_times = Vec::with_capacity(results.len());
-        for r in results {
-            let (fd, secs, events) = r?;
+        let mut factors = Vec::with_capacity(isolated.len());
+        let mut lu_times = Vec::with_capacity(isolated.len());
+        for (l, item) in isolated.into_iter().enumerate() {
+            let inner = match item {
+                Ok(r) => r,
+                Err(message) => {
+                    // Contained panic: retry the one task, serially.
+                    recovery.push(RecoveryEvent::WorkerPanicRetried {
+                        phase: "lu_d",
+                        domain: l,
+                        message,
+                    });
+                    match catch_unwind(AssertUnwindSafe(|| run_factor(l, &sys.domains[l], false))) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            return Err(PdslinError::WorkerPanic {
+                                phase: "lu_d",
+                                domain: l,
+                                message: panic_message(payload),
+                            }
+                            .into());
+                        }
+                    }
+                }
+            };
+            let (fd, secs, events) = inner.map_err(|e| fill_partial(e, &stats))?;
             factors.push(fd);
             lu_times.push(secs);
             recovery.events.extend(events);
         }
         stats.times.lu_d = t.elapsed().as_secs_f64();
         stats.domain_costs.lu_d = lu_times;
+        stats.factorizations = factors.len();
 
-        // Comp(S): interface solves + T̃ products, then gather.
+        Self::complete_from_factors(sys, factors, stats, recovery, *cfg, budget)
+    }
+
+    /// Phases `Comp(S)` → memory admission → Schur assembly → `LU(S̃)`,
+    /// shared by [`Pdslin::setup_budgeted`] (after `LU(D)`) and
+    /// [`Pdslin::resume`] (from a checkpoint). Every error past this
+    /// point carries a checkpoint of the incoming factors.
+    fn complete_from_factors(
+        sys: DbbdSystem,
+        factors: Vec<FactoredDomain>,
+        mut stats: SetupStats,
+        mut recovery: RecoveryReport,
+        cfg: PdslinConfig,
+        budget: &Budget,
+    ) -> Result<Pdslin, SetupFailure> {
+        // Snapshot for error paths: the factors as they arrived, with
+        // whatever recovery happened up to (and including) LU(D).
+        let ckpt_stats = {
+            let mut s = stats.clone();
+            s.recovery = recovery.clone();
+            s
+        };
+        let fail = |e: PdslinError, sys: &DbbdSystem, factors: &[FactoredDomain]| SetupFailure {
+            error: e,
+            checkpoint: Some(Box::new(make_checkpoint(sys, factors, &ckpt_stats, &cfg))),
+        };
+
+        // Comp(S): interface solves + T̃ products, then gather. Same
+        // panic isolation as LU(D).
+        if let Err(e) = phase_check(budget, "comp_s", &stats) {
+            return Err(fail(e, &sys, &factors));
+        }
         let t = Instant::now();
         let icfg = InterfaceConfig {
             block_size: cfg.block_size,
             ordering: cfg.rhs_ordering,
             drop_tol: cfg.interface_drop_tol,
         };
-        let pairs: Vec<(&crate::extract::LocalDomain, &FactoredDomain)> =
+        let pairs: Vec<(&LocalDomain, &FactoredDomain)> =
             sys.domains.iter().zip(factors.iter()).collect();
-        let timed_interface =
-            |_l: usize, (dom, fd): &(&crate::extract::LocalDomain, &FactoredDomain)| {
-                let t0 = Instant::now();
-                let out = compute_interface(fd, dom, &icfg);
-                (out, t0.elapsed().as_secs_f64())
-            };
-        let outs = if cfg.parallel {
-            par_map(&pairs, timed_interface)
-        } else {
-            seq_map(&pairs, timed_interface)
+        let timed_interface = |(dom, fd): &(&LocalDomain, &FactoredDomain)| {
+            let t0 = Instant::now();
+            compute_interface_budgeted(fd, dom, &icfg, budget)
+                .map(|out| (out, t0.elapsed().as_secs_f64()))
         };
-        let mut t_tildes = Vec::with_capacity(outs.len());
-        let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(outs.len());
-        let mut comp_times = Vec::with_capacity(outs.len());
-        for (out, secs) in outs {
-            t_tildes.push(out.t_tilde);
-            iface_stats.push(out.stats);
-            comp_times.push(secs);
+        let isolated = if cfg.parallel {
+            par_map_isolated(&pairs, |_, p| timed_interface(p))
+        } else {
+            seq_map_isolated(&pairs, |_, p| timed_interface(p))
+        };
+        let mut t_tildes = Vec::with_capacity(isolated.len());
+        let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(isolated.len());
+        let mut comp_times = Vec::with_capacity(isolated.len());
+        for (l, item) in isolated.into_iter().enumerate() {
+            let inner = match item {
+                Ok(r) => r,
+                Err(message) => {
+                    recovery.push(RecoveryEvent::WorkerPanicRetried {
+                        phase: "comp_s",
+                        domain: l,
+                        message,
+                    });
+                    match catch_unwind(AssertUnwindSafe(|| timed_interface(&pairs[l]))) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            return Err(fail(
+                                PdslinError::WorkerPanic {
+                                    phase: "comp_s",
+                                    domain: l,
+                                    message: panic_message(payload),
+                                },
+                                &sys,
+                                &factors,
+                            ));
+                        }
+                    }
+                }
+            };
+            match inner {
+                Ok((out, secs)) => {
+                    t_tildes.push(out.t_tilde);
+                    iface_stats.push(out.stats);
+                    comp_times.push(secs);
+                }
+                Err(interrupt) => {
+                    let e = fill_partial(interrupt_error(interrupt, "comp_s"), &stats);
+                    return Err(fail(e, &sys, &factors));
+                }
+            }
         }
         // Fault injection: poison one interface block with a NaN so the
         // validation sweep below has something real to detect.
@@ -259,18 +535,72 @@ impl Pdslin {
             *t_tilde = compute_interface(&factors[l], &sys.domains[l], &icfg).t_tilde;
             recovery.push(RecoveryEvent::InterfaceRecomputed { domain: l });
         }
-        stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
-        let s_hat = assemble_schur(&sys, &t_tildes);
         stats.times.comp_s = t.elapsed().as_secs_f64();
         stats.domain_costs.comp_s = comp_times;
         stats.interface = iface_stats;
+
+        // Fault injection: stall before the assembly so a
+        // deadline-limited setup deterministically runs out of time at
+        // this phase boundary (with the factors checkpointable).
+        if let Some(ms) = cfg.fault.stall_schur_ms {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if let Err(e) = phase_check(budget, "schur", &stats) {
+            return Err(fail(e, &sys, &factors));
+        }
+
+        // Memory admission control: predict the bytes of the assembled
+        // Ŝ *before* forming it. Over budget, re-drop the T̃ blocks with
+        // an escalating threshold — a sparser, weaker preconditioner
+        // costs outer iterations, not correctness.
+        let honest_bytes = schur_bytes_estimate(&sys, &t_tildes);
+        let mut predicted = if cfg.fault.memory_blowup {
+            honest_bytes.saturating_mul(1024).saturating_add(1)
+        } else {
+            honest_bytes
+        };
+        let mem_limit = budget
+            .mem_limit()
+            .or_else(|| cfg.fault.memory_blowup.then_some(honest_bytes));
+        if let Some(limit) = mem_limit {
+            let mut drop_tol = (cfg.schur_drop_tol * 10.0).max(1e-6);
+            while predicted > limit {
+                if drop_tol > MAX_DEGRADE_DROP_TOL {
+                    return Err(fail(
+                        PdslinError::MemoryBudgetExceeded {
+                            phase: "schur",
+                            needed_bytes: predicted,
+                            budget_bytes: limit,
+                        },
+                        &sys,
+                        &factors,
+                    ));
+                }
+                for t_tilde in t_tildes.iter_mut() {
+                    let (dropped, _) = t_tilde.drop_small(drop_tol, false);
+                    *t_tilde = dropped;
+                }
+                recovery.push(RecoveryEvent::SchurMemoryDegraded {
+                    predicted_bytes: predicted,
+                    budget_bytes: limit,
+                    drop_tol,
+                });
+                predicted = schur_bytes_estimate(&sys, &t_tildes);
+                drop_tol *= 10.0;
+            }
+        }
+        stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
+        let s_hat = assemble_schur(&sys, &t_tildes);
 
         // LU(S), with the same retry escalation. A still-poisoned Ŝ is
         // caught here: the factorisation reports `NonFinite` and setup
         // fails with a typed error instead of propagating NaNs.
         let t = Instant::now();
         let (s_tilde, schur_lu, schur_events) =
-            factor_schur_robust(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold)?;
+            match factor_schur_robust(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold, budget) {
+                Ok(r) => r,
+                Err(e) => return Err(fail(fill_partial(e, &stats), &sys, &factors)),
+            };
         recovery.events.extend(schur_events);
         stats.times.lu_s = t.elapsed().as_secs_f64();
         stats.nnz_schur = s_tilde.nnz();
@@ -285,10 +615,51 @@ impl Pdslin {
         })
     }
 
+    /// Snapshots this solver's post-`LU(D)` state so a later run (e.g.
+    /// with different drop tolerances, or after a failed solve) can
+    /// [`Pdslin::resume`] without refactorizing the subdomains.
+    pub fn checkpoint(&self) -> SetupCheckpoint {
+        make_checkpoint(&self.sys, &self.factors, &self.stats, &self.cfg)
+    }
+
+    /// Restarts setup from a checkpoint: the partition, extraction and
+    /// `LU(D)` phases are skipped entirely (their statistics carry over;
+    /// `factorizations` is 0 and `factorizations_reused` counts the
+    /// recycled factors), and only `Comp(S)` → `LU(S̃)` rerun under the
+    /// given budget.
+    pub fn resume(ckpt: SetupCheckpoint, budget: &Budget) -> Result<Pdslin, SetupFailure> {
+        let SetupCheckpoint {
+            sys,
+            factors,
+            mut stats,
+            cfg,
+        } = ckpt;
+        stats.factorizations = 0;
+        stats.factorizations_reused = factors.len();
+        let recovery = std::mem::take(&mut stats.recovery);
+        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget)
+    }
+
     /// Solves `A x = b` via the Schur complement method (equations
     /// (2)–(4) of the paper), falling back through the Krylov chain on
     /// stagnation or breakdown.
     pub fn solve(&mut self, b: &[f64]) -> Result<SolveOutcome, PdslinError> {
+        self.solve_budgeted(b, &Budget::unlimited())
+    }
+
+    /// [`Pdslin::solve`] under an execution [`Budget`]. An interrupt
+    /// mid-solve aborts the Krylov fallback chain immediately (walking
+    /// further fallbacks against an expired deadline would only spin)
+    /// and surfaces the phase-labelled typed error; the factors are left
+    /// untouched, so the solver remains usable with a fresh budget.
+    pub fn solve_budgeted(
+        &mut self,
+        b: &[f64],
+        budget: &Budget,
+    ) -> Result<SolveOutcome, PdslinError> {
+        if let Err(i) = budget.check() {
+            return Err(fill_partial(interrupt_error(i, "solve"), &self.stats));
+        }
         let t = Instant::now();
         let sys = &self.sys;
         let n: usize = sys.domains.iter().map(|d| d.dim()).sum::<usize>() + sys.nsep();
@@ -329,7 +700,7 @@ impl Pdslin {
         let op = ImplicitSchur::new(sys, &self.factors);
         let m = SchurPrecond::new(self.schur_lu.clone());
         let (y, iterations, schur_residual, converged, method, recovery) =
-            self.solve_schur(&op, &m, &ghat)?;
+            self.solve_schur(&op, &m, &ghat, budget)?;
         // Back-substitute the interiors: u_ℓ = D⁻¹ (f_ℓ − Ê_ℓ y).
         let mut x = vec![0.0; n];
         for ((dom, fd), f) in sys.domains.iter().zip(&self.factors).zip(&f_parts) {
@@ -366,7 +737,10 @@ impl Pdslin {
         op: &ImplicitSchur<'_>,
         m: &SchurPrecond,
         ghat: &[f64],
+        budget: &Budget,
     ) -> Result<(Vec<f64>, usize, f64, bool, String, RecoveryReport), PdslinError> {
+        let interrupted =
+            |i: BudgetInterrupt| fill_partial(interrupt_error(i, "solve"), &self.stats);
         let base = self.cfg.gmres;
         let tol = base.tol;
         let floor = acceptance_floor(tol);
@@ -438,11 +812,17 @@ impl Pdslin {
             }
             let (y, iters, residual, ok, breakdown) = match stage {
                 Stage::Gmres(cfg) => {
-                    let r = gmres(op, m, ghat, None, &cfg);
+                    let r = gmres_budgeted(op, m, ghat, None, &cfg, budget);
+                    if let Some(i) = r.interrupted {
+                        return Err(interrupted(i));
+                    }
                     (r.x, r.iterations, r.residual, r.converged, r.breakdown)
                 }
                 Stage::Bicg(cfg) => {
-                    let r = bicgstab(op, m, ghat, None, &cfg);
+                    let r = bicgstab_budgeted(op, m, ghat, None, &cfg, budget);
+                    if let Some(i) = r.interrupted {
+                        return Err(interrupted(i));
+                    }
                     (r.x, r.iterations, r.residual, r.converged, r.breakdown)
                 }
             };
@@ -480,6 +860,7 @@ impl Pdslin {
         let mut steps = 0usize;
         let mut residual = f64::INFINITY;
         for _ in 0..=10 {
+            budget.check().map_err(interrupted)?;
             op.apply(&y, &mut work);
             let r: Vec<f64> = ghat.iter().zip(&work).map(|(gi, wi)| gi - wi).collect();
             residual = norm2(&r) / bnorm;

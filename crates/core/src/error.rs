@@ -7,8 +7,35 @@
 //! failure is the user's (bad input) or numerical (factorisation or
 //! solver breakdown after every recovery attempt was exhausted).
 
+use crate::stats::SetupStats;
 use slu::LuError;
 use std::fmt;
+
+/// Coarse classification of a [`PdslinError`], used by callers (notably
+/// the CLI) to map failures to distinct exit codes and retry policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// The caller's input was rejected before any numerics ran.
+    Input,
+    /// The numerics failed after every recovery attempt was exhausted.
+    Numerical,
+    /// An execution budget (deadline, cancellation, memory admission)
+    /// stopped the run; the input and numerics may both be fine.
+    Budget,
+    /// The execution environment failed (a worker thread panicked).
+    Execution,
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCategory::Input => write!(f, "input"),
+            ErrorCategory::Numerical => write!(f, "numerical"),
+            ErrorCategory::Budget => write!(f, "budget"),
+            ErrorCategory::Execution => write!(f, "execution"),
+        }
+    }
+}
 
 /// Any failure of `Pdslin::setup` or `Pdslin::solve`.
 ///
@@ -63,6 +90,63 @@ pub enum PdslinError {
         /// Labels of the methods that were tried, in order.
         tried: Vec<String>,
     },
+    /// The cancel token was flipped while this phase was running.
+    Cancelled {
+        /// The pipeline phase that observed the cancellation.
+        phase: &'static str,
+    },
+    /// The wall-clock deadline elapsed during this phase. No partial
+    /// mutation escapes: the driver only hands out a fully-constructed
+    /// solver, and `solve` leaves the factors untouched on interrupt.
+    DeadlineExceeded {
+        /// The pipeline phase that hit the deadline.
+        phase: &'static str,
+        /// Seconds elapsed since the budget's clock started.
+        elapsed: f64,
+        /// Statistics of the phases that did complete (phase times of
+        /// unreached phases are zero).
+        partial: Box<SetupStats>,
+    },
+    /// A worker thread panicked while processing a subdomain, and the
+    /// retry (plus the whole-setup partition-fallback retry) panicked
+    /// again.
+    WorkerPanic {
+        /// The phase whose worker panicked (`"lu_d"` or `"comp_s"`).
+        phase: &'static str,
+        /// Index of the subdomain whose task panicked.
+        domain: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The memory admission predictor found that even the sparsest
+    /// acceptable Schur preconditioner exceeds the byte budget.
+    MemoryBudgetExceeded {
+        /// The phase whose allocation was refused.
+        phase: &'static str,
+        /// Predicted bytes of the refused allocation.
+        needed_bytes: usize,
+        /// The configured memory budget in bytes.
+        budget_bytes: usize,
+    },
+}
+
+impl PdslinError {
+    /// The coarse class of this error (see [`ErrorCategory`]).
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            PdslinError::InvalidInput { .. } | PdslinError::NonFiniteInput { .. } => {
+                ErrorCategory::Input
+            }
+            PdslinError::PartitionFailed { .. }
+            | PdslinError::SubdomainFactorization { .. }
+            | PdslinError::SchurFactorization { .. }
+            | PdslinError::SolveFailed { .. } => ErrorCategory::Numerical,
+            PdslinError::Cancelled { .. }
+            | PdslinError::DeadlineExceeded { .. }
+            | PdslinError::MemoryBudgetExceeded { .. } => ErrorCategory::Budget,
+            PdslinError::WorkerPanic { .. } => ErrorCategory::Execution,
+        }
+    }
 }
 
 impl fmt::Display for PdslinError {
@@ -90,6 +174,28 @@ impl fmt::Display for PdslinError {
                 f,
                 "Schur solve failed: best residual {residual:.3e} after trying [{}]",
                 tried.join(", ")
+            ),
+            PdslinError::Cancelled { phase } => {
+                write!(f, "cancelled during {phase}")
+            }
+            PdslinError::DeadlineExceeded { phase, elapsed, .. } => {
+                write!(f, "deadline exceeded during {phase} ({elapsed:.3}s elapsed)")
+            }
+            PdslinError::WorkerPanic {
+                phase,
+                domain,
+                message,
+            } => write!(
+                f,
+                "worker panic in {phase} on subdomain {domain} (after retry): {message}"
+            ),
+            PdslinError::MemoryBudgetExceeded {
+                phase,
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded in {phase}: needs {needed_bytes} bytes, budget {budget_bytes} bytes"
             ),
         }
     }
@@ -142,5 +248,80 @@ mod tests {
             tried: vec!["gmres".into(), "bicgstab".into()],
         };
         assert!(e.to_string().contains("gmres, bicgstab"));
+    }
+
+    #[test]
+    fn categories_partition_the_taxonomy() {
+        use ErrorCategory::*;
+        let cases: Vec<(PdslinError, ErrorCategory)> = vec![
+            (
+                PdslinError::InvalidInput {
+                    message: "k=0".into(),
+                },
+                Input,
+            ),
+            (
+                PdslinError::NonFiniteInput {
+                    what: "A",
+                    index: 0,
+                },
+                Input,
+            ),
+            (
+                PdslinError::SolveFailed {
+                    residual: 1.0,
+                    tried: vec![],
+                },
+                Numerical,
+            ),
+            (PdslinError::Cancelled { phase: "lu_d" }, Budget),
+            (
+                PdslinError::DeadlineExceeded {
+                    phase: "comp_s",
+                    elapsed: 0.5,
+                    partial: Box::default(),
+                },
+                Budget,
+            ),
+            (
+                PdslinError::MemoryBudgetExceeded {
+                    phase: "schur",
+                    needed_bytes: 100,
+                    budget_bytes: 10,
+                },
+                Budget,
+            ),
+            (
+                PdslinError::WorkerPanic {
+                    phase: "lu_d",
+                    domain: 2,
+                    message: "boom".into(),
+                },
+                Execution,
+            ),
+        ];
+        for (e, cat) in cases {
+            assert_eq!(e.category(), cat, "{e}");
+        }
+    }
+
+    #[test]
+    fn budget_errors_display_the_phase() {
+        let e = PdslinError::DeadlineExceeded {
+            phase: "comp_s",
+            elapsed: 1.25,
+            partial: Box::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("comp_s"), "{s}");
+        assert!(s.contains("1.250"), "{s}");
+        let e = PdslinError::WorkerPanic {
+            phase: "lu_d",
+            domain: 3,
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("subdomain 3"), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
     }
 }

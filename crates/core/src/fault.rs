@@ -24,6 +24,21 @@ pub struct FaultPlan {
     /// Cripple the first outer Krylov attempt (starved iteration
     /// budget), forcing the Krylov fallback chain.
     pub krylov_stall: bool,
+    /// Panic inside this subdomain's `LU(D)` task on the first attempt
+    /// (exercises the `catch_unwind` isolation + single retry).
+    pub worker_panic: Option<usize>,
+    /// Make the injected worker panic persist across the per-domain
+    /// retry *and* the whole-setup retry, so setup must surface the
+    /// typed `WorkerPanic` error.
+    pub worker_panic_persistent: bool,
+    /// Sleep this many milliseconds before the Schur assembly
+    /// (`PhaseStall`): a deadline-limited setup deterministically runs
+    /// out of time there.
+    pub stall_schur_ms: Option<u64>,
+    /// Inflate the Schur memory prediction (`MemoryBlowup`) so the
+    /// admission-control degradation path runs even on small test
+    /// systems.
+    pub memory_blowup: bool,
 }
 
 impl FaultPlan {
@@ -67,6 +82,21 @@ mod tests {
         .is_none());
         assert!(!FaultPlan {
             poison_interface: Some(1),
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            worker_panic: Some(0),
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            stall_schur_ms: Some(10),
+            ..Default::default()
+        }
+        .is_none());
+        assert!(!FaultPlan {
+            memory_blowup: true,
             ..Default::default()
         }
         .is_none());

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use slu::blocked::{solve_in_blocks, BlockSolveStats};
 use slu::trisolve::{lower_from_upper_transpose, SolveWorkspace, SparseVec};
-use sparsekit::spgemm::spgemm;
+use sparsekit::budget::{Budget, BudgetInterrupt};
+use sparsekit::spgemm::{spgemm_checked, SpgemmError};
 use sparsekit::{Coo, Csr};
 
 use crate::extract::LocalDomain;
@@ -108,6 +109,21 @@ pub fn compute_interface(
     dom: &LocalDomain,
     cfg: &InterfaceConfig,
 ) -> InterfaceOutcome {
+    compute_interface_budgeted(fd, dom, cfg, &Budget::unlimited())
+        .expect("an unlimited budget never interrupts")
+}
+
+/// [`compute_interface`] under an execution [`Budget`]: the deadline and
+/// cancel token are checked before each of the three kernels (`G` solve,
+/// `W` solve, `T̃` product), and the SpGEMM polls the budget between
+/// output rows.
+pub fn compute_interface_budgeted(
+    fd: &FactoredDomain,
+    dom: &LocalDomain,
+    cfg: &InterfaceConfig,
+    budget: &Budget,
+) -> Result<InterfaceOutcome, BudgetInterrupt> {
+    budget.check()?;
     let n = fd.lu.n();
     let ne = dom.e_cols.len();
     let nf = dom.f_rows.len();
@@ -140,6 +156,7 @@ pub fn compute_interface(
     let g_tilde = g_coo.to_csr();
 
     // --- Wᵀ = U⁻ᵀ Qᵀ F̂ᵀ ---
+    budget.check()?;
     let ut = lower_from_upper_transpose(&fd.lu.u);
     let f_rows_elim = fhat_rows_elim(fd, dom);
     let w_order = order_columns(&f_rows_elim, &ut, cfg.block_size, cfg.ordering, &mut ws);
@@ -163,7 +180,12 @@ pub fn compute_interface(
     // coordinates. These agree: U's rows (= Uᵀ's columns) and L's rows
     // both live in pivot order, and column l of U corresponds to pivot
     // step l. So the inner dimension matches directly.
-    let t_tilde = spgemm(&w_tilde, &g_tilde);
+    let t_tilde = match spgemm_checked(&w_tilde, &g_tilde, budget) {
+        Ok(t) => t,
+        Err(SpgemmError::Interrupted(i)) => return Err(i),
+        // The coordinate argument above makes a mismatch a logic error.
+        Err(e @ SpgemmError::DimensionMismatch { .. }) => panic!("{e}"),
+    };
 
     let stats = InterfaceStats {
         nnz_g: g_block.true_nnz,
@@ -174,12 +196,12 @@ pub fn compute_interface(
         padding_fraction: g_block.padding_fraction(),
         solve_seconds: g_seconds + w_seconds,
     };
-    InterfaceOutcome {
+    Ok(InterfaceOutcome {
         t_tilde,
         stats,
         g_block,
         w_block,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -28,6 +28,8 @@
 //! reproduce the paper's Fig. 1 core-count sweep beyond the physical
 //! cores of the host (see DESIGN.md §3).
 
+pub mod budget;
+pub mod checkpoint;
 pub mod driver;
 pub mod error;
 pub mod extract;
@@ -43,8 +45,10 @@ pub mod schur;
 pub mod stats;
 pub mod subdomain;
 
-pub use driver::{KrylovKind, Pdslin, PdslinConfig, SolveOutcome};
-pub use error::PdslinError;
+pub use budget::{Budget, BudgetInterrupt, CancelToken};
+pub use checkpoint::SetupCheckpoint;
+pub use driver::{KrylovKind, Pdslin, PdslinConfig, SetupFailure, SolveOutcome};
+pub use error::{ErrorCategory, PdslinError};
 pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
 pub use fault::FaultPlan;
 pub use partition::{compute_partition, PartitionStats, PartitionerKind};

@@ -1,18 +1,64 @@
-//! Minimal scoped-thread parallel map.
+//! Minimal scoped-thread parallel map, with panic isolation.
 //!
 //! The per-subdomain phases (`LU(D)`, `Comp(S)`) are embarrassingly
 //! parallel with one coarse task per subdomain, so a work-stealing pool
 //! buys nothing over a handful of scoped threads pulling indices from a
 //! shared counter. Keeping this in-tree keeps the workspace
 //! dependency-free.
+//!
+//! The worker count honours the `PDSLIN_THREADS` environment variable,
+//! clamped to the host's available parallelism — see [`worker_count`].
+//!
+//! The `*_isolated` variants run every task under `catch_unwind`, so a
+//! panicking subdomain task surfaces as a per-item `Err(message)`
+//! instead of tearing down the whole setup; the driver retries the item
+//! and, failing that, reports a typed `WorkerPanic` error.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Environment variable that overrides the worker-thread count.
+pub const THREADS_ENV: &str = "PDSLIN_THREADS";
+
+/// Number of worker threads to use for `n_items` tasks.
+///
+/// `env` is the raw value of [`THREADS_ENV`] (passed explicitly so the
+/// policy is testable without mutating the process environment):
+/// a positive integer overrides the default of one thread per available
+/// core, but is always clamped to `available` (requesting more threads
+/// than cores only adds contention) and to `n_items` (extra workers
+/// would have nothing to pull). Unparsable or zero values are ignored.
+/// With `parallel` false the answer is always 1.
+pub fn worker_count(n_items: usize, parallel: bool, env: Option<&str>, available: usize) -> usize {
+    if !parallel {
+        return 1;
+    }
+    let available = available.max(1);
+    let requested = env
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(available);
+    requested.min(available).min(n_items.max(1))
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn configured_workers(n_items: usize, parallel: bool) -> usize {
+    let env = std::env::var(THREADS_ENV).ok();
+    worker_count(n_items, parallel, env.as_deref(), host_parallelism())
+}
 
 /// Applies `f` to every item, in parallel when the host has spare cores.
 ///
 /// Results come back in input order. `f` receives `(index, &item)` so
 /// callers can zip against sibling slices without interior mutability.
+/// A panicking task propagates the panic; use [`par_map_isolated`] to
+/// contain it.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -32,6 +78,48 @@ where
     serial_or_parallel(items, f, false)
 }
 
+/// [`par_map`] with per-item panic isolation: a panicking task yields
+/// `Err(panic message)` for that item while every other item completes
+/// normally.
+pub fn par_map_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    serial_or_parallel(items, isolate(f), true)
+}
+
+/// Serial twin of [`par_map_isolated`].
+pub fn seq_map_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    serial_or_parallel(items, isolate(f), false)
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn isolate<T, R, F>(f: F) -> impl Fn(usize, &T) -> Result<R, String> + Sync
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    move |i, t| catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+}
+
 fn serial_or_parallel<T, R, F>(items: &[T], f: F, parallel: bool) -> Vec<R>
 where
     T: Sync,
@@ -39,14 +127,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    let workers = if parallel {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n)
-    } else {
-        1
-    };
+    let workers = configured_workers(n, parallel);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -106,5 +187,78 @@ mod tests {
         let none: Vec<usize> = Vec::new();
         assert!(par_map(&none, |_, &x: &usize| x).is_empty());
         assert_eq!(par_map(&[7usize], |_, &x| x + 1), vec![8]);
+    }
+
+    // ----- worker-count policy (PDSLIN_THREADS satellite) -----
+
+    #[test]
+    fn env_override_is_honoured() {
+        assert_eq!(worker_count(100, true, Some("3"), 8), 3);
+        assert_eq!(worker_count(100, true, Some(" 2 "), 8), 2);
+    }
+
+    #[test]
+    fn env_override_is_clamped_to_available_parallelism() {
+        assert_eq!(worker_count(100, true, Some("64"), 8), 8);
+        assert_eq!(worker_count(100, true, Some("10000"), 4), 4);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_item_count() {
+        assert_eq!(worker_count(2, true, Some("8"), 16), 2);
+        assert_eq!(worker_count(2, true, None, 16), 2);
+        // ...but stays at least 1 even with zero items.
+        assert_eq!(worker_count(0, true, None, 16), 1);
+    }
+
+    #[test]
+    fn bad_override_values_fall_back_to_available() {
+        for bad in ["", "0", "-3", "lots", "2.5"] {
+            assert_eq!(worker_count(100, true, Some(bad), 6), 6, "env {bad:?}");
+        }
+        assert_eq!(worker_count(100, true, None, 6), 6);
+    }
+
+    #[test]
+    fn serial_mode_ignores_the_override() {
+        assert_eq!(worker_count(100, false, Some("8"), 16), 1);
+    }
+
+    // ----- panic isolation -----
+
+    #[test]
+    fn isolated_map_contains_panics() {
+        let xs: Vec<usize> = (0..20).collect();
+        let rs = par_map_isolated(&xs, |_, &x| {
+            if x == 7 {
+                panic!("injected panic on {x}");
+            }
+            x * 10
+        });
+        for (i, r) in rs.iter().enumerate() {
+            if i == 7 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("injected panic on 7"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_serial_matches_parallel() {
+        let xs: Vec<usize> = (0..10).collect();
+        let f = |_: usize, &x: &usize| {
+            if x % 4 == 1 {
+                panic!("odd one out");
+            }
+            x + 1
+        };
+        let p = par_map_isolated(&xs, f);
+        let s = seq_map_isolated(&xs, f);
+        assert_eq!(p.len(), s.len());
+        for (a, b) in p.iter().zip(&s) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
     }
 }

@@ -67,6 +67,27 @@ pub enum RecoveryEvent {
         /// Relative residual after refinement.
         residual: f64,
     },
+    /// A subdomain worker thread panicked; the panic was contained by
+    /// `catch_unwind` and the task was retried.
+    WorkerPanicRetried {
+        /// The phase whose worker panicked (`"lu_d"` or `"comp_s"`).
+        phase: &'static str,
+        /// Index of the subdomain whose task panicked.
+        domain: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The predicted Schur assembly size exceeded the memory budget, so
+    /// the interface blocks were re-dropped with a tighter threshold
+    /// (yielding a sparser, cheaper preconditioner).
+    SchurMemoryDegraded {
+        /// Predicted bytes of the assembly before degradation.
+        predicted_bytes: usize,
+        /// The memory budget in bytes.
+        budget_bytes: usize,
+        /// The tightened drop threshold applied to the `T̃` blocks.
+        drop_tol: f64,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -112,6 +133,23 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::DirectSchurSolve { refinement_steps, residual } => write!(
                 f,
                 "direct LU(S~) solve + {refinement_steps} refinement step(s), residual {residual:.3e}"
+            ),
+            RecoveryEvent::WorkerPanicRetried {
+                phase,
+                domain,
+                message,
+            } => write!(
+                f,
+                "worker panic in {phase} on subdomain {domain} contained and retried ({message})"
+            ),
+            RecoveryEvent::SchurMemoryDegraded {
+                predicted_bytes,
+                budget_bytes,
+                drop_tol,
+            } => write!(
+                f,
+                "Schur assembly predicted {predicted_bytes} bytes > budget {budget_bytes}; \
+                 preconditioner degraded with drop tolerance {drop_tol:.1e}"
             ),
         }
     }

@@ -2,8 +2,10 @@
 //! `Ŝ = C − Σ_ℓ R_{F_ℓ} T̃_ℓ R_{E_ℓ}ᵀ` and factoring `S̃`.
 
 use slu::{LuError, LuFactors};
+use sparsekit::budget::Budget;
 use sparsekit::{Coo, Csr};
 
+use crate::budget::interrupt_error;
 use crate::error::PdslinError;
 use crate::extract::DbbdSystem;
 use crate::recovery::RecoveryEvent;
@@ -35,6 +37,15 @@ pub fn assemble_schur(sys: &DbbdSystem, t_tildes: &[Csr]) -> Csr {
     coo.to_csr()
 }
 
+/// Upper bound on the bytes of the assembled `Ŝ` in CSR form, *before*
+/// forming it: `nnz(C) + Σ nnz(T̃_ℓ)` entries (coincident entries merge
+/// during assembly, so the true count can only be lower). This is the
+/// admission-control predictor consulted against the memory budget.
+pub fn schur_bytes_estimate(sys: &DbbdSystem, t_tildes: &[Csr]) -> usize {
+    let extra: usize = t_tildes.iter().map(|t| t.nnz()).sum();
+    sparsekit::spgemm::csr_bytes(sys.nsep(), sys.c.nnz().saturating_add(extra))
+}
+
 /// Sparsifies `Ŝ` into `S̃` by discarding small entries (σ₂ in PDSLin)
 /// and factors it with the standard ordering pipeline, yielding the
 /// preconditioner. Returns `(S̃, LU(S̃))`.
@@ -55,11 +66,13 @@ pub fn factor_schur(
 
 /// [`factor_schur`] with the recovery layer: retries along the same
 /// threshold-escalation + diagonal-perturbation schedule as the
-/// subdomain factorisations, recording each retry.
+/// subdomain factorisations, recording each retry. A budget interrupt
+/// aborts the schedule with the phase-labelled typed error.
 pub fn factor_schur_robust(
     s_hat: &Csr,
     drop_tol: f64,
     base_threshold: f64,
+    budget: &Budget,
 ) -> Result<(Csr, LuFactors, Vec<RecoveryEvent>), PdslinError> {
     let (s_tilde, _) = s_hat.drop_small(drop_tol, true);
     let order = subdomain_ordering(&s_tilde);
@@ -69,7 +82,7 @@ pub fn factor_schur_robust(
     let mut attempts = 0usize;
     for (attempt, cfg) in schedule.iter().enumerate() {
         attempts += 1;
-        match LuFactors::factorize(&s_tilde, &order, cfg) {
+        match LuFactors::factorize_budgeted(&s_tilde, &order, cfg, budget) {
             Ok(lu) => {
                 if attempt > 0 {
                     events.push(RecoveryEvent::SchurLuRetry {
@@ -80,6 +93,9 @@ pub fn factor_schur_robust(
                     });
                 }
                 return Ok((s_tilde, lu, events));
+            }
+            Err(LuError::Interrupted { interrupt, .. }) => {
+                return Err(interrupt_error(interrupt, "lu_s"));
             }
             Err(e) => {
                 let fatal = matches!(e, LuError::NonFinite { .. });
@@ -192,6 +208,33 @@ mod tests {
         let b = vec![1.0; sys.nsep()];
         let y = lu.solve(&b);
         assert!(residual_inf_norm(&s_tilde, &y, &b) < 1e-8);
+    }
+
+    #[test]
+    fn bytes_estimate_dominates_assembled_size() {
+        let a = laplace2d(10, 10);
+        let p = compute_partition(&a, 2, &PartitionerKind::Ngd);
+        let sys = extract_dbbd(&a, p);
+        let cfg = InterfaceConfig {
+            block_size: 16,
+            ordering: RhsOrdering::Postorder,
+            drop_tol: 0.0,
+        };
+        let ts: Vec<Csr> = sys
+            .domains
+            .iter()
+            .map(|dom| {
+                let fd = factor_domain(&dom.d, 0.1).unwrap();
+                compute_interface(&fd, dom, &cfg).t_tilde
+            })
+            .collect();
+        let predicted = schur_bytes_estimate(&sys, &ts);
+        let s_hat = assemble_schur(&sys, &ts);
+        let actual = sparsekit::spgemm::csr_bytes(s_hat.nrows(), s_hat.nnz());
+        assert!(
+            actual <= predicted,
+            "assembled {actual} bytes exceeds prediction {predicted}"
+        );
     }
 
     #[test]

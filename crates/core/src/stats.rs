@@ -115,6 +115,12 @@ pub struct SetupStats {
     pub nnz_schur: usize,
     /// nnz of each subdomain's update matrix `T̃_ℓ` (gather volume).
     pub nnz_t: Vec<usize>,
+    /// Subdomain factorisations actually computed during this setup.
+    /// Zero when every factor came from a checkpoint.
+    pub factorizations: usize,
+    /// Subdomain factorisations reused from a checkpoint instead of
+    /// being recomputed (see `Pdslin::resume`).
+    pub factorizations_reused: usize,
     /// Every recovery action taken during setup (empty on a clean run).
     pub recovery: RecoveryReport,
 }

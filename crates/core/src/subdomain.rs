@@ -9,8 +9,10 @@
 use graphpart::{min_degree_order, rcm_order, Graph};
 use slu::etree::{etree, postorder};
 use slu::{LuConfig, LuError, LuFactors};
+use sparsekit::budget::Budget;
 use sparsekit::{Csr, Perm};
 
+use crate::budget::interrupt_error;
 use crate::error::PdslinError;
 use crate::recovery::RecoveryEvent;
 
@@ -77,8 +79,19 @@ pub fn factor_domain(d: &Csr, pivot_threshold: f64) -> Result<FactoredDomain, Lu
 
 /// Factors one subdomain with an explicit LU configuration.
 pub fn factor_domain_with(d: &Csr, cfg: &LuConfig) -> Result<FactoredDomain, LuError> {
+    factor_domain_budgeted(d, cfg, &Budget::unlimited())
+}
+
+/// [`factor_domain_with`] under an execution [`Budget`], polled inside
+/// the elimination loop (an interrupt surfaces as
+/// [`LuError::Interrupted`]).
+pub fn factor_domain_budgeted(
+    d: &Csr,
+    cfg: &LuConfig,
+    budget: &Budget,
+) -> Result<FactoredDomain, LuError> {
     let order = subdomain_ordering(d);
-    let lu = LuFactors::factorize(d, &order, cfg)?;
+    let lu = LuFactors::factorize_budgeted(d, &order, cfg, budget)?;
     // E-tree of the ordered symmetric pattern, in elimination coordinates
     // (used by diagnostics and the postorder RHS key).
     let sym = if d.pattern_symmetric() {
@@ -123,12 +136,15 @@ pub(crate) fn lu_retry_schedule(base_threshold: f64) -> Vec<LuConfig> {
 /// [`factor_domain`] with the recovery layer: on failure the
 /// factorisation is retried along [`lu_retry_schedule`], each retry
 /// recorded. `inject_singular` fails the first attempt artificially
-/// (fault injection); retries run clean.
+/// (fault injection); retries run clean. A budget interrupt aborts the
+/// schedule immediately with the phase-labelled typed error — retrying
+/// against an expired deadline would only spin.
 pub fn factor_domain_robust(
     d: &Csr,
     domain: usize,
     base_threshold: f64,
     inject_singular: bool,
+    budget: &Budget,
 ) -> Result<(FactoredDomain, Vec<RecoveryEvent>), PdslinError> {
     let schedule = lu_retry_schedule(base_threshold);
     let mut events = Vec::new();
@@ -140,7 +156,7 @@ pub fn factor_domain_robust(
             last_err = LuError::Singular { step: 0 };
             continue;
         }
-        match factor_domain_with(d, cfg) {
+        match factor_domain_budgeted(d, cfg, budget) {
             Ok(fd) => {
                 if attempt > 0 {
                     events.push(RecoveryEvent::SubdomainLuRetry {
@@ -152,6 +168,9 @@ pub fn factor_domain_robust(
                     });
                 }
                 return Ok((fd, events));
+            }
+            Err(LuError::Interrupted { interrupt, .. }) => {
+                return Err(interrupt_error(interrupt, "lu_d"));
             }
             Err(e) => {
                 // NaN/Inf in the input cannot be pivoted away — stop.
@@ -230,7 +249,7 @@ mod tests {
     #[test]
     fn robust_factor_clean_run_records_nothing() {
         let d = laplace2d(8, 8);
-        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false).unwrap();
+        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false, &Budget::unlimited()).unwrap();
         assert!(events.is_empty());
         assert!(fd.lu.perturbed.is_empty());
     }
@@ -238,7 +257,7 @@ mod tests {
     #[test]
     fn robust_factor_recovers_from_injected_singularity() {
         let d = laplace2d(8, 8);
-        let (fd, events) = factor_domain_robust(&d, 3, 0.1, true).unwrap();
+        let (fd, events) = factor_domain_robust(&d, 3, 0.1, true, &Budget::unlimited()).unwrap();
         assert_eq!(events.len(), 1);
         assert!(matches!(
             events[0],
@@ -264,7 +283,7 @@ mod tests {
         c.push(0, 1, -1.0);
         c.push(2, 2, 0.0); // keep row 2 present but numerically dead
         let d = c.to_csr();
-        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false).unwrap();
+        let (fd, events) = factor_domain_robust(&d, 0, 0.1, false, &Budget::unlimited()).unwrap();
         let retried = events.iter().any(|e| {
             matches!(
                 e,
@@ -290,6 +309,18 @@ mod tests {
         assert!(s
             .windows(2)
             .all(|w| w[1].pivot_threshold >= w[0].pivot_threshold));
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_robust_factorisation_with_typed_error() {
+        let d = laplace2d(12, 12);
+        let tok = sparsekit::CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_token(tok);
+        match factor_domain_robust(&d, 0, 0.1, false, &budget) {
+            Err(crate::error::PdslinError::Cancelled { phase: "lu_d" }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::operator::{LinearOperator, Preconditioner};
 use crate::Breakdown;
+use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, dot, norm2};
 
 /// BiCGSTAB parameters.
@@ -42,6 +43,9 @@ pub struct BicgstabResult {
     /// non-finite residual) and restarting did not help; the returned
     /// iterate is the best one available.
     pub breakdown: Option<Breakdown>,
+    /// Set when the execution budget (deadline/cancellation) stopped the
+    /// iteration. The returned iterate is the best one available.
+    pub interrupted: Option<BudgetInterrupt>,
 }
 
 /// Solves `A x = b` with right-preconditioned BiCGSTAB.
@@ -51,6 +55,21 @@ pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
     b: &[f64],
     x0: Option<&[f64]>,
     cfg: &BicgstabConfig,
+) -> BicgstabResult {
+    bicgstab_budgeted(op, precond, b, x0, cfg, &Budget::unlimited())
+}
+
+/// [`bicgstab`] under an execution [`Budget`]: the deadline and cancel
+/// token are polled once per iteration, and an interrupt stops the
+/// recurrence with the current iterate (recorded in
+/// [`BicgstabResult::interrupted`]).
+pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &BicgstabConfig,
+    budget: &Budget,
 ) -> BicgstabResult {
     let n = op.n();
     assert_eq!(b.len(), n);
@@ -68,12 +87,17 @@ pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
     let mut p = vec![0.0f64; n];
     let mut z = vec![0.0f64; n];
     let mut breakdown: Option<Breakdown> = None;
+    let mut interrupted: Option<BudgetInterrupt> = None;
     let mut iterations = 0usize;
     // Outer cycles restart the recurrence from the *true* residual: both
     // when the recursion residual claims convergence (so the convergence
     // decision is never taken on a drifted recursion vector) and as the
     // classical remedy for a rho/omega collapse.
     'outer: while iterations < cfg.max_iters {
+        if let Err(i) = budget.check() {
+            interrupted = Some(i);
+            break;
+        }
         op.apply(&x, &mut work);
         let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
         let rnorm = norm2(&r);
@@ -103,6 +127,10 @@ pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
             }};
         }
         while iterations < cfg.max_iters {
+            if let Err(i) = budget.check() {
+                interrupted = Some(i);
+                break 'outer;
+            }
             let rho_new = dot(&r0, &r);
             if !rho_new.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
@@ -185,6 +213,7 @@ pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
         residual,
         converged: residual <= cfg.tol,
         breakdown,
+        interrupted,
     }
 }
 
@@ -271,6 +300,49 @@ mod tests {
         let r = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
         assert!(r.converged);
         assert!(residual_inf_norm(&a, &r.x, &b) < 1e-7);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_iteration_with_typed_interrupt() {
+        let a = laplace2d(10);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 100];
+        let tok = sparsekit::CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_token(tok);
+        let r = bicgstab_budgeted(
+            &op,
+            &IdentityPrecond,
+            &b,
+            None,
+            &BicgstabConfig::default(),
+            &budget,
+        );
+        assert_eq!(r.interrupted, Some(BudgetInterrupt::Cancelled));
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.residual.is_finite());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_solver() {
+        let a = laplace2d(8);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 64];
+        let plain = bicgstab(&op, &IdentityPrecond, &b, None, &BicgstabConfig::default());
+        let budgeted = bicgstab_budgeted(
+            &op,
+            &IdentityPrecond,
+            &b,
+            None,
+            &BicgstabConfig::default(),
+            &Budget::unlimited(),
+        );
+        assert!(budgeted.interrupted.is_none());
+        assert_eq!(plain.iterations, budgeted.iterations);
+        for (a, b) in plain.x.iter().zip(&budgeted.x) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::operator::{LinearOperator, Preconditioner};
 use crate::Breakdown;
+use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, norm2};
 
 /// GMRES parameters.
@@ -43,6 +44,9 @@ pub struct GmresResult {
     /// Set when the iteration stopped on a numerical breakdown rather
     /// than convergence or budget exhaustion.
     pub breakdown: Option<Breakdown>,
+    /// Set when the execution budget (deadline/cancellation) stopped the
+    /// iteration. The returned iterate is the best one available.
+    pub interrupted: Option<BudgetInterrupt>,
     /// Estimated relative residual after each iteration.
     pub history: Vec<f64>,
 }
@@ -55,6 +59,21 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
     b: &[f64],
     x0: Option<&[f64]>,
     cfg: &GmresConfig,
+) -> GmresResult {
+    gmres_budgeted(op, precond, b, x0, cfg, &Budget::unlimited())
+}
+
+/// [`gmres`] under an execution budget: the budget is polled once per
+/// Arnoldi step (each step costs a matvec plus a preconditioner apply,
+/// so the poll is noise) and on interruption the solver stops with the
+/// current iterate and [`GmresResult::interrupted`] set.
+pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &GmresConfig,
+    budget: &Budget,
 ) -> GmresResult {
     let n = op.n();
     assert_eq!(b.len(), n);
@@ -77,9 +96,14 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
     let mut history = Vec::new();
     let mut total_iters = 0usize;
     let mut breakdown = None;
+    let mut interrupted: Option<BudgetInterrupt> = None;
     let mut work = vec![0.0; n];
     let mut z = vec![0.0; n];
     'outer: loop {
+        if let Err(i) = budget.check() {
+            interrupted = Some(i);
+            break;
+        }
         // r = b − A x
         op.apply(&x, &mut work);
         let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
@@ -107,6 +131,12 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
         let mut inner = 0usize;
         for j in 0..m {
             if total_iters >= cfg.max_iters {
+                break;
+            }
+            if let Err(i) = budget.check() {
+                // Stop expanding the basis; the partial least-squares
+                // update below still folds the completed steps into x.
+                interrupted = Some(i);
                 break;
             }
             // w = A M⁻¹ v_j
@@ -170,6 +200,9 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
         }
         precond.apply(&update, &mut z);
         axpy(1.0, &z, &mut x);
+        if interrupted.is_some() {
+            break;
+        }
         if history.last().is_some_and(|&r| r <= cfg.tol) {
             break;
         }
@@ -195,6 +228,7 @@ pub fn gmres<O: LinearOperator, P: Preconditioner>(
         residual,
         converged: residual <= cfg.tol,
         breakdown,
+        interrupted,
         history,
     }
 }
@@ -349,5 +383,96 @@ mod tests {
         let r = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
         assert!(r.x.iter().all(|&v| v == 0.0));
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_with_typed_interrupt() {
+        let a = laplace2d(10);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 100];
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = gmres_budgeted(
+            &op,
+            &IdentityPrecond,
+            &b,
+            None,
+            &GmresConfig::default(),
+            &budget,
+        );
+        assert!(matches!(
+            r.interrupted,
+            Some(BudgetInterrupt::DeadlineExceeded { .. })
+        ));
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.residual.is_finite());
+    }
+
+    #[test]
+    fn mid_cycle_interrupt_keeps_partial_progress() {
+        // Cancel after the solver is running: poison the token up front
+        // but give the ticker a full cycle by cancelling via a token the
+        // operator flips after a few applications.
+        struct CountingOp<'a> {
+            inner: CsrOperator<'a>,
+            tok: sparsekit::CancelToken,
+            calls: std::cell::Cell<usize>,
+        }
+        impl LinearOperator for CountingOp<'_> {
+            fn n(&self) -> usize {
+                self.inner.n()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                let c = self.calls.get() + 1;
+                self.calls.set(c);
+                if c == 5 {
+                    self.tok.cancel();
+                }
+                self.inner.apply(x, y);
+            }
+        }
+        let a = laplace2d(10);
+        let tok = sparsekit::CancelToken::new();
+        let op = CountingOp {
+            inner: CsrOperator::new(&a),
+            tok: tok.clone(),
+            calls: std::cell::Cell::new(0),
+        };
+        let b = vec![1.0; 100];
+        let budget = Budget::unlimited().with_token(tok);
+        let r = gmres_budgeted(
+            &op,
+            &IdentityPrecond,
+            &b,
+            None,
+            &GmresConfig::default(),
+            &budget,
+        );
+        assert_eq!(r.interrupted, Some(BudgetInterrupt::Cancelled));
+        // The completed Arnoldi steps were folded into the iterate: it is
+        // strictly better than the zero initial guess.
+        assert!(r.iterations >= 1);
+        assert!(r.residual < 1.0);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_solver() {
+        let a = laplace2d(8);
+        let op = CsrOperator::new(&a);
+        let b = vec![1.0; 64];
+        let plain = gmres(&op, &IdentityPrecond, &b, None, &GmresConfig::default());
+        let budgeted = gmres_budgeted(
+            &op,
+            &IdentityPrecond,
+            &b,
+            None,
+            &GmresConfig::default(),
+            &Budget::unlimited(),
+        );
+        assert!(budgeted.interrupted.is_none());
+        assert_eq!(plain.iterations, budgeted.iterations);
+        for (p, q) in plain.x.iter().zip(&budgeted.x) {
+            assert_eq!(p, q);
+        }
     }
 }

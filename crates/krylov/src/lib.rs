@@ -22,8 +22,8 @@ pub mod bicgstab;
 pub mod gmres;
 pub mod operator;
 
-pub use bicgstab::{bicgstab, BicgstabConfig, BicgstabResult};
-pub use gmres::{gmres, GmresConfig, GmresResult};
+pub use bicgstab::{bicgstab, bicgstab_budgeted, BicgstabConfig, BicgstabResult};
+pub use gmres::{gmres, gmres_budgeted, GmresConfig, GmresResult};
 pub use operator::{CsrOperator, IdentityPrecond, JacobiPrecond, LinearOperator, Preconditioner};
 
 /// Why a Krylov iteration stopped making progress before converging.

@@ -1,6 +1,7 @@
 //! Gilbert–Peierls left-looking sparse LU with threshold partial
 //! pivoting (the algorithm family behind SuperLU).
 
+use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::{Csc, Csr, Perm};
 
 /// Configuration for the numeric factorisation.
@@ -48,6 +49,15 @@ pub enum LuError {
         /// (0 when detected during input validation).
         step: usize,
     },
+    /// The execution budget (deadline or cancellation) interrupted the
+    /// elimination. The factorisation is abandoned — partial factors are
+    /// never returned.
+    Interrupted {
+        /// The elimination step at which the interrupt was observed.
+        step: usize,
+        /// What fired.
+        interrupt: BudgetInterrupt,
+    },
 }
 
 impl std::fmt::Display for LuError {
@@ -56,6 +66,9 @@ impl std::fmt::Display for LuError {
             LuError::Singular { step } => write!(f, "matrix singular at elimination step {step}"),
             LuError::NonFinite { step } => {
                 write!(f, "non-finite value (NaN/Inf) at elimination step {step}")
+            }
+            LuError::Interrupted { step, interrupt } => {
+                write!(f, "factorisation interrupted at step {step}: {interrupt}")
             }
         }
     }
@@ -91,6 +104,19 @@ impl LuFactors {
     /// For (pattern-)symmetric matrices pass the same permutation you
     /// would use symmetrically; rows are re-pivoted numerically anyway.
     pub fn factorize(a: &Csr, col_perm: &Perm, cfg: &LuConfig) -> Result<LuFactors, LuError> {
+        Self::factorize_budgeted(a, col_perm, cfg, &Budget::unlimited())
+    }
+
+    /// [`LuFactors::factorize`] under an execution budget: the
+    /// elimination loop polls the budget (amortised over steps) and
+    /// aborts with [`LuError::Interrupted`] on a deadline overrun or
+    /// cancellation, instead of running to completion.
+    pub fn factorize_budgeted(
+        a: &Csr,
+        col_perm: &Perm,
+        cfg: &LuConfig,
+        budget: &Budget,
+    ) -> Result<LuFactors, LuError> {
         assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
         assert_eq!(col_perm.len(), a.ncols());
         assert!(cfg.pivot_threshold > 0.0 && cfg.pivot_threshold <= 1.0);
@@ -119,7 +145,11 @@ impl LuFactors {
         let mut mark = vec![usize::MAX; n];
         let mut topo: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        let mut ticker = budget.ticker(64);
         for k in 0..n {
+            if let Err(interrupt) = ticker.tick() {
+                return Err(LuError::Interrupted { step: k, interrupt });
+            }
             let col = col_perm.to_old(k);
             // --- Symbolic: reach of A(:, col) in the graph of L. ---
             topo.clear();
@@ -514,6 +544,34 @@ mod tests {
         let b = vec![1.0, -2.0, 3.0, 0.0];
         let x = f.solve(&b);
         assert!(residual_inf_norm(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_factorisation() {
+        let a = laplace2d(12); // 144 elimination steps — past the tick stride
+        let tok = sparsekit::CancelToken::new();
+        tok.cancel();
+        let budget = sparsekit::Budget::unlimited().with_token(tok);
+        let err =
+            LuFactors::factorize_budgeted(&a, &Perm::identity(144), &LuConfig::default(), &budget);
+        assert!(
+            matches!(err, Err(LuError::Interrupted { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let a = tridiag(40);
+        let f = LuFactors::factorize_budgeted(
+            &a,
+            &Perm::identity(40),
+            &LuConfig::default(),
+            &sparsekit::Budget::unlimited(),
+        )
+        .unwrap();
+        let b = vec![1.0; 40];
+        assert!(residual_inf_norm(&a, &f.solve(&b), &b) < 1e-10);
     }
 
     #[test]

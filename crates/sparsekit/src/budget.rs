@@ -1,0 +1,262 @@
+//! Execution budgets: wall-clock deadlines, cooperative cancellation,
+//! and memory admission limits.
+//!
+//! The kernels in this workspace (sparse LU, SpGEMM, Krylov iterations)
+//! can run for a long time on adversarial inputs. A [`Budget`] gives the
+//! caller three containment levers without any OS-level machinery:
+//!
+//! * a **deadline** — a wall-clock limit measured from the budget's
+//!   creation; overruns surface as a typed
+//!   [`BudgetInterrupt::DeadlineExceeded`];
+//! * a **cancel token** — a shared flag another thread can flip to stop
+//!   the computation cooperatively at its next check point;
+//! * a **memory limit** — a byte budget consulted by admission-control
+//!   passes (e.g. [`crate::spgemm::spgemm_nnz_bound`]) *before* a large
+//!   allocation, never after.
+//!
+//! Checks are cooperative: kernels poll at phase boundaries and, via a
+//! strided [`Ticker`], inside their hot loops. An unlimited budget
+//! reduces every check to a single branch on a `bool`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning yields a handle to the *same* flag, so one clone can be given
+/// to a controller thread while another travels into the computation.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every budget holding this token reports
+    /// [`BudgetInterrupt::Cancelled`] at its next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why a budgeted computation was interrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetInterrupt {
+    /// The [`CancelToken`] was flipped.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded {
+        /// Time elapsed since the budget was created.
+        elapsed: Duration,
+        /// The configured limit.
+        limit: Duration,
+    },
+}
+
+impl std::fmt::Display for BudgetInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetInterrupt::Cancelled => write!(f, "cancelled"),
+            BudgetInterrupt::DeadlineExceeded { elapsed, limit } => write!(
+                f,
+                "deadline exceeded ({:.3}s elapsed, limit {:.3}s)",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
+    }
+}
+
+/// An execution budget: deadline + cancel token + memory limit, all
+/// optional. [`Budget::unlimited`] never interrupts anything.
+///
+/// The deadline clock starts when [`Budget::with_deadline`] is called,
+/// so a budget should be constructed right before the work it governs.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    start: Option<Instant>,
+    limit: Option<Duration>,
+    mem_bytes: Option<usize>,
+    token: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget that never interrupts and admits any allocation.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Adds a wall-clock deadline measured from *now*.
+    pub fn with_deadline(mut self, limit: Duration) -> Budget {
+        self.start = Some(Instant::now());
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Adds a memory admission limit in bytes (consulted by predictor
+    /// passes, not enforced by the allocator).
+    pub fn with_memory_limit(mut self, bytes: usize) -> Budget {
+        self.mem_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Budget {
+        self.token = Some(token);
+        self
+    }
+
+    /// Whether any check could ever fire (false for `unlimited`).
+    pub fn is_limited(&self) -> bool {
+        self.limit.is_some() || self.token.is_some()
+    }
+
+    /// The memory admission limit, if one was set.
+    pub fn mem_limit(&self) -> Option<usize> {
+        self.mem_bytes
+    }
+
+    /// Time elapsed since the deadline clock started (zero without one).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Polls the cancel token and the deadline.
+    pub fn check(&self) -> Result<(), BudgetInterrupt> {
+        if let Some(t) = &self.token {
+            if t.is_cancelled() {
+                return Err(BudgetInterrupt::Cancelled);
+            }
+        }
+        if let (Some(start), Some(limit)) = (self.start, self.limit) {
+            let elapsed = start.elapsed();
+            if elapsed >= limit {
+                return Err(BudgetInterrupt::DeadlineExceeded { elapsed, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// A strided checker for hot loops.
+    pub fn ticker(&self, stride: u32) -> Ticker<'_> {
+        Ticker {
+            budget: self,
+            active: self.is_limited(),
+            stride: stride.max(1),
+            count: 0,
+        }
+    }
+}
+
+/// Amortised budget checking for inner loops: [`Ticker::tick`] performs
+/// the full [`Budget::check`] only every `stride` calls, and is a single
+/// branch when the budget is unlimited.
+#[derive(Debug)]
+pub struct Ticker<'a> {
+    budget: &'a Budget,
+    active: bool,
+    stride: u32,
+    count: u32,
+}
+
+impl Ticker<'_> {
+    /// Counts one loop iteration, checking the budget every `stride`-th
+    /// call.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), BudgetInterrupt> {
+        if !self.active {
+            return Ok(());
+        }
+        self.count += 1;
+        if self.count >= self.stride {
+            self.count = 0;
+            return self.budget.check();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_interrupts() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.check().is_ok());
+        let mut t = b.ticker(1);
+        for _ in 0..1000 {
+            assert!(t.tick().is_ok());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_elapsed_and_limit() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        match b.check() {
+            Err(BudgetInterrupt::DeadlineExceeded { elapsed, limit }) => {
+                assert_eq!(limit, Duration::ZERO);
+                assert!(elapsed >= limit);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+        assert!(b.elapsed() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn cancel_token_interrupts_all_clones() {
+        let tok = CancelToken::new();
+        let b1 = Budget::unlimited().with_token(tok.clone());
+        let b2 = b1.clone();
+        assert!(b1.check().is_ok());
+        tok.cancel();
+        assert_eq!(b1.check(), Err(BudgetInterrupt::Cancelled));
+        assert_eq!(b2.check(), Err(BudgetInterrupt::Cancelled));
+        assert!(tok.is_cancelled());
+    }
+
+    #[test]
+    fn ticker_checks_on_stride_boundary() {
+        let tok = CancelToken::new();
+        let b = Budget::unlimited().with_token(tok.clone());
+        let mut t = b.ticker(4);
+        tok.cancel();
+        // First three ticks are amortised away; the fourth checks.
+        assert!(t.tick().is_ok());
+        assert!(t.tick().is_ok());
+        assert!(t.tick().is_ok());
+        assert_eq!(t.tick(), Err(BudgetInterrupt::Cancelled));
+    }
+
+    #[test]
+    fn memory_limit_is_advisory_metadata() {
+        let b = Budget::unlimited().with_memory_limit(1 << 20);
+        assert_eq!(b.mem_limit(), Some(1 << 20));
+        assert!(b.check().is_ok(), "memory limits never interrupt checks");
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let b = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_token(tok);
+        assert_eq!(b.check(), Err(BudgetInterrupt::Cancelled));
+    }
+}

@@ -33,6 +33,7 @@
 //! assert!(a.value_symmetric(1e-12));
 //! ```
 
+pub mod budget;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -42,6 +43,7 @@ pub mod perm;
 pub mod rng;
 pub mod spgemm;
 
+pub use budget::{Budget, BudgetInterrupt, CancelToken};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;

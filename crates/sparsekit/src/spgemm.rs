@@ -1,13 +1,97 @@
-//! Sparse matrix–matrix products (Gustavson's row-by-row algorithm).
+//! Sparse matrix–matrix products (Gustavson's row-by-row algorithm),
+//! with symbolic size prediction and budgeted (cancellable) variants.
 
+use crate::budget::{Budget, BudgetInterrupt};
 use crate::Csr;
+
+/// Why a checked sparse product refused to run or stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpgemmError {
+    /// `A` is `m×k`, `B` is `k'×n` with `k ≠ k'`.
+    DimensionMismatch {
+        /// Columns of the left operand.
+        a_cols: usize,
+        /// Rows of the right operand.
+        b_rows: usize,
+    },
+    /// The execution budget interrupted the product mid-row.
+    Interrupted(BudgetInterrupt),
+}
+
+impl std::fmt::Display for SpgemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpgemmError::DimensionMismatch { a_cols, b_rows } => write!(
+                f,
+                "spgemm inner dimension mismatch: A has {a_cols} columns but B has {b_rows} rows"
+            ),
+            SpgemmError::Interrupted(i) => write!(f, "spgemm interrupted: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SpgemmError {}
+
+fn check_dims(a: &Csr, b: &Csr) -> Result<(), SpgemmError> {
+    if a.ncols() != b.nrows() {
+        return Err(SpgemmError::DimensionMismatch {
+            a_cols: a.ncols(),
+            b_rows: b.nrows(),
+        });
+    }
+    Ok(())
+}
+
+/// Upper bound on `nnz(A·B)` without forming the product: the Gustavson
+/// flop count `Σ_{a_ik ≠ 0} nnz(B_{k,:})`, which nnz can never exceed.
+/// `O(nnz(A))`; also the admission-control predictor for the Schur
+/// assembly.
+///
+/// Returns the bound even when the inner dimensions mismatch (counting
+/// only in-range inner indices), so callers can report both problems.
+pub fn spgemm_nnz_bound(a: &Csr, b: &Csr) -> usize {
+    let mut bound = 0usize;
+    for i in 0..a.nrows() {
+        for &k in a.row_indices(i) {
+            if k < b.nrows() {
+                bound = bound.saturating_add(b.row_nnz(k));
+            }
+        }
+    }
+    bound
+}
+
+/// Bytes needed to store a CSR matrix with the given shape and nnz
+/// (index + value arrays plus the row pointer).
+pub fn csr_bytes(nrows: usize, nnz: usize) -> usize {
+    nnz.saturating_mul(std::mem::size_of::<usize>() + std::mem::size_of::<f64>())
+        .saturating_add((nrows + 1) * std::mem::size_of::<usize>())
+}
+
+/// Upper bound on the bytes of `A·B` in CSR form, via
+/// [`spgemm_nnz_bound`].
+pub fn spgemm_bytes_bound(a: &Csr, b: &Csr) -> usize {
+    csr_bytes(a.nrows(), spgemm_nnz_bound(a, b))
+}
 
 /// Numeric sparse product `C = A · B`.
 ///
 /// Gustavson's algorithm: each row of `C` is accumulated in a sparse
 /// accumulator (dense value array + occupancy list). `O(flops)`.
+///
+/// Panics on an inner-dimension mismatch; use [`spgemm_checked`] to get
+/// a typed error instead.
 pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
-    assert_eq!(a.ncols(), b.nrows(), "spgemm dimension mismatch");
+    match spgemm_checked(a, b, &Budget::unlimited()) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`spgemm`] with typed dimension validation and cooperative budget
+/// checks between rows of the result.
+pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmError> {
+    check_dims(a, b)?;
     let m = a.nrows();
     let n = b.ncols();
     let mut indptr = vec![0usize; m + 1];
@@ -16,7 +100,9 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
     let mut acc = vec![0f64; n];
     let mut mark = vec![usize::MAX; n];
     let mut row_cols: Vec<usize> = Vec::new();
+    let mut ticker = budget.ticker(8);
     for i in 0..m {
+        ticker.tick().map_err(SpgemmError::Interrupted)?;
         row_cols.clear();
         for (k, av) in a.row_iter(i) {
             for (j, bv) in b.row_iter(k) {
@@ -35,19 +121,33 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
         }
         indptr[i + 1] = indices.len();
     }
-    Csr::from_parts(m, n, indptr, indices, values)
+    Ok(Csr::from_parts(m, n, indptr, indices, values))
 }
 
 /// Symbolic sparse product: pattern of `A · B` with unit values.
+///
+/// Panics on an inner-dimension mismatch; use [`spgemm_pattern_checked`]
+/// for a typed error.
 pub fn spgemm_pattern(a: &Csr, b: &Csr) -> Csr {
-    assert_eq!(a.ncols(), b.nrows(), "spgemm dimension mismatch");
+    match spgemm_pattern_checked(a, b, &Budget::unlimited()) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`spgemm_pattern`] with typed dimension validation and cooperative
+/// budget checks between rows of the result.
+pub fn spgemm_pattern_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmError> {
+    check_dims(a, b)?;
     let m = a.nrows();
     let n = b.ncols();
     let mut indptr = vec![0usize; m + 1];
     let mut indices: Vec<usize> = Vec::new();
     let mut mark = vec![usize::MAX; n];
     let mut row_cols: Vec<usize> = Vec::new();
+    let mut ticker = budget.ticker(8);
     for i in 0..m {
+        ticker.tick().map_err(SpgemmError::Interrupted)?;
         row_cols.clear();
         for (k, _) in a.row_iter(i) {
             for &j in b.row_indices(k) {
@@ -62,7 +162,7 @@ pub fn spgemm_pattern(a: &Csr, b: &Csr) -> Csr {
         indptr[i + 1] = indices.len();
     }
     let nnz = indices.len();
-    Csr::from_parts(m, n, indptr, indices, vec![1.0; nnz])
+    Ok(Csr::from_parts(m, n, indptr, indices, vec![1.0; nnz]))
 }
 
 /// Pattern of the Gram matrix `AᵀA` (used by the structural factorisation
@@ -160,5 +260,67 @@ mod tests {
         let g = gram_pattern(&a);
         assert_eq!(g.nrows(), 5);
         assert!(g.pattern_symmetric());
+    }
+
+    // ----- dimension validation / size bounds / budgets -----
+
+    #[test]
+    fn mismatched_inner_dimensions_report_typed_error() {
+        let a = rand_like(4, 5, 7);
+        let b = rand_like(6, 3, 8);
+        let budget = crate::Budget::unlimited();
+        match spgemm_checked(&a, &b, &budget) {
+            Err(SpgemmError::DimensionMismatch {
+                a_cols: 5,
+                b_rows: 6,
+            }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        assert!(spgemm_pattern_checked(&a, &b, &budget).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn unchecked_spgemm_panics_with_clear_message() {
+        let a = rand_like(4, 5, 9);
+        let b = rand_like(6, 3, 10);
+        let _ = spgemm(&a, &b);
+    }
+
+    #[test]
+    fn nnz_bound_dominates_actual_nnz() {
+        for seed in 0..8 {
+            let a = rand_like(9, 7, seed);
+            let b = rand_like(7, 8, seed + 100);
+            let bound = spgemm_nnz_bound(&a, &b);
+            let c = spgemm(&a, &b);
+            assert!(
+                c.nnz() <= bound,
+                "seed {seed}: nnz {} exceeds bound {bound}",
+                c.nnz()
+            );
+            assert!(csr_bytes(c.nrows(), c.nnz()) <= spgemm_bytes_bound(&a, &b));
+        }
+    }
+
+    #[test]
+    fn nnz_bound_is_tight_for_identity() {
+        let a = rand_like(6, 6, 11);
+        let i = Csr::identity(6);
+        // A·I touches each row of I once per entry of A: bound == nnz(A).
+        assert_eq!(spgemm_nnz_bound(&a, &i), a.nnz());
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_product() {
+        let a = rand_like(30, 30, 12);
+        let b = rand_like(30, 30, 13);
+        let tok = crate::CancelToken::new();
+        tok.cancel();
+        let budget = crate::Budget::unlimited().with_token(tok);
+        match spgemm_checked(&a, &b, &budget) {
+            Err(SpgemmError::Interrupted(crate::BudgetInterrupt::Cancelled)) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
     }
 }
