@@ -11,7 +11,6 @@ use pdslin::interface::ehat_columns_pivot;
 use pdslin::subdomain::factor_domain;
 use pdslin_bench::bench_case;
 use slu::blocked::solve_in_blocks;
-use slu::trisolve::SolveWorkspace;
 use sparsekit::spgemm::spgemm;
 use sparsekit::Perm;
 
@@ -53,9 +52,8 @@ fn bench_blocked_trisolve() {
     let fd = factor_domain(&dom.d, 0.1).unwrap();
     let cols = ehat_columns_pivot(&fd, dom);
     for &bs in &[1usize, 10, 60, 150] {
-        let mut ws = SolveWorkspace::new(fd.lu.n());
         bench_case(&format!("slu/blocked_trisolve/{bs}"), || {
-            black_box(solve_in_blocks(&fd.lu.l, true, &cols, bs, &mut ws));
+            black_box(solve_in_blocks(&fd.lu.l, true, &cols, bs));
         });
     }
 }

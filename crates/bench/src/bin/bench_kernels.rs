@@ -1,0 +1,213 @@
+//! Serial-vs-parallel kernel benchmark: blocked interface solves,
+//! two-phase SpGEMM, and end-to-end preconditioner setup across worker
+//! counts, with machine-readable speedups in `BENCH_kernels.json`.
+//!
+//! Every parallel result is checked for **exact** equality against the
+//! serial run (the kernels promise byte-identical output); a mismatch
+//! aborts the process, which is what the CI smoke step relies on.
+//! Speedups are recorded for trajectory tracking but never asserted —
+//! CI runners (and single-core hosts) make them meaningless to gate on.
+
+use matgen::{MatrixKind, Scale};
+use pdslin::interface::{compute_interface_workers, InterfaceConfig};
+use pdslin::{Budget, Pdslin, PdslinConfig, RhsOrdering};
+use sparsekit::spgemm::spgemm_checked_workers;
+use sparsekit::Csr;
+use std::time::Instant;
+
+pdslin_bench::json_record! {
+    struct KernelRow {
+        problem: String,
+        kernel: String,
+        workers: usize,
+        seconds: f64,
+        serial_seconds: f64,
+        speedup: f64,
+        matches_serial: bool,
+        nnz: usize,
+        padded_zeros: u64,
+    }
+}
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+#[allow(clippy::too_many_arguments)]
+fn push_row(
+    rows: &mut Vec<KernelRow>,
+    problem: &str,
+    kernel: &str,
+    workers: usize,
+    seconds: f64,
+    serial_seconds: f64,
+    matches_serial: bool,
+    nnz: usize,
+    padded_zeros: u64,
+) {
+    let speedup = if seconds > 0.0 {
+        serial_seconds / seconds
+    } else {
+        0.0
+    };
+    println!(
+        "{problem:<16} {kernel:<12} w={workers}  {:>10.4}s  speedup {speedup:>5.2}x  match={matches_serial}",
+        seconds
+    );
+    assert!(
+        matches_serial,
+        "{problem}/{kernel} with {workers} workers diverged from the serial result"
+    );
+    rows.push(KernelRow {
+        problem: problem.to_string(),
+        kernel: kernel.to_string(),
+        workers,
+        seconds,
+        serial_seconds,
+        speedup,
+        matches_serial,
+        nnz,
+        padded_zeros,
+    });
+}
+
+/// `A·A` with the two-phase SpGEMM, exact-equality checked.
+fn bench_spgemm(rows: &mut Vec<KernelRow>, problem: &str, a: &Csr) {
+    let budget = Budget::unlimited();
+    let mut serial: Option<(Csr, f64)> = None;
+    for &w in &WORKERS {
+        let t0 = Instant::now();
+        let c = spgemm_checked_workers(a, a, &budget, w).expect("unlimited budget");
+        let secs = t0.elapsed().as_secs_f64();
+        let (matches, serial_secs, nnz) = match &serial {
+            None => {
+                let nnz = c.nnz();
+                serial = Some((c, secs));
+                (true, secs, nnz)
+            }
+            Some((ref_c, ref_secs)) => (c == *ref_c, *ref_secs, c.nnz()),
+        };
+        push_row(
+            rows,
+            problem,
+            "spgemm",
+            w,
+            secs,
+            serial_secs,
+            matches,
+            nnz,
+            0,
+        );
+    }
+}
+
+/// Per-subdomain interface phase (`G`/`W` solves + `T̃` product) with
+/// intra-subdomain workers, exact-equality checked on every `T̃`.
+fn bench_interface(rows: &mut Vec<KernelRow>, problem: &str, a: &Csr) {
+    let part = pdslin::compute_partition(a, 4, &pdslin::PartitionerKind::Ngd);
+    let sys = pdslin::extract_dbbd(a, part);
+    let factors: Vec<_> = sys
+        .domains
+        .iter()
+        .map(|d| pdslin::subdomain::factor_domain(&d.d, 0.1).expect("subdomain LU"))
+        .collect();
+    let cfg = InterfaceConfig {
+        block_size: 60,
+        ordering: RhsOrdering::Postorder,
+        drop_tol: 1e-8,
+    };
+    let budget = Budget::unlimited();
+    let mut serial: Option<(Vec<Csr>, f64, u64)> = None;
+    for &w in &WORKERS {
+        let t0 = Instant::now();
+        let mut ts = Vec::with_capacity(sys.domains.len());
+        let mut padded = 0u64;
+        for (dom, fd) in sys.domains.iter().zip(&factors) {
+            let out =
+                compute_interface_workers(fd, dom, &cfg, &budget, w).expect("unlimited budget");
+            padded += out.g_block.padded_zeros;
+            ts.push(out.t_tilde);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let nnz = ts.iter().map(|t| t.nnz()).sum();
+        let (matches, serial_secs) = match &serial {
+            None => {
+                serial = Some((ts, secs, padded));
+                (true, secs)
+            }
+            Some((ref_ts, ref_secs, ref_padded)) => {
+                (ts == *ref_ts && padded == *ref_padded, *ref_secs)
+            }
+        };
+        push_row(
+            rows,
+            problem,
+            "interface",
+            w,
+            secs,
+            serial_secs,
+            matches,
+            nnz,
+            padded,
+        );
+    }
+}
+
+/// End-to-end `Pdslin::setup` with `PDSLIN_THREADS` bounding the total
+/// (outer × inner) concurrency; checked on the assembled Schur nnz.
+fn bench_setup(rows: &mut Vec<KernelRow>, problem: &str, a: &Csr) {
+    let mut serial: Option<(usize, f64)> = None;
+    for &w in &WORKERS {
+        std::env::set_var(pdslin::par::THREADS_ENV, w.to_string());
+        let cfg = PdslinConfig {
+            k: 4,
+            parallel: w > 1,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let solver = Pdslin::setup(a, cfg).expect("setup");
+        let secs = t0.elapsed().as_secs_f64();
+        let nnz_schur = solver.stats.nnz_schur;
+        let (matches, serial_secs) = match &serial {
+            None => {
+                serial = Some((nnz_schur, secs));
+                (true, secs)
+            }
+            Some((ref_nnz, ref_secs)) => (nnz_schur == *ref_nnz, *ref_secs),
+        };
+        push_row(
+            rows,
+            problem,
+            "setup",
+            w,
+            secs,
+            serial_secs,
+            matches,
+            nnz_schur,
+            0,
+        );
+    }
+    std::env::remove_var(pdslin::par::THREADS_ENV);
+}
+
+fn main() {
+    let scale = pdslin_bench::scale_from_env();
+    let (nx, ny) = match scale {
+        Scale::Test => (50, 50),
+        Scale::Bench => (200, 200),
+    };
+    let laplace = matgen::stencil::laplace2d(nx, ny);
+    let laplace_name = format!("laplace2d({nx},{ny})");
+    let circuits = [MatrixKind::G3Circuit, MatrixKind::Asic680ks];
+
+    let mut rows = Vec::new();
+    println!("Kernel benchmark: serial vs parallel (workers 1/2/4)\n");
+    bench_spgemm(&mut rows, &laplace_name, &laplace);
+    bench_interface(&mut rows, &laplace_name, &laplace);
+    bench_setup(&mut rows, &laplace_name, &laplace);
+    for kind in circuits {
+        let a = matgen::generate(kind, scale);
+        bench_spgemm(&mut rows, kind.name(), &a);
+        bench_interface(&mut rows, kind.name(), &a);
+    }
+    pdslin_bench::write_json("BENCH_kernels", &rows);
+    println!("\nall parallel results matched serial exactly");
+}

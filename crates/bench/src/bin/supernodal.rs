@@ -38,6 +38,7 @@ fn main() {
         let n = fd.lu.n();
         let sn = detect_supernodes(&fd.lu.l, 0);
         let mut ws = SolveWorkspace::new(n);
+        let mut bws = slu::BlockWorkspace::new(n);
         let cols = ehat_columns_pivot(fd, dom);
         let reaches = column_reaches(&cols, &fd.lu.l, &mut ws);
         for &ord in &orderings {
@@ -47,7 +48,8 @@ fn main() {
                 let mut col_stats = slu::BlockSolveStats::default();
                 let mut sn_stats = slu::BlockSolveStats::default();
                 for chunk in ordered.chunks(b) {
-                    let (_p, _panel, st) = slu::blocked_lower_solve(&fd.lu.l, true, chunk, &mut ws);
+                    let (_p, _panel, st) =
+                        slu::blocked_lower_solve(&fd.lu.l, true, chunk, &mut bws);
                     col_stats.merge(&st);
                     let (_p2, _panel2, st2) =
                         supernodal_blocked_solve(&fd.lu.l, &sn, chunk, &mut ws);

@@ -42,13 +42,15 @@ use crate::checkpoint::SetupCheckpoint;
 use crate::error::PdslinError;
 use crate::extract::{extract_dbbd, DbbdSystem, LocalDomain};
 use crate::fault::FaultPlan;
-use crate::interface::{compute_interface, compute_interface_budgeted, InterfaceConfig};
-use crate::par::{panic_message, par_map_isolated, seq_map_isolated};
+use crate::interface::{compute_interface, compute_interface_workers, InterfaceConfig};
+use crate::par::{
+    inner_worker_count, outer_worker_count, panic_message, par_map_isolated, seq_map_isolated,
+};
 use crate::partition::{compute_partition_robust, natural_block_partition, PartitionerKind};
 use crate::precond::{ImplicitSchur, SchurPrecond};
 use crate::recovery::{RecoveryEvent, RecoveryReport};
 use crate::rhs_order::RhsOrdering;
-use crate::schur::{assemble_schur, factor_schur_robust, schur_bytes_estimate};
+use crate::schur::{assemble_schur_workers, factor_schur_robust, schur_bytes_estimate};
 use crate::stats::{InterfaceStats, SetupStats};
 use crate::subdomain::{factor_domain_robust, FactoredDomain};
 
@@ -466,9 +468,13 @@ impl Pdslin {
         };
         let pairs: Vec<(&LocalDomain, &FactoredDomain)> =
             sys.domains.iter().zip(factors.iter()).collect();
+        // Total concurrency = outer (per-subdomain) × inner (per-block)
+        // workers, bounded by the configured thread budget.
+        let outer = outer_worker_count(pairs.len(), cfg.parallel);
+        let inner = inner_worker_count(outer, cfg.parallel);
         let timed_interface = |(dom, fd): &(&LocalDomain, &FactoredDomain)| {
             let t0 = Instant::now();
-            compute_interface_budgeted(fd, dom, &icfg, budget)
+            compute_interface_workers(fd, dom, &icfg, budget, inner)
                 .map(|out| (out, t0.elapsed().as_secs_f64()))
         };
         let isolated = if cfg.parallel {
@@ -590,7 +596,11 @@ impl Pdslin {
             }
         }
         stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
-        let s_hat = assemble_schur(&sys, &t_tildes);
+        let s_hat = assemble_schur_workers(
+            &sys,
+            &t_tildes,
+            outer_worker_count(sys.nsep(), cfg.parallel),
+        );
 
         // LU(S), with the same retry escalation. A still-poisoned Ŝ is
         // caught here: the factorisation reports `NonFinite` and setup

@@ -3,11 +3,11 @@
 
 use std::time::Instant;
 
-use slu::blocked::{solve_in_blocks, BlockSolveStats};
+use slu::blocked::{solve_in_blocks_ordered, BlockSolveStats};
 use slu::trisolve::{lower_from_upper_transpose, SolveWorkspace, SparseVec};
 use sparsekit::budget::{Budget, BudgetInterrupt};
-use sparsekit::spgemm::{spgemm_checked, SpgemmError};
-use sparsekit::{Coo, Csr};
+use sparsekit::spgemm::{spgemm_checked_workers, SpgemmError};
+use sparsekit::Csr;
 
 use crate::extract::LocalDomain;
 use crate::rhs_order::{order_columns, RhsOrdering};
@@ -96,11 +96,97 @@ pub fn g_solve_experiment(
     let t0 = Instant::now();
     let order = order_columns(&cols, &fd.lu.l, block_size, ordering, &mut ws);
     let order_seconds = t0.elapsed().as_secs_f64();
-    let ordered: Vec<SparseVec> = order.iter().map(|&j| cols[j].clone()).collect();
     let t1 = Instant::now();
-    let (_sols, stats) = solve_in_blocks(&fd.lu.l, true, &ordered, block_size, &mut ws);
+    let (_sols, stats) = solve_in_blocks_ordered(
+        &fd.lu.l,
+        true,
+        &cols,
+        &order,
+        block_size,
+        1,
+        &Budget::unlimited(),
+    )
+    .expect("an unlimited budget never interrupts");
     let solve_seconds = t1.elapsed().as_secs_f64();
     (stats, solve_seconds, order_seconds)
+}
+
+/// Builds an `nrows × ncols` CSR whose column `order[p]` is the sparse
+/// vector `sols[p]`. Entries are scattered in ascending column order, so
+/// every CSR row comes out sorted without a per-row sort — and without
+/// materialising a COO copy of the whole matrix.
+fn csr_from_column_solutions(
+    nrows: usize,
+    ncols: usize,
+    order: &[usize],
+    sols: &[SparseVec],
+) -> Csr {
+    debug_assert_eq!(order.len(), sols.len());
+    let mut inv = vec![usize::MAX; ncols];
+    for (p, &j) in order.iter().enumerate() {
+        inv[j] = p;
+    }
+    let mut indptr = vec![0usize; nrows + 1];
+    for s in sols {
+        for &i in &s.indices {
+            indptr[i + 1] += 1;
+        }
+    }
+    for i in 0..nrows {
+        indptr[i + 1] += indptr[i];
+    }
+    let nnz = indptr[nrows];
+    let mut cursor: Vec<usize> = indptr[..nrows].to_vec();
+    let mut indices = vec![0usize; nnz];
+    let mut values = vec![0f64; nnz];
+    for (j, &p) in inv.iter().enumerate() {
+        if p == usize::MAX {
+            continue;
+        }
+        let s = &sols[p];
+        for (&i, &v) in s.indices.iter().zip(&s.values) {
+            let dst = cursor[i];
+            indices[dst] = j;
+            values[dst] = v;
+            cursor[i] += 1;
+        }
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+/// Builds an `nrows × ncols` CSR whose row `order[p]` is the sparse
+/// vector `sols[p]` (indices sorted per row via one reused buffer).
+fn csr_from_row_solutions(nrows: usize, ncols: usize, order: &[usize], sols: &[SparseVec]) -> Csr {
+    debug_assert_eq!(order.len(), sols.len());
+    let mut inv = vec![usize::MAX; nrows];
+    for (p, &r) in order.iter().enumerate() {
+        inv[r] = p;
+    }
+    let mut indptr = vec![0usize; nrows + 1];
+    for (p, s) in sols.iter().enumerate() {
+        indptr[order[p] + 1] = s.nnz();
+    }
+    for i in 0..nrows {
+        indptr[i + 1] += indptr[i];
+    }
+    let nnz = indptr[nrows];
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    let mut pairs: Vec<(usize, f64)> = Vec::new();
+    for &p in &inv {
+        if p == usize::MAX {
+            continue;
+        }
+        let s = &sols[p];
+        pairs.clear();
+        pairs.extend(s.indices.iter().zip(&s.values).map(|(&c, &v)| (c, v)));
+        pairs.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, v) in &pairs {
+            indices.push(c);
+            values.push(v);
+        }
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
 }
 
 /// Computes `G̃`, `W̃` and `T̃ = W̃ G̃` for one subdomain.
@@ -116,12 +202,28 @@ pub fn compute_interface(
 /// [`compute_interface`] under an execution [`Budget`]: the deadline and
 /// cancel token are checked before each of the three kernels (`G` solve,
 /// `W` solve, `T̃` product), and the SpGEMM polls the budget between
-/// output rows.
+/// output rows. Single-worker convenience wrapper around
+/// [`compute_interface_workers`].
 pub fn compute_interface_budgeted(
     fd: &FactoredDomain,
     dom: &LocalDomain,
     cfg: &InterfaceConfig,
     budget: &Budget,
+) -> Result<InterfaceOutcome, BudgetInterrupt> {
+    compute_interface_workers(fd, dom, cfg, budget, 1)
+}
+
+/// [`compute_interface_budgeted`] with intra-subdomain parallelism: the
+/// `G` and `W` blocked solves run their column blocks on up to `workers`
+/// threads (per-worker pooled workspaces, results merged in block
+/// order), and `T̃ = W̃ G̃` uses the row-parallel two-phase SpGEMM. The
+/// output is byte-identical to `workers == 1` for any worker count.
+pub fn compute_interface_workers(
+    fd: &FactoredDomain,
+    dom: &LocalDomain,
+    cfg: &InterfaceConfig,
+    budget: &Budget,
+    workers: usize,
 ) -> Result<InterfaceOutcome, BudgetInterrupt> {
     budget.check()?;
     let n = fd.lu.n();
@@ -132,9 +234,16 @@ pub fn compute_interface_budgeted(
     // --- G = L⁻¹ P Ê ---
     let e_cols_piv = ehat_columns_pivot(fd, dom);
     let order = order_columns(&e_cols_piv, &fd.lu.l, cfg.block_size, cfg.ordering, &mut ws);
-    let ordered: Vec<SparseVec> = order.iter().map(|&j| e_cols_piv[j].clone()).collect();
     let t_g = Instant::now();
-    let (g_sols, g_block) = solve_in_blocks(&fd.lu.l, true, &ordered, cfg.block_size, &mut ws);
+    let (mut g_sols, g_block) = solve_in_blocks_ordered(
+        &fd.lu.l,
+        true,
+        &e_cols_piv,
+        &order,
+        cfg.block_size,
+        workers,
+        budget,
+    )?;
     let g_seconds = t_g.elapsed().as_secs_f64();
     // Row coverage before dropping = union of reaches.
     let mut row_touched = vec![false; n];
@@ -144,43 +253,43 @@ pub fn compute_interface_budgeted(
         }
     }
     let nnzrow_g = row_touched.iter().filter(|&&t| t).count();
-    // G̃ (dropped) as CSR, columns mapped back to original Ê order.
-    let mut g_coo = Coo::new(n, ne);
-    for (p, mut s) in g_sols.into_iter().enumerate() {
+    // G̃ (dropped) as CSR, columns mapped back to original Ê order —
+    // built directly from the per-column solutions, no COO round-trip.
+    for s in &mut g_sols {
         s.drop_small(cfg.drop_tol);
-        let j = order[p];
-        for (&i, &v) in s.indices.iter().zip(&s.values) {
-            g_coo.push(i, j, v);
-        }
     }
-    let g_tilde = g_coo.to_csr();
+    let g_tilde = csr_from_column_solutions(n, ne, &order, &g_sols);
+    drop(g_sols);
 
     // --- Wᵀ = U⁻ᵀ Qᵀ F̂ᵀ ---
     budget.check()?;
     let ut = lower_from_upper_transpose(&fd.lu.u);
     let f_rows_elim = fhat_rows_elim(fd, dom);
     let w_order = order_columns(&f_rows_elim, &ut, cfg.block_size, cfg.ordering, &mut ws);
-    let w_ordered: Vec<SparseVec> = w_order.iter().map(|&j| f_rows_elim[j].clone()).collect();
     let t_w = Instant::now();
-    let (w_sols, w_block) = solve_in_blocks(&ut, false, &w_ordered, cfg.block_size, &mut ws);
+    let (mut w_sols, w_block) = solve_in_blocks_ordered(
+        &ut,
+        false,
+        &f_rows_elim,
+        &w_order,
+        cfg.block_size,
+        workers,
+        budget,
+    )?;
     let w_seconds = t_w.elapsed().as_secs_f64();
     // W̃ as CSR (rows = f_rows order, columns = elimination coords).
-    let mut w_coo = Coo::new(nf, n);
-    for (p, mut s) in w_sols.into_iter().enumerate() {
+    for s in &mut w_sols {
         s.drop_small(cfg.drop_tol);
-        let r = w_order[p];
-        for (&c, &v) in s.indices.iter().zip(&s.values) {
-            w_coo.push(r, c, v);
-        }
     }
-    let w_tilde = w_coo.to_csr();
+    let w_tilde = csr_from_row_solutions(nf, n, &w_order, &w_sols);
+    drop(w_sols);
 
     // --- T̃ = W̃ G̃ ---
     // W̃ columns are elimination coordinates; G̃ rows are pivot
     // coordinates. These agree: U's rows (= Uᵀ's columns) and L's rows
     // both live in pivot order, and column l of U corresponds to pivot
     // step l. So the inner dimension matches directly.
-    let t_tilde = match spgemm_checked(&w_tilde, &g_tilde, budget) {
+    let t_tilde = match spgemm_checked_workers(&w_tilde, &g_tilde, budget, workers) {
         Ok(t) => t,
         Err(SpgemmError::Interrupted(i)) => return Err(i),
         // The coordinate argument above makes a mismatch a logic error.
@@ -312,6 +421,28 @@ mod tests {
             },
         );
         assert!(dropped.t_tilde.nnz() <= exact.t_tilde.nnz());
+    }
+
+    #[test]
+    fn parallel_interface_is_byte_identical_to_serial() {
+        let (_a, sys) = small_system();
+        let budget = Budget::unlimited();
+        for dom in &sys.domains {
+            let fd = factor_domain(&dom.d, 0.1).unwrap();
+            let cfg = InterfaceConfig {
+                block_size: 4,
+                ordering: RhsOrdering::Postorder,
+                drop_tol: 1e-8,
+            };
+            let serial = compute_interface_workers(&fd, dom, &cfg, &budget, 1).unwrap();
+            for w in [2usize, 4] {
+                let par = compute_interface_workers(&fd, dom, &cfg, &budget, w).unwrap();
+                assert_eq!(par.t_tilde, serial.t_tilde, "workers {w}");
+                assert_eq!(par.g_block, serial.g_block, "workers {w}");
+                assert_eq!(par.w_block, serial.w_block, "workers {w}");
+                assert_eq!(par.stats.nnzrow_g, serial.stats.nnzrow_g, "workers {w}");
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use slu::{LuError, LuFactors};
 use sparsekit::budget::Budget;
-use sparsekit::{Coo, Csr};
+use sparsekit::Csr;
 
 use crate::budget::interrupt_error;
 use crate::error::PdslinError;
@@ -17,24 +17,98 @@ use crate::subdomain::{lu_retry_schedule, subdomain_ordering};
 /// `R_{E_ℓ}`, `R_{F_ℓ}` of the paper are realised implicitly through
 /// those index maps — they are never formed.
 pub fn assemble_schur(sys: &DbbdSystem, t_tildes: &[Csr]) -> Csr {
+    assemble_schur_workers(sys, t_tildes, 1)
+}
+
+/// Scratch for one Schur-assembly worker: dense accumulator + stamped
+/// mark vector over the separator columns.
+struct SchurScratch {
+    acc: Vec<f64>,
+    mark: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+/// Row-parallel [`assemble_schur`]: each separator row is accumulated
+/// independently (its `C` row plus every domain `T̃` row mapped to it),
+/// so the rows distribute over `workers` ranges with the two-phase CSR
+/// builder. Contributions are summed in the same order as the serial
+/// COO path (`C` first, then domains in index order), so the output is
+/// byte-identical for any worker count.
+pub fn assemble_schur_workers(sys: &DbbdSystem, t_tildes: &[Csr], workers: usize) -> Csr {
     assert_eq!(t_tildes.len(), sys.domains.len());
     let ns = sys.nsep();
-    let extra: usize = t_tildes.iter().map(|t| t.nnz()).sum();
-    let mut coo = Coo::with_capacity(ns, ns, sys.c.nnz() + extra);
-    for (i, j, v) in sys.c.to_coo().iter() {
-        coo.push(i, j, v);
-    }
-    for (dom, t) in sys.domains.iter().zip(t_tildes) {
+    // Separator row -> (domain, local T̃ row) contributors, domain order.
+    let mut contrib: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ns];
+    for (d, (dom, t)) in sys.domains.iter().zip(t_tildes).enumerate() {
         debug_assert_eq!(t.nrows(), dom.f_rows.len());
         debug_assert_eq!(t.ncols(), dom.e_cols.len());
-        for r in 0..t.nrows() {
-            let gi = dom.f_rows[r];
-            for (c, v) in t.row_iter(r) {
-                coo.push(gi, dom.e_cols[c], -v);
-            }
+        for (r, &gi) in dom.f_rows.iter().enumerate() {
+            contrib[gi].push((d, r));
         }
     }
-    coo.to_csr()
+    sparsekit::par::build_csr_two_phase(
+        ns,
+        ns,
+        workers,
+        &Budget::unlimited(),
+        64,
+        || SchurScratch {
+            acc: vec![0f64; ns],
+            mark: vec![usize::MAX; ns],
+            cols: Vec::new(),
+        },
+        |i, s| {
+            let stamp = 2 * i;
+            let mut nnz = 0usize;
+            for &j in sys.c.row_indices(i) {
+                if s.mark[j] != stamp {
+                    s.mark[j] = stamp;
+                    nnz += 1;
+                }
+            }
+            for &(d, r) in &contrib[i] {
+                let dom = &sys.domains[d];
+                for &c in t_tildes[d].row_indices(r) {
+                    let j = dom.e_cols[c];
+                    if s.mark[j] != stamp {
+                        s.mark[j] = stamp;
+                        nnz += 1;
+                    }
+                }
+            }
+            nnz
+        },
+        |i, s, ind, val| {
+            let stamp = 2 * i + 1;
+            s.cols.clear();
+            for (j, v) in sys.c.row_iter(i) {
+                if s.mark[j] != stamp {
+                    s.mark[j] = stamp;
+                    s.acc[j] = 0.0;
+                    s.cols.push(j);
+                }
+                s.acc[j] += v;
+            }
+            for &(d, r) in &contrib[i] {
+                let dom = &sys.domains[d];
+                for (c, v) in t_tildes[d].row_iter(r) {
+                    let j = dom.e_cols[c];
+                    if s.mark[j] != stamp {
+                        s.mark[j] = stamp;
+                        s.acc[j] = 0.0;
+                        s.cols.push(j);
+                    }
+                    s.acc[j] += -v;
+                }
+            }
+            s.cols.sort_unstable();
+            for (t, &j) in s.cols.iter().enumerate() {
+                ind[t] = j;
+                val[t] = s.acc[j];
+            }
+        },
+    )
+    .expect("an unlimited budget never interrupts")
 }
 
 /// Upper bound on the bytes of the assembled `Ŝ` in CSR form, *before*
@@ -181,6 +255,30 @@ mod tests {
                     s_ref[i][j]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_assembly_is_byte_identical_to_serial() {
+        let a = laplace2d(10, 10);
+        let p = compute_partition(&a, 4, &PartitionerKind::Ngd);
+        let sys = extract_dbbd(&a, p);
+        let cfg = InterfaceConfig {
+            block_size: 8,
+            ordering: RhsOrdering::Postorder,
+            drop_tol: 0.0,
+        };
+        let ts: Vec<Csr> = sys
+            .domains
+            .iter()
+            .map(|dom| {
+                let fd = factor_domain(&dom.d, 0.1).unwrap();
+                compute_interface(&fd, dom, &cfg).t_tilde
+            })
+            .collect();
+        let serial = assemble_schur(&sys, &ts);
+        for w in [2usize, 4, 7] {
+            assert_eq!(assemble_schur_workers(&sys, &ts, w), serial, "workers {w}");
         }
     }
 

@@ -9,9 +9,17 @@
 //! the union pattern but absent from an individual column's true
 //! pattern. The reordering strategies of §IV exist precisely to shrink
 //! that padding.
+//!
+//! Blocks are mutually independent (each has its own union reach), so
+//! [`solve_in_blocks_ordered`] can solve them concurrently: workers pull
+//! block indices from a shared counter, each with its own pooled
+//! [`BlockWorkspace`] (no per-block allocation), and results are merged
+//! in block order so the output is byte-identical to the serial path.
 
-use crate::trisolve::{solve_pattern, SolveWorkspace, SparseVec};
+use crate::trisolve::{compute_reach, SolveWorkspace, SparseVec};
+use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::Csc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Accounting for one blocked solve.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,6 +54,142 @@ impl BlockSolveStats {
     }
 }
 
+/// Pooled scratch for repeated blocked solves on one `n×n` factor: the
+/// symbolic workspace, the O(n) scatter map, and the reusable seed /
+/// pattern / panel buffers. One of these per worker is the entire
+/// steady-state memory traffic of the blocked solver — solving a block
+/// allocates nothing beyond its output columns.
+#[derive(Clone, Debug)]
+pub struct BlockWorkspace {
+    solve: SolveWorkspace,
+    /// Matrix row → panel row for the current block; `usize::MAX`
+    /// everywhere between blocks (reset by walking the union pattern,
+    /// O(union) not O(n)).
+    pos: Vec<usize>,
+    seeds: Vec<usize>,
+    pattern: Vec<usize>,
+    panel: Vec<f64>,
+}
+
+impl BlockWorkspace {
+    /// Workspace for blocked solves on an order-`n` factor.
+    pub fn new(n: usize) -> Self {
+        BlockWorkspace {
+            solve: SolveWorkspace::new(n),
+            pos: vec![usize::MAX; n],
+            seeds: Vec::new(),
+            pattern: Vec::new(),
+            panel: Vec::new(),
+        }
+    }
+
+    /// Union pattern of the most recent block, topological order.
+    pub fn pattern(&self) -> &[usize] {
+        &self.pattern
+    }
+
+    /// Dense row-major `union_rows × B` panel of the most recent block.
+    pub fn panel(&self) -> &[f64] {
+        &self.panel
+    }
+}
+
+/// Solves one block of columns (`block` lists indices into `cols`),
+/// leaving the union pattern and dense panel in the workspace.
+fn solve_block(
+    l: &Csc,
+    unit_diag: bool,
+    cols: &[SparseVec],
+    block: &[usize],
+    ws: &mut BlockWorkspace,
+) -> BlockSolveStats {
+    let bsize = block.len();
+    ws.pattern.clear();
+    ws.panel.clear();
+    if bsize == 0 {
+        return BlockSolveStats::default();
+    }
+    // Per-column true patterns (for padding accounting) and the union.
+    let mut true_nnz = 0u64;
+    ws.seeds.clear();
+    for &ci in block {
+        let c = &cols[ci];
+        compute_reach(l, &c.indices, &mut ws.solve);
+        true_nnz += ws.solve.topo().len() as u64;
+        ws.seeds.extend_from_slice(&c.indices);
+    }
+    ws.seeds.sort_unstable();
+    ws.seeds.dedup();
+    compute_reach(l, &ws.seeds, &mut ws.solve);
+    ws.pattern.extend_from_slice(ws.solve.topo());
+    let union_rows = ws.pattern.len();
+    // Scatter map: matrix row -> panel row.
+    for (t, &row) in ws.pattern.iter().enumerate() {
+        ws.pos[row] = t;
+    }
+    ws.panel.resize(union_rows * bsize, 0.0);
+    for (c, &ci) in block.iter().enumerate() {
+        let col = &cols[ci];
+        for (&i, &v) in col.indices.iter().zip(&col.values) {
+            ws.panel[ws.pos[i] * bsize + c] = v;
+        }
+    }
+    // Forward substitution over the union pattern, all columns at once.
+    let mut flops = 0u64;
+    for t in 0..union_rows {
+        let j = ws.pattern[t];
+        if !unit_diag {
+            let cix = l.col_indices(j);
+            let d = cix.binary_search(&j).expect("missing diagonal");
+            let dv = l.col_values(j)[d];
+            for c in 0..bsize {
+                ws.panel[t * bsize + c] /= dv;
+            }
+            flops += bsize as u64;
+        }
+        let (head, tail) = ws.panel.split_at_mut((t + 1) * bsize);
+        let xrow = &head[t * bsize..];
+        for (r, v) in l.col_iter(j) {
+            if r <= j {
+                continue;
+            }
+            let pr = ws.pos[r];
+            debug_assert!(pr != usize::MAX && pr > t, "union pattern must be closed");
+            let dst = &mut tail[(pr - t - 1) * bsize..(pr - t) * bsize];
+            for c in 0..bsize {
+                dst[c] -= v * xrow[c];
+            }
+            flops += 2 * bsize as u64;
+        }
+    }
+    // Leave `pos` all-MAX for the next block (O(union), not O(n)).
+    for &row in &ws.pattern {
+        ws.pos[row] = usize::MAX;
+    }
+    let padded_zeros = (union_rows * bsize) as u64 - true_nnz;
+    BlockSolveStats {
+        union_rows,
+        true_nnz,
+        padded_zeros,
+        flops,
+    }
+}
+
+/// Copies the workspace's panel out as one [`SparseVec`] per column (on
+/// the block-union pattern, padded zeros stored explicitly).
+fn extract_columns(ws: &BlockWorkspace, bsize: usize, out: &mut Vec<SparseVec>) {
+    for c in 0..bsize {
+        let mut v = SparseVec::default();
+        v.indices.reserve(ws.pattern.len());
+        v.values.reserve(ws.pattern.len());
+        for (t, &row) in ws.pattern.iter().enumerate() {
+            v.indices.push(row);
+            v.values.push(ws.panel[t * bsize + c]);
+        }
+        out.push(v);
+    }
+}
+
 /// Solves `T X = B` for a block of sparse right-hand-side columns, where
 /// `T` is lower triangular in CSC.
 ///
@@ -57,72 +201,11 @@ pub fn blocked_lower_solve(
     l: &Csc,
     unit_diag: bool,
     cols: &[SparseVec],
-    ws: &mut SolveWorkspace,
+    ws: &mut BlockWorkspace,
 ) -> (Vec<usize>, Vec<f64>, BlockSolveStats) {
-    let n = l.nrows();
-    let bsize = cols.len();
-    if bsize == 0 {
-        return (Vec::new(), Vec::new(), BlockSolveStats::default());
-    }
-    // Per-column true patterns (for padding accounting) and the union.
-    let mut true_nnz = 0u64;
-    let mut seeds: Vec<usize> = Vec::new();
-    for c in cols {
-        let pat = solve_pattern(l, &c.indices, ws);
-        true_nnz += pat.len() as u64;
-        seeds.extend_from_slice(&c.indices);
-    }
-    seeds.sort_unstable();
-    seeds.dedup();
-    let union_pattern = solve_pattern(l, &seeds, ws);
-    let union_rows = union_pattern.len();
-    // Scatter map: matrix row -> panel row.
-    let mut pos = vec![usize::MAX; n];
-    for (t, &row) in union_pattern.iter().enumerate() {
-        pos[row] = t;
-    }
-    let mut panel = vec![0f64; union_rows * bsize];
-    for (c, col) in cols.iter().enumerate() {
-        for (&i, &v) in col.indices.iter().zip(&col.values) {
-            panel[pos[i] * bsize + c] = v;
-        }
-    }
-    // Forward substitution over the union pattern, all columns at once.
-    let mut flops = 0u64;
-    for t in 0..union_rows {
-        let j = union_pattern[t];
-        if !unit_diag {
-            let cix = l.col_indices(j);
-            let d = cix.binary_search(&j).expect("missing diagonal");
-            let dv = l.col_values(j)[d];
-            for c in 0..bsize {
-                panel[t * bsize + c] /= dv;
-            }
-            flops += bsize as u64;
-        }
-        let (head, tail) = panel.split_at_mut((t + 1) * bsize);
-        let xrow = &head[t * bsize..];
-        for (r, v) in l.col_iter(j) {
-            if r <= j {
-                continue;
-            }
-            let pr = pos[r];
-            debug_assert!(pr != usize::MAX && pr > t, "union pattern must be closed");
-            let dst = &mut tail[(pr - t - 1) * bsize..(pr - t) * bsize];
-            for c in 0..bsize {
-                dst[c] -= v * xrow[c];
-            }
-            flops += 2 * bsize as u64;
-        }
-    }
-    let padded_zeros = (union_rows * bsize) as u64 - true_nnz;
-    let stats = BlockSolveStats {
-        union_rows,
-        true_nnz,
-        padded_zeros,
-        flops,
-    };
-    (union_pattern, panel, stats)
+    let block: Vec<usize> = (0..cols.len()).collect();
+    let stats = solve_block(l, unit_diag, cols, &block, ws);
+    (ws.pattern.clone(), ws.panel.clone(), stats)
 }
 
 /// Solves all columns in blocks of `block_size`, returning the solution
@@ -132,34 +215,124 @@ pub fn solve_in_blocks(
     unit_diag: bool,
     cols: &[SparseVec],
     block_size: usize,
-    ws: &mut SolveWorkspace,
 ) -> (Vec<SparseVec>, BlockSolveStats) {
+    let order: Vec<usize> = (0..cols.len()).collect();
+    solve_in_blocks_ordered(
+        l,
+        unit_diag,
+        cols,
+        &order,
+        block_size,
+        1,
+        &Budget::unlimited(),
+    )
+    .expect("unlimited budget never interrupts")
+}
+
+/// Blocked solve through an index permutation, optionally in parallel.
+///
+/// Position `p` of the output holds the solution of `cols[order[p]]` —
+/// the caller applies a column ordering *by index* instead of cloning
+/// columns into permuted order. Blocks are `block_size`-wide chunks of
+/// `order`, solved concurrently by up to `workers` threads pulling block
+/// indices from a shared counter; each worker owns one pooled
+/// [`BlockWorkspace`], so the steady state performs **zero per-block
+/// heap allocation** beyond the output columns themselves.
+///
+/// Results are merged in block order, making the output byte-identical
+/// to the serial path. The budget is polled once per block; the first
+/// interrupt (lowest block index) wins, and remaining workers stop
+/// claiming blocks cooperatively.
+pub fn solve_in_blocks_ordered(
+    l: &Csc,
+    unit_diag: bool,
+    cols: &[SparseVec],
+    order: &[usize],
+    block_size: usize,
+    workers: usize,
+    budget: &Budget,
+) -> Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt> {
     assert!(block_size > 0);
-    let mut out = Vec::with_capacity(cols.len());
+    budget.check()?;
+    let n = l.nrows();
+    let blocks: Vec<&[usize]> = order.chunks(block_size).collect();
+    let mut out = Vec::with_capacity(order.len());
     let mut stats = BlockSolveStats::default();
-    for chunk in cols.chunks(block_size) {
-        let (pattern, panel, st) = blocked_lower_solve(l, unit_diag, chunk, ws);
-        stats.merge(&st);
-        let b = chunk.len();
-        for c in 0..b {
-            let mut v = SparseVec::default();
-            v.indices.reserve(pattern.len());
-            v.values.reserve(pattern.len());
-            for (t, &row) in pattern.iter().enumerate() {
-                v.indices.push(row);
-                v.values.push(panel[t * b + c]);
-            }
-            out.push(v);
+    if workers <= 1 || blocks.len() <= 1 {
+        let mut ws = BlockWorkspace::new(n);
+        for block in &blocks {
+            budget.check()?;
+            let st = solve_block(l, unit_diag, cols, block, &mut ws);
+            stats.merge(&st);
+            extract_columns(&ws, block.len(), &mut out);
         }
+        return Ok((out, stats));
     }
-    (out, stats)
+
+    type BlockResult = Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt>;
+    let nblocks = blocks.len();
+    let nworkers = workers.min(nblocks);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let blocks = &blocks;
+    let per_worker: Vec<Vec<(usize, BlockResult)>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|_| {
+                let (next, abort) = (&next, &abort);
+                sc.spawn(move || {
+                    let mut ws = BlockWorkspace::new(n);
+                    let mut got: Vec<(usize, BlockResult)> = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= nblocks || abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Err(e) = budget.check() {
+                            abort.store(true, Ordering::Relaxed);
+                            got.push((b, Err(e)));
+                            break;
+                        }
+                        let st = solve_block(l, unit_diag, cols, blocks[b], &mut ws);
+                        let mut sols = Vec::with_capacity(blocks[b].len());
+                        extract_columns(&ws, blocks[b].len(), &mut sols);
+                        got.push((b, Ok((sols, st))));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<BlockResult>> = (0..nblocks).map(|_| None).collect();
+    for (b, r) in per_worker.into_iter().flatten() {
+        slots[b] = Some(r);
+    }
+    // First interrupt in block order wins (deterministic error identity).
+    if let Some(e) = slots.iter().find_map(|s| match s {
+        Some(Err(e)) => Some(*e),
+        _ => None,
+    }) {
+        return Err(e);
+    }
+    for slot in slots {
+        let (sols, st) = slot
+            .expect("every block is claimed when no worker aborts")
+            .expect("errors were returned above");
+        stats.merge(&st);
+        out.extend(sols);
+    }
+    Ok((out, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trisolve::sparse_lower_solve;
-    use sparsekit::Coo;
+    use sparsekit::{CancelToken, Coo};
 
     fn bidiag_l(n: usize) -> Csc {
         let mut c = Coo::new(n, n);
@@ -181,11 +354,12 @@ mod tests {
             SparseVec::new(vec![5], vec![-2.0]),
             SparseVec::new(vec![2, 7], vec![0.5, 3.0]),
         ];
-        let mut ws = SolveWorkspace::new(n);
+        let mut ws = BlockWorkspace::new(n);
         let (pattern, panel, _stats) = blocked_lower_solve(&l, true, &cols, &mut ws);
         let b = cols.len();
+        let mut sws = SolveWorkspace::new(n);
         for (c, col) in cols.iter().enumerate() {
-            let x = sparse_lower_solve(&l, true, col, &mut ws);
+            let x = sparse_lower_solve(&l, true, col, &mut sws);
             let mut dense = vec![0f64; n];
             for (&i, &v) in x.indices.iter().zip(&x.values) {
                 dense[i] = v;
@@ -208,7 +382,7 @@ mod tests {
             SparseVec::new(vec![2], vec![1.0]),
             SparseVec::new(vec![7], vec![1.0]),
         ];
-        let mut ws = SolveWorkspace::new(n);
+        let mut ws = BlockWorkspace::new(n);
         let (pattern, _panel, stats) = blocked_lower_solve(&l, true, &cols, &mut ws);
         assert_eq!(pattern.len(), 8); // union = {2..10}
         assert_eq!(stats.true_nnz, 8 + 3);
@@ -223,9 +397,22 @@ mod tests {
             SparseVec::new(vec![3], vec![1.0]),
             SparseVec::new(vec![3], vec![2.0]),
         ];
-        let mut ws = SolveWorkspace::new(8);
+        let mut ws = BlockWorkspace::new(8);
         let (_p, _panel, stats) = blocked_lower_solve(&l, true, &cols, &mut ws);
         assert_eq!(stats.padded_zeros, 0);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_blocks() {
+        let l = bidiag_l(16);
+        let mut ws = BlockWorkspace::new(16);
+        let cols_a = vec![SparseVec::new(vec![1], vec![1.0])];
+        let cols_b = vec![SparseVec::new(vec![9], vec![2.0])];
+        let (pat_a, _, _) = blocked_lower_solve(&l, true, &cols_a, &mut ws);
+        let (pat_b, panel_b, _) = blocked_lower_solve(&l, true, &cols_b, &mut ws);
+        assert_eq!(pat_a.len(), 15);
+        assert_eq!(pat_b.len(), 7); // stale scatter state would corrupt this
+        assert!((panel_b[0] - 2.0).abs() < 1e-14);
     }
 
     #[test]
@@ -234,8 +421,7 @@ mod tests {
         let cols: Vec<SparseVec> = (0..6)
             .map(|i| SparseVec::new(vec![i * 2], vec![1.0]))
             .collect();
-        let mut ws = SolveWorkspace::new(16);
-        let (_x, stats) = solve_in_blocks(&l, true, &cols, 1, &mut ws);
+        let (_x, stats) = solve_in_blocks(&l, true, &cols, 1);
         assert_eq!(stats.padded_zeros, 0, "B=1 never pads (paper §V-B)");
     }
 
@@ -245,10 +431,9 @@ mod tests {
         let cols: Vec<SparseVec> = (0..8)
             .map(|i| SparseVec::new(vec![i * 4], vec![1.0]))
             .collect();
-        let mut ws = SolveWorkspace::new(32);
-        let (_x1, s1) = solve_in_blocks(&l, true, &cols, 2, &mut ws);
-        let (_x2, s2) = solve_in_blocks(&l, true, &cols, 4, &mut ws);
-        let (_x3, s3) = solve_in_blocks(&l, true, &cols, 8, &mut ws);
+        let (_x1, s1) = solve_in_blocks(&l, true, &cols, 2);
+        let (_x2, s2) = solve_in_blocks(&l, true, &cols, 4);
+        let (_x3, s3) = solve_in_blocks(&l, true, &cols, 8);
         assert!(s1.padded_zeros <= s2.padded_zeros);
         assert!(s2.padded_zeros <= s3.padded_zeros);
     }
@@ -257,8 +442,7 @@ mod tests {
     fn solve_in_blocks_returns_all_columns() {
         let l = bidiag_l(10);
         let cols: Vec<SparseVec> = (0..5).map(|i| SparseVec::new(vec![i], vec![1.0])).collect();
-        let mut ws = SolveWorkspace::new(10);
-        let (xs, _stats) = solve_in_blocks(&l, true, &cols, 2, &mut ws);
+        let (xs, _stats) = solve_in_blocks(&l, true, &cols, 2);
         assert_eq!(xs.len(), 5);
         // First value of each solution equals the seed value (unit diag).
         for (i, x) in xs.iter().enumerate() {
@@ -267,6 +451,43 @@ mod tests {
                 m.insert(r, v);
             }
             assert!((m[&i] - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn parallel_ordered_solve_is_byte_identical_to_serial() {
+        let l = bidiag_l(40);
+        let cols: Vec<SparseVec> = (0..12)
+            .map(|i| SparseVec::new(vec![(i * 3) % 40], vec![1.0 + i as f64]))
+            .collect();
+        // A non-trivial permutation.
+        let order: Vec<usize> = (0..12).map(|p| (p * 5) % 12).collect();
+        let budget = Budget::unlimited();
+        let (serial, sstats) =
+            solve_in_blocks_ordered(&l, true, &cols, &order, 3, 1, &budget).unwrap();
+        for w in [2usize, 4, 7] {
+            let (par, pstats) =
+                solve_in_blocks_ordered(&l, true, &cols, &order, 3, w, &budget).unwrap();
+            assert_eq!(pstats, sstats, "stats merge associative, workers {w}");
+            assert_eq!(par.len(), serial.len());
+            for (p, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert_eq!(a.indices, b.indices, "pattern col {p} workers {w}");
+                assert_eq!(a.values, b.values, "values col {p} workers {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_parallel_solve() {
+        let l = bidiag_l(20);
+        let cols: Vec<SparseVec> = (0..8).map(|i| SparseVec::new(vec![i], vec![1.0])).collect();
+        let order: Vec<usize> = (0..8).collect();
+        let tok = CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_token(tok);
+        for w in [1usize, 4] {
+            let r = solve_in_blocks_ordered(&l, true, &cols, &order, 2, w, &budget);
+            assert_eq!(r.unwrap_err(), BudgetInterrupt::Cancelled, "workers {w}");
         }
     }
 }

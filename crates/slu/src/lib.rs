@@ -35,7 +35,9 @@ pub mod refine;
 pub mod supernodes;
 pub mod trisolve;
 
-pub use blocked::{blocked_lower_solve, BlockSolveStats};
+pub use blocked::{
+    blocked_lower_solve, solve_in_blocks, solve_in_blocks_ordered, BlockSolveStats, BlockWorkspace,
+};
 pub use etree::{etree, first_nonzero_postorder_key, postorder};
 pub use lu::{LuConfig, LuError, LuFactors};
 pub use refine::{condest_1, solve_refined, RefinedSolve};

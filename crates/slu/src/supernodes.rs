@@ -261,7 +261,8 @@ mod tests {
         ];
         let mut ws = SolveWorkspace::new(5);
         let (pat_s, panel_s, stats_s) = supernodal_blocked_solve(&l, &sn, &cols, &mut ws);
-        let (pat_c, panel_c, stats_c) = blocked_lower_solve(&l, true, &cols, &mut ws);
+        let mut bws = crate::blocked::BlockWorkspace::new(5);
+        let (pat_c, panel_c, stats_c) = blocked_lower_solve(&l, true, &cols, &mut bws);
         // Values agree on the common pattern.
         let mut dense_c = vec![vec![0.0; 5]; 2];
         for (t, &row) in pat_c.iter().enumerate() {

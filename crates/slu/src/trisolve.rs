@@ -71,6 +71,14 @@ impl SolveWorkspace {
             topo: Vec::new(),
         }
     }
+
+    /// The reach left behind by the most recent symbolic pass
+    /// ([`compute_reach`] or any solve), in topological order. Borrow
+    /// this instead of [`solve_pattern`] when the caller only needs to
+    /// *read* the pattern — it avoids the per-call allocation.
+    pub fn topo(&self) -> &[usize] {
+        &self.topo
+    }
 }
 
 /// Computes the reach of `seeds` in the DAG of lower-triangular `l`
@@ -162,6 +170,15 @@ pub fn sparse_lower_solve(
 pub fn solve_pattern(l: &Csc, b_pattern: &[usize], ws: &mut SolveWorkspace) -> Vec<usize> {
     reach(l, b_pattern, ws);
     ws.topo.clone()
+}
+
+/// Allocation-free [`solve_pattern`]: computes the reach of `b_pattern`
+/// and leaves it in the workspace, readable via
+/// [`SolveWorkspace::topo`]. Hot loops that only inspect the pattern
+/// (e.g. padding accounting in the blocked solver) use this to avoid
+/// cloning the topological order per column.
+pub fn compute_reach(l: &Csc, b_pattern: &[usize], ws: &mut SolveWorkspace) {
+    reach(l, b_pattern, ws);
 }
 
 /// Computes the full pattern of `G = T⁻¹ B` for a sparse RHS matrix `B`

@@ -39,6 +39,7 @@ pub mod csc;
 pub mod csr;
 pub mod io;
 pub mod ops;
+pub mod par;
 pub mod perm;
 pub mod rng;
 pub mod spgemm;

@@ -1,0 +1,283 @@
+//! Row-range parallelism for CSR-producing kernels.
+//!
+//! The two-phase (symbolic → prefix-sum → numeric) formulation is the
+//! standard way to parallelise row-wise sparse kernels without locks or
+//! post-hoc concatenation: the symbolic phase computes the *exact* nnz
+//! of every output row, an exclusive prefix sum turns the counts into
+//! the final `indptr`, and the numeric phase writes each row directly
+//! into its slot of the exactly-sized `indices`/`values` arrays. Rows
+//! are distributed as contiguous ranges, so every worker owns a
+//! contiguous — and therefore cheaply splittable — slice of the output,
+//! and per-worker scratch (dense accumulators, mark vectors) is
+//! allocated once per worker, not per row.
+//!
+//! Scoped `std::thread` only — the workspace stays dependency-free.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::budget::{Budget, BudgetInterrupt};
+use crate::Csr;
+
+/// Splits `0..n` into at most `max_chunks` contiguous, near-equal
+/// ranges (fewer when `n < max_chunks`; empty when `n == 0`).
+pub fn row_chunks(n: usize, max_chunks: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = max_chunks.max(1).min(n);
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Builds a CSR matrix row-by-row with the two-phase parallel scheme.
+///
+/// `count(i, scratch)` returns the exact nnz of output row `i`;
+/// `fill(i, scratch, indices, values)` writes row `i`'s sorted column
+/// indices and values into the provided exactly-sized slices. Both
+/// phases parallelise over contiguous row ranges (`workers` of them at
+/// most); `make_scratch` runs once per worker per phase. The same row
+/// is counted and filled with the *same* scratch value semantics, so a
+/// kernel may use stamp-style mark vectors keyed on the row index.
+///
+/// The budget is polled every `stride` rows per worker; the first
+/// interrupt (in row-range order) aborts the remaining workers
+/// cooperatively and surfaces as the returned error. With `workers <= 1`
+/// (or a single row range) everything runs on the calling thread.
+///
+/// The output is byte-identical to a serial row loop: row contents
+/// depend only on the row index, and every row lands at the offset the
+/// prefix sum assigns it.
+#[allow(clippy::too_many_arguments)]
+pub fn build_csr_two_phase<S, MS, C, F>(
+    nrows: usize,
+    ncols: usize,
+    workers: usize,
+    budget: &Budget,
+    stride: u32,
+    make_scratch: MS,
+    count: C,
+    fill: F,
+) -> Result<Csr, BudgetInterrupt>
+where
+    MS: Fn() -> S + Sync,
+    C: Fn(usize, &mut S) -> usize + Sync,
+    F: Fn(usize, &mut S, &mut [usize], &mut [f64]) + Sync,
+{
+    budget.check()?;
+    let chunks = row_chunks(nrows, workers);
+    if chunks.len() <= 1 {
+        let mut s = make_scratch();
+        let mut indptr = vec![0usize; nrows + 1];
+        let mut ticker = budget.ticker(stride);
+        for i in 0..nrows {
+            ticker.tick()?;
+            indptr[i + 1] = indptr[i] + count(i, &mut s);
+        }
+        let nnz = indptr[nrows];
+        let mut indices = vec![0usize; nnz];
+        let mut values = vec![0f64; nnz];
+        let mut ticker = budget.ticker(stride);
+        for i in 0..nrows {
+            ticker.tick()?;
+            let (a, b) = (indptr[i], indptr[i + 1]);
+            fill(i, &mut s, &mut indices[a..b], &mut values[a..b]);
+        }
+        return Ok(Csr::from_parts(nrows, ncols, indptr, indices, values));
+    }
+
+    // --- symbolic: exact per-row counts into disjoint chunk slices ---
+    let abort = AtomicBool::new(false);
+    let mut counts = vec![0usize; nrows];
+    {
+        let mut tasks: Vec<(Range<usize>, &mut [usize])> = Vec::with_capacity(chunks.len());
+        let mut rest: &mut [usize] = &mut counts;
+        for r in &chunks {
+            let (head, tail) = rest.split_at_mut(r.len());
+            tasks.push((r.clone(), head));
+            rest = tail;
+        }
+        let results: Vec<Result<(), BudgetInterrupt>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(range, out)| {
+                    let (abort, make_scratch, count) = (&abort, &make_scratch, &count);
+                    sc.spawn(move || {
+                        let mut s = make_scratch();
+                        let mut ticker = budget.ticker(stride);
+                        for (k, i) in range.enumerate() {
+                            if abort.load(Ordering::Relaxed) {
+                                return Ok(());
+                            }
+                            if let Err(e) = ticker.tick() {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                            out[k] = count(i, &mut s);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    // --- exclusive prefix sum ---
+    let mut indptr = vec![0usize; nrows + 1];
+    for i in 0..nrows {
+        indptr[i + 1] = indptr[i] + counts[i];
+    }
+    let nnz = indptr[nrows];
+
+    // --- numeric: write rows into the exactly-sized arrays ---
+    let mut indices = vec![0usize; nnz];
+    let mut values = vec![0f64; nnz];
+    {
+        type NumTask<'a> = (Range<usize>, usize, &'a mut [usize], &'a mut [f64]);
+        let mut tasks: Vec<NumTask<'_>> = Vec::with_capacity(chunks.len());
+        let mut irest: &mut [usize] = &mut indices;
+        let mut vrest: &mut [f64] = &mut values;
+        for r in &chunks {
+            let len = indptr[r.end] - indptr[r.start];
+            let (ih, it) = irest.split_at_mut(len);
+            let (vh, vt) = vrest.split_at_mut(len);
+            tasks.push((r.clone(), indptr[r.start], ih, vh));
+            irest = it;
+            vrest = vt;
+        }
+        let indptr = &indptr;
+        let results: Vec<Result<(), BudgetInterrupt>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(range, base, ind, val)| {
+                    let (abort, make_scratch, fill) = (&abort, &make_scratch, &fill);
+                    sc.spawn(move || {
+                        let mut s = make_scratch();
+                        let mut ticker = budget.ticker(stride);
+                        for i in range {
+                            if abort.load(Ordering::Relaxed) {
+                                return Ok(());
+                            }
+                            if let Err(e) = ticker.tick() {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                            let (a, b) = (indptr[i] - base, indptr[i + 1] - base);
+                            fill(i, &mut s, &mut ind[a..b], &mut val[a..b]);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+    }
+    Ok(Csr::from_parts(nrows, ncols, indptr, indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CancelToken;
+
+    #[test]
+    fn row_chunks_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 100] {
+            for w in [1usize, 2, 3, 4, 7, 16, 200] {
+                let chunks = row_chunks(n, w);
+                let total: usize = chunks.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} w={w}");
+                assert!(chunks.len() <= w.max(1));
+                let mut next = 0;
+                for r in &chunks {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+            }
+        }
+    }
+
+    /// Toy kernel: row i has entries at columns {i mod n, (2i) mod n}.
+    fn toy(nrows: usize, ncols: usize, workers: usize) -> Csr {
+        build_csr_two_phase(
+            nrows,
+            ncols,
+            workers,
+            &Budget::unlimited(),
+            8,
+            || (),
+            move |i, _| if i % ncols == (2 * i) % ncols { 1 } else { 2 },
+            move |i, _, ind, val| {
+                let (a, b) = (i % ncols, (2 * i) % ncols);
+                if a == b {
+                    ind[0] = a;
+                    val[0] = i as f64;
+                } else {
+                    ind[0] = a.min(b);
+                    ind[1] = a.max(b);
+                    val[0] = i as f64;
+                    val[1] = -(i as f64);
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = toy(37, 11, 1);
+        for w in [2usize, 3, 4, 7] {
+            assert_eq!(toy(37, 11, w), serial, "workers {w}");
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_both_paths() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_token(tok);
+        for w in [1usize, 4] {
+            let r = build_csr_two_phase(100, 10, w, &budget, 4, || (), |_, _| 0, |_, _, _, _| {});
+            assert_eq!(r.unwrap_err(), BudgetInterrupt::Cancelled, "workers {w}");
+        }
+    }
+
+    #[test]
+    fn empty_output_is_fine() {
+        let c = build_csr_two_phase(
+            0,
+            5,
+            4,
+            &Budget::unlimited(),
+            8,
+            || (),
+            |_, _| 0,
+            |_, _, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(c.nrows(), 0);
+        assert_eq!(c.nnz(), 0);
+    }
+}

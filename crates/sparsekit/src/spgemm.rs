@@ -2,7 +2,13 @@
 //! with symbolic size prediction and budgeted (cancellable) variants.
 
 use crate::budget::{Budget, BudgetInterrupt};
+use crate::par::build_csr_two_phase;
 use crate::Csr;
+
+/// Rows between cooperative budget polls inside the product loops. Large
+/// enough that a deadline budget's `Instant::now()` is amortised away,
+/// small enough that interrupts still land promptly.
+const BUDGET_STRIDE: u32 = 64;
 
 /// Why a checked sparse product refused to run or stopped early.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +98,7 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
 /// checks between rows of the result.
 pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmError> {
     check_dims(a, b)?;
+    budget.check().map_err(SpgemmError::Interrupted)?;
     let m = a.nrows();
     let n = b.ncols();
     let mut indptr = vec![0usize; m + 1];
@@ -100,7 +107,7 @@ pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmEr
     let mut acc = vec![0f64; n];
     let mut mark = vec![usize::MAX; n];
     let mut row_cols: Vec<usize> = Vec::new();
-    let mut ticker = budget.ticker(8);
+    let mut ticker = budget.ticker(BUDGET_STRIDE);
     for i in 0..m {
         ticker.tick().map_err(SpgemmError::Interrupted)?;
         row_cols.clear();
@@ -124,6 +131,82 @@ pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmEr
     Ok(Csr::from_parts(m, n, indptr, indices, values))
 }
 
+/// Scratch for one SpGEMM worker: a dense accumulator plus a stamp-style
+/// mark vector shared by the symbolic and numeric phases (stamp `2i`
+/// marks row `i` during counting, `2i + 1` during filling, so the two
+/// phases never confuse each other's marks).
+struct SpgemmScratch {
+    acc: Vec<f64>,
+    mark: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+/// Row-parallel [`spgemm_checked`]: symbolic count → prefix sum →
+/// numeric fill over `workers` contiguous row ranges.
+///
+/// The output is **byte-identical** to the serial product (each output
+/// row is computed by the same Gustavson walk in the same order, and the
+/// prefix sum puts it at the same offset). With `workers <= 1` this
+/// falls through to the serial [`spgemm_checked`]. Budget interrupts
+/// from any worker surface as [`SpgemmError::Interrupted`].
+pub fn spgemm_checked_workers(
+    a: &Csr,
+    b: &Csr,
+    budget: &Budget,
+    workers: usize,
+) -> Result<Csr, SpgemmError> {
+    if workers <= 1 {
+        return spgemm_checked(a, b, budget);
+    }
+    check_dims(a, b)?;
+    let n = b.ncols();
+    build_csr_two_phase(
+        a.nrows(),
+        n,
+        workers,
+        budget,
+        BUDGET_STRIDE,
+        || SpgemmScratch {
+            acc: vec![0f64; n],
+            mark: vec![usize::MAX; n],
+            cols: Vec::new(),
+        },
+        |i, s| {
+            let stamp = 2 * i;
+            let mut nnz = 0usize;
+            for (k, _) in a.row_iter(i) {
+                for &j in b.row_indices(k) {
+                    if s.mark[j] != stamp {
+                        s.mark[j] = stamp;
+                        nnz += 1;
+                    }
+                }
+            }
+            nnz
+        },
+        |i, s, ind, val| {
+            let stamp = 2 * i + 1;
+            s.cols.clear();
+            for (k, av) in a.row_iter(i) {
+                for (j, bv) in b.row_iter(k) {
+                    if s.mark[j] != stamp {
+                        s.mark[j] = stamp;
+                        s.acc[j] = 0.0;
+                        s.cols.push(j);
+                    }
+                    s.acc[j] += av * bv;
+                }
+            }
+            s.cols.sort_unstable();
+            for (t, &j) in s.cols.iter().enumerate() {
+                ind[t] = j;
+                val[t] = s.acc[j];
+            }
+        },
+    )
+    .map_err(SpgemmError::Interrupted)
+}
+
 /// Symbolic sparse product: pattern of `A · B` with unit values.
 ///
 /// Panics on an inner-dimension mismatch; use [`spgemm_pattern_checked`]
@@ -139,13 +222,14 @@ pub fn spgemm_pattern(a: &Csr, b: &Csr) -> Csr {
 /// budget checks between rows of the result.
 pub fn spgemm_pattern_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmError> {
     check_dims(a, b)?;
+    budget.check().map_err(SpgemmError::Interrupted)?;
     let m = a.nrows();
     let n = b.ncols();
     let mut indptr = vec![0usize; m + 1];
     let mut indices: Vec<usize> = Vec::new();
     let mut mark = vec![usize::MAX; n];
     let mut row_cols: Vec<usize> = Vec::new();
-    let mut ticker = budget.ticker(8);
+    let mut ticker = budget.ticker(BUDGET_STRIDE);
     for i in 0..m {
         ticker.tick().map_err(SpgemmError::Interrupted)?;
         row_cols.clear();
@@ -309,6 +393,46 @@ mod tests {
         let i = Csr::identity(6);
         // A·I touches each row of I once per entry of A: bound == nnz(A).
         assert_eq!(spgemm_nnz_bound(&a, &i), a.nnz());
+    }
+
+    #[test]
+    fn parallel_product_is_byte_identical_to_serial() {
+        let budget = crate::Budget::unlimited();
+        for seed in 0..4 {
+            let a = rand_like(40, 25, seed);
+            let b = rand_like(25, 33, seed + 50);
+            let serial = spgemm_checked(&a, &b, &budget).unwrap();
+            for w in [2usize, 3, 4, 7] {
+                let par = spgemm_checked_workers(&a, &b, &budget, w).unwrap();
+                assert_eq!(par, serial, "seed {seed} workers {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_product_reports_dimension_mismatch() {
+        let a = rand_like(4, 5, 20);
+        let b = rand_like(6, 3, 21);
+        match spgemm_checked_workers(&a, &b, &crate::Budget::unlimited(), 4) {
+            Err(SpgemmError::DimensionMismatch {
+                a_cols: 5,
+                b_rows: 6,
+            }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_parallel_product() {
+        let a = rand_like(30, 30, 14);
+        let b = rand_like(30, 30, 15);
+        let tok = crate::CancelToken::new();
+        tok.cancel();
+        let budget = crate::Budget::unlimited().with_token(tok);
+        match spgemm_checked_workers(&a, &b, &budget, 4) {
+            Err(SpgemmError::Interrupted(crate::BudgetInterrupt::Cancelled)) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -252,6 +252,179 @@ fn exact_partition_always_hits_sizes() {
     }
 }
 
+// ----- parallel kernels ≡ serial kernels (exact equality) -----
+
+/// Random sparse square matrix of a *fixed* dimension (so two draws can
+/// be multiplied together).
+fn rand_square(rng: &mut Rng64, n: usize) -> Csr {
+    let nnz = rng.below(5 * n);
+    let mut c = Coo::new(n, n);
+    for _ in 0..nnz {
+        c.push(rng.below(n), rng.below(n), rng.f64_range(-1.0, 1.0));
+    }
+    // Guarantee at least one entry so the product is not trivially empty.
+    c.push(rng.below(n), rng.below(n), 1.0);
+    c.to_csr()
+}
+
+/// Random unit-lower-triangular matrix in CSC form.
+fn rand_unit_lower(rng: &mut Rng64, n: usize) -> sparsekit::Csc {
+    let mut c = Coo::new(n, n);
+    for i in 0..n {
+        c.push(i, i, 1.0);
+    }
+    let extras = rng.below(3 * n);
+    for _ in 0..extras {
+        let j = rng.below(n.saturating_sub(1).max(1));
+        let i = rng.range(j + 1, n);
+        c.push(i, j, rng.f64_range(-0.9, 0.9));
+    }
+    c.to_csr().to_csc()
+}
+
+/// Random right-hand-side columns with sorted, unique patterns.
+fn rand_sparse_cols(rng: &mut Rng64, n: usize, ncols: usize) -> Vec<slu::trisolve::SparseVec> {
+    (0..ncols)
+        .map(|_| {
+            let len = rng.range(1, (n / 2).max(2));
+            let mut idx: Vec<usize> = (0..len).map(|_| rng.below(n)).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            let vals: Vec<f64> = idx.iter().map(|_| rng.f64_range(-1.0, 1.0)).collect();
+            slu::trisolve::SparseVec::new(idx, vals)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_spgemm_equals_serial_exactly() {
+    use sparsekit::spgemm::{spgemm_checked, spgemm_checked_workers};
+    let budget = sparsekit::Budget::unlimited();
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let n = rng.range(2, 24);
+        let a = rand_square(&mut rng, n);
+        let b = rand_square(&mut rng, n);
+        let serial = spgemm_checked(&a, &b, &budget).expect("unlimited budget");
+        for workers in [1usize, 2, 4, 7] {
+            let par = spgemm_checked_workers(&a, &b, &budget, workers).expect("unlimited budget");
+            assert_eq!(par, serial, "seed {seed}, {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn parallel_blocked_solve_equals_serial_exactly() {
+    let budget = sparsekit::Budget::unlimited();
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let n = rng.range(4, 24);
+        let l = rand_unit_lower(&mut rng, n);
+        let ncols = rng.range(1, 12);
+        let cols = rand_sparse_cols(&mut rng, n, ncols);
+        let mut order: Vec<usize> = (0..ncols).collect();
+        rng.shuffle(&mut order);
+        let block_size = rng.range(1, 5);
+        let (serial_sols, serial_stats) =
+            slu::solve_in_blocks_ordered(&l, true, &cols, &order, block_size, 1, &budget)
+                .expect("unlimited budget");
+        for workers in [2usize, 4, 7] {
+            let (par_sols, par_stats) =
+                slu::solve_in_blocks_ordered(&l, true, &cols, &order, block_size, workers, &budget)
+                    .expect("unlimited budget");
+            assert_eq!(par_stats, serial_stats, "seed {seed}, {workers} workers");
+            assert_eq!(par_sols.len(), serial_sols.len(), "seed {seed}");
+            for (p, s) in par_sols.iter().zip(&serial_sols) {
+                assert_eq!(p.indices, s.indices, "seed {seed}, {workers} workers");
+                assert_eq!(p.values, s.values, "seed {seed}, {workers} workers");
+            }
+        }
+    }
+}
+
+#[test]
+fn cancelled_budget_interrupts_parallel_kernels() {
+    use sparsekit::spgemm::{spgemm_checked_workers, SpgemmError};
+    let token = sparsekit::CancelToken::new();
+    token.cancel();
+    let budget = sparsekit::Budget::default().with_token(token);
+    let mut rng = Rng64::new(7);
+    let a = rand_square(&mut rng, 20);
+    let l = rand_unit_lower(&mut rng, 20);
+    let cols = rand_sparse_cols(&mut rng, 20, 8);
+    let order: Vec<usize> = (0..8).collect();
+    for workers in [1usize, 2, 4] {
+        match spgemm_checked_workers(&a, &a, &budget, workers) {
+            Err(SpgemmError::Interrupted(sparsekit::BudgetInterrupt::Cancelled)) => {}
+            other => panic!("{workers} workers: expected Cancelled, got {other:?}"),
+        }
+        match slu::solve_in_blocks_ordered(&l, true, &cols, &order, 3, workers, &budget) {
+            Err(sparsekit::BudgetInterrupt::Cancelled) => {}
+            other => panic!("{workers} workers: expected Cancelled, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_interrupts_parallel_kernels() {
+    use sparsekit::spgemm::{spgemm_checked_workers, SpgemmError};
+    let budget = sparsekit::Budget::default().with_deadline(std::time::Duration::ZERO);
+    let mut rng = Rng64::new(11);
+    let a = rand_square(&mut rng, 20);
+    let l = rand_unit_lower(&mut rng, 20);
+    let cols = rand_sparse_cols(&mut rng, 20, 8);
+    let order: Vec<usize> = (0..8).collect();
+    for workers in [2usize, 4] {
+        match spgemm_checked_workers(&a, &a, &budget, workers) {
+            Err(SpgemmError::Interrupted(sparsekit::BudgetInterrupt::DeadlineExceeded {
+                ..
+            })) => {}
+            other => panic!("{workers} workers: expected DeadlineExceeded, got {other:?}"),
+        }
+        match slu::solve_in_blocks_ordered(&l, true, &cols, &order, 3, workers, &budget) {
+            Err(sparsekit::BudgetInterrupt::DeadlineExceeded { .. }) => {}
+            other => panic!("{workers} workers: expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mid_solve_cancellation_is_clean_or_exact() {
+    // Cancelling from another thread mid-solve must yield either a
+    // clean `Cancelled` error or a result byte-identical to serial —
+    // never a torn/partial output.
+    let mut rng = Rng64::new(3);
+    let n = 120usize;
+    let l = rand_unit_lower(&mut rng, n);
+    let cols = rand_sparse_cols(&mut rng, n, 48);
+    let order: Vec<usize> = (0..cols.len()).collect();
+    let (serial_sols, serial_stats) = slu::solve_in_blocks(&l, true, &cols, 4);
+    for delay_us in [0u64, 5, 50, 500] {
+        let token = sparsekit::CancelToken::new();
+        let budget = sparsekit::Budget::default().with_token(token.clone());
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let result = slu::solve_in_blocks_ordered(&l, true, &cols, &order, 4, 4, &budget);
+        canceller.join().expect("canceller thread");
+        match result {
+            Err(sparsekit::BudgetInterrupt::Cancelled) => {}
+            Ok((sols, stats)) => {
+                assert_eq!(stats, serial_stats, "delay {delay_us}us");
+                for (p, s) in sols.iter().zip(&serial_sols) {
+                    assert_eq!(p.indices, s.indices, "delay {delay_us}us");
+                    assert_eq!(p.values, s.values, "delay {delay_us}us");
+                }
+            }
+            Err(other) => panic!("delay {delay_us}us: unexpected interrupt {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn sparse_lower_solve_matches_dense() {
     for seed in 0..24 {
