@@ -28,11 +28,15 @@
 //! * setup failures past the `LU(D)` phase hand back a
 //!   [`SetupCheckpoint`] so a restart skips the refactorization.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use krylov::{bicgstab_budgeted, gmres_budgeted, BicgstabConfig, GmresConfig, LinearOperator};
-use slu::LuFactors;
+use krylov::{
+    bicgstab_with_workspace, gmres_with_workspace, BicgstabConfig, BicgstabWorkspace, GmresConfig,
+    GmresWorkspace, LinearOperator,
+};
+use slu::{LuFactors, TriScratch};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, norm2};
 use sparsekit::Csr;
@@ -47,7 +51,7 @@ use crate::par::{
     inner_worker_count, outer_worker_count, panic_message, par_map_isolated, seq_map_isolated,
 };
 use crate::partition::{compute_partition_robust, natural_block_partition, PartitionerKind};
-use crate::precond::{ImplicitSchur, SchurPrecond};
+use crate::precond::{ImplicitSchur, SchurApplyScratch, SchurPrecond};
 use crate::recovery::{RecoveryEvent, RecoveryReport};
 use crate::rhs_order::RhsOrdering;
 use crate::schur::{assemble_schur_workers, factor_schur_robust, schur_bytes_estimate};
@@ -125,6 +129,10 @@ pub struct Pdslin {
     /// recovery log).
     pub stats: SetupStats,
     cfg: PdslinConfig,
+    /// Persistent solve-phase arenas: one lane per concurrent RHS, grown
+    /// on first use and reused forever after — the N-th solve performs
+    /// no heap allocation in the Krylov or triangular-solve hot loops.
+    scratch: SolveScratch,
 }
 
 impl std::fmt::Debug for Pdslin {
@@ -622,6 +630,7 @@ impl Pdslin {
             schur_lu,
             stats,
             cfg,
+            scratch: SolveScratch::default(),
         })
     }
 
@@ -667,241 +676,532 @@ impl Pdslin {
         b: &[f64],
         budget: &Budget,
     ) -> Result<SolveOutcome, PdslinError> {
-        if let Err(i) = budget.check() {
-            return Err(fill_partial(interrupt_error(i, "solve"), &self.stats));
+        if self.scratch.lanes.is_empty() {
+            self.scratch.lanes.push(LaneScratch::default());
         }
-        let t = Instant::now();
-        let sys = &self.sys;
-        let n: usize = sys.domains.iter().map(|d| d.dim()).sum::<usize>() + sys.nsep();
-        if b.len() != n {
-            return Err(PdslinError::InvalidInput {
-                message: format!("rhs has length {}, expected {n}", b.len()),
-            });
-        }
-        if let Some(i) = b.iter().position(|v| !v.is_finite()) {
-            return Err(PdslinError::NonFiniteInput {
-                what: "b",
-                index: i,
-            });
-        }
-        // Split b into interior parts f_ℓ and the separator part g.
-        let f_parts: Vec<Vec<f64>> = sys
-            .domains
-            .iter()
-            .map(|d| d.rows.iter().map(|&r| b[r]).collect())
-            .collect();
-        let g: Vec<f64> = sys.sep_rows.iter().map(|&r| b[r]).collect();
-        // ĝ = g − Σ F̂ D⁻¹ f.
-        let mut ghat = g.clone();
-        let dinv_f: Vec<Vec<f64>> = sys
-            .domains
-            .iter()
-            .zip(&self.factors)
-            .zip(&f_parts)
-            .map(|((_d, fd), f)| fd.lu.solve(f))
-            .collect();
-        for ((dom, _fd), df) in sys.domains.iter().zip(&self.factors).zip(&dinv_f) {
-            let w = dom.f_hat.matvec(df);
-            for (rl, &rg) in dom.f_rows.iter().enumerate() {
-                ghat[rg] -= w[rl];
-            }
-        }
-        // Solve S y = ĝ with the preconditioned Krylov fallback chain.
-        let op = ImplicitSchur::new(sys, &self.factors);
-        let m = SchurPrecond::new(self.schur_lu.clone());
-        let (y, iterations, schur_residual, converged, method, recovery) =
-            self.solve_schur(&op, &m, &ghat, budget)?;
-        // Back-substitute the interiors: u_ℓ = D⁻¹ (f_ℓ − Ê_ℓ y).
-        let mut x = vec![0.0; n];
-        for ((dom, fd), f) in sys.domains.iter().zip(&self.factors).zip(&f_parts) {
-            let ysub: Vec<f64> = dom.e_cols.iter().map(|&c| y[c]).collect();
-            let ey = dom.e_hat.matvec(&ysub);
-            let rhs: Vec<f64> = f.iter().zip(&ey).map(|(fi, ei)| fi - ei).collect();
-            let u = fd.lu.solve(&rhs);
-            for (li, &gi) in dom.rows.iter().enumerate() {
-                x[gi] = u[li];
-            }
-        }
-        for (l, &gi) in sys.sep_rows.iter().enumerate() {
-            x[gi] = y[l];
-        }
-        let seconds = t.elapsed().as_secs_f64();
-        self.stats.times.solve += seconds;
-        Ok(SolveOutcome {
-            x,
-            iterations,
-            schur_residual,
-            converged,
-            method,
-            recovery,
-            seconds,
-        })
+        let workers = inner_worker_count(1, self.cfg.parallel);
+        let out = solve_one(
+            &self.sys,
+            &self.factors,
+            &self.schur_lu,
+            &self.cfg,
+            &self.stats,
+            b,
+            budget,
+            &mut self.scratch.lanes[0],
+            workers,
+        )?;
+        self.stats.times.solve += out.seconds;
+        Ok(out)
     }
 
-    /// The Krylov fallback chain on the Schur system: primary method,
-    /// then restart growth / method switch, then the direct `LU(S̃)`
-    /// solve refined against the implicit `S`.
-    #[allow(clippy::type_complexity)]
-    fn solve_schur(
-        &self,
-        op: &ImplicitSchur<'_>,
-        m: &SchurPrecond,
-        ghat: &[f64],
+    /// Solves the same factorization against many right-hand sides.
+    ///
+    /// The batch fans out across RHS × subdomains under the crate's
+    /// nested-worker policy: `outer` lanes each take a contiguous block
+    /// of right-hand sides, and every lane's subdomain triangular solves
+    /// and Schur matvecs run on `inner` threads, with
+    /// `outer × inner ≤` the configured thread count. Each lane owns a
+    /// private [`LaneScratch`] arena, so lanes never contend and the
+    /// per-RHS results are **identical** (bit-for-bit, including
+    /// iteration counts and method labels) to issuing the same
+    /// [`Pdslin::solve`] calls sequentially.
+    pub fn solve_many(&mut self, rhs: &[Vec<f64>]) -> Result<Vec<SolveOutcome>, PdslinError> {
+        self.solve_many_budgeted(rhs, &Budget::unlimited())
+    }
+
+    /// [`Pdslin::solve_many`] under an execution [`Budget`]. All lanes
+    /// poll the same budget; on interrupt or per-RHS failure the first
+    /// error in RHS order is surfaced.
+    pub fn solve_many_budgeted(
+        &mut self,
+        rhs: &[Vec<f64>],
         budget: &Budget,
-    ) -> Result<(Vec<f64>, usize, f64, bool, String, RecoveryReport), PdslinError> {
-        let interrupted =
-            |i: BudgetInterrupt| fill_partial(interrupt_error(i, "solve"), &self.stats);
-        let base = self.cfg.gmres;
-        let tol = base.tol;
-        let floor = acceptance_floor(tol);
-        let mut recovery = RecoveryReport::default();
-        let mut tried: Vec<String> = Vec::new();
-        // Best iterate seen so far: (y, iterations, residual, method).
-        let mut best: Option<(Vec<f64>, usize, f64, String)> = None;
-
-        // (label, method) chain after the primary attempt.
-        enum Stage {
-            Gmres(GmresConfig),
-            Bicg(BicgstabConfig),
+    ) -> Result<Vec<SolveOutcome>, PdslinError> {
+        if rhs.is_empty() {
+            return Ok(Vec::new());
         }
-        let mut chain: Vec<(String, Stage)> = Vec::new();
-        match self.cfg.krylov {
-            KrylovKind::Gmres => {
-                let mut first = base;
-                if self.cfg.fault.krylov_stall {
-                    // Starve the first attempt (zero iterations allowed)
-                    // so the fallback chain is genuinely exercised.
-                    first.restart = 1;
-                    first.max_iters = 0;
-                }
-                chain.push(("gmres".to_string(), Stage::Gmres(first)));
-                chain.push((
-                    "gmres(restart-grow)".to_string(),
-                    Stage::Gmres(GmresConfig {
-                        restart: base.restart.saturating_mul(2),
-                        max_iters: base.max_iters.saturating_mul(2),
-                        tol,
-                    }),
-                ));
-                chain.push((
-                    "bicgstab".to_string(),
-                    Stage::Bicg(BicgstabConfig {
-                        max_iters: base.max_iters.saturating_mul(2),
-                        tol,
-                    }),
+        let outer = outer_worker_count(rhs.len(), self.cfg.parallel).max(1);
+        let inner = inner_worker_count(outer, self.cfg.parallel);
+        while self.scratch.lanes.len() < outer {
+            self.scratch.lanes.push(LaneScratch::default());
+        }
+        let sys = &self.sys;
+        let factors = &self.factors[..];
+        let schur_lu = &self.schur_lu;
+        let cfg = &self.cfg;
+        let stats = &self.stats;
+        let mut results: Vec<Option<Result<SolveOutcome, PdslinError>>> = Vec::new();
+        results.resize_with(rhs.len(), || None);
+        if outer <= 1 {
+            let lane = &mut self.scratch.lanes[0];
+            for (slot, b) in results.iter_mut().zip(rhs) {
+                *slot = Some(solve_one(
+                    sys, factors, schur_lu, cfg, stats, b, budget, lane, inner,
                 ));
             }
-            KrylovKind::Bicgstab => {
-                let mut first = BicgstabConfig {
-                    max_iters: base.max_iters,
-                    tol,
-                };
-                if self.cfg.fault.krylov_stall {
-                    first.max_iters = 0;
+        } else {
+            let lanes = &mut self.scratch.lanes[..outer];
+            std::thread::scope(|sc| {
+                let mut res_rest: &mut [Option<Result<SolveOutcome, PdslinError>>] = &mut results;
+                let mut rhs_rest: &[Vec<f64>] = rhs;
+                let mut assigned = 0usize;
+                for (w, lane) in lanes.iter_mut().enumerate() {
+                    let hi = rhs.len() * (w + 1) / outer;
+                    let count = hi - assigned;
+                    assigned = hi;
+                    let (res_block, res_tail) = res_rest.split_at_mut(count);
+                    res_rest = res_tail;
+                    let (rhs_block, rhs_tail) = rhs_rest.split_at(count);
+                    rhs_rest = rhs_tail;
+                    sc.spawn(move || {
+                        for (slot, b) in res_block.iter_mut().zip(rhs_block) {
+                            *slot = Some(solve_one(
+                                sys, factors, schur_lu, cfg, stats, b, budget, lane, inner,
+                            ));
+                        }
+                    });
                 }
-                chain.push(("bicgstab".to_string(), Stage::Bicg(first)));
-                chain.push((
-                    "gmres".to_string(),
-                    Stage::Gmres(GmresConfig {
-                        restart: base.restart,
-                        max_iters: base.max_iters.saturating_mul(2),
-                        tol,
-                    }),
-                ));
-            }
+            });
         }
+        let mut outcomes = Vec::with_capacity(rhs.len());
+        let mut seconds = 0.0;
+        for slot in results {
+            let out = slot.expect("every rhs was assigned to a lane")?;
+            seconds += out.seconds;
+            outcomes.push(out);
+        }
+        self.stats.times.solve += seconds;
+        Ok(outcomes)
+    }
 
-        let mut prev_reason = String::new();
-        for (label, stage) in chain {
-            if let Some(last) = tried.last() {
-                recovery.push(RecoveryEvent::KrylovFallback {
-                    from: last.clone(),
-                    to: label.clone(),
-                    reason: prev_reason.clone(),
-                });
-            }
-            let (y, iters, residual, ok, breakdown) = match stage {
-                Stage::Gmres(cfg) => {
-                    let r = gmres_budgeted(op, m, ghat, None, &cfg, budget);
-                    if let Some(i) = r.interrupted {
-                        return Err(interrupted(i));
-                    }
-                    (r.x, r.iterations, r.residual, r.converged, r.breakdown)
-                }
-                Stage::Bicg(cfg) => {
-                    let r = bicgstab_budgeted(op, m, ghat, None, &cfg, budget);
-                    if let Some(i) = r.interrupted {
-                        return Err(interrupted(i));
-                    }
-                    (r.x, r.iterations, r.residual, r.converged, r.breakdown)
-                }
-            };
-            tried.push(label.clone());
-            if ok {
-                return Ok((y, iters, residual, true, label, recovery));
-            }
-            prev_reason = match breakdown {
-                Some(b) => b.to_string(),
-                None => format!("residual {residual:.1e} after {iters} iterations"),
-            };
-            if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
-                best = Some((y, iters, residual, label));
-            }
-        }
-
-        // Last resort: y = S̃⁻¹ ĝ, refined against the implicit S.
-        recovery.push(RecoveryEvent::KrylovFallback {
-            from: tried.last().cloned().unwrap_or_default(),
-            to: "direct".to_string(),
-            reason: prev_reason,
-        });
-        let label = "direct(LU(S~)+IR)".to_string();
-        tried.push(label.clone());
-        let bnorm = {
-            let t = norm2(ghat);
-            if t == 0.0 {
-                1.0
-            } else {
-                t
-            }
-        };
-        let mut y = self.schur_lu.solve(ghat);
-        let mut work = vec![0.0; ghat.len()];
-        let mut steps = 0usize;
-        let mut residual = f64::INFINITY;
-        for _ in 0..=10 {
-            budget.check().map_err(interrupted)?;
-            op.apply(&y, &mut work);
-            let r: Vec<f64> = ghat.iter().zip(&work).map(|(gi, wi)| gi - wi).collect();
-            residual = norm2(&r) / bnorm;
-            if !residual.is_finite() || residual <= tol {
-                break;
-            }
-            let dy = self.schur_lu.solve(&r);
-            axpy(1.0, &dy, &mut y);
-            steps += 1;
-        }
-        recovery.push(RecoveryEvent::DirectSchurSolve {
-            refinement_steps: steps,
-            residual,
-        });
-        if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
-            best = Some((y, steps, residual, label));
-        }
-        match best {
-            Some((y, iters, residual, label)) if residual <= floor => {
-                Ok((y, iters, residual, residual <= tol, label, recovery))
-            }
-            _ => {
-                let residual = best.map(|(_, _, r, _)| r).unwrap_or(f64::INFINITY);
-                Err(PdslinError::SolveFailed { residual, tried })
-            }
+    /// Aggregated arena counters across all solve lanes. `allocations`
+    /// only advances when some arena had to *grow*, so a steady-state
+    /// workload shows `solves` climbing while `allocations` stays flat —
+    /// the observable form of the zero-allocation guarantee.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        ScratchStats {
+            lanes: self.scratch.lanes.len(),
+            allocations: self
+                .scratch
+                .lanes
+                .iter()
+                .map(LaneScratch::allocation_count)
+                .sum(),
+            solves: self.scratch.lanes.iter().map(|l| l.resets).sum(),
         }
     }
 
     /// The configuration this solver was set up with.
     pub fn config(&self) -> &PdslinConfig {
         &self.cfg
+    }
+}
+
+/// Aggregated [`Pdslin`] scratch counters — see [`Pdslin::scratch_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Number of solve lanes materialised so far.
+    pub lanes: usize,
+    /// Total arena *growth* events (first solve per lane ⇒ ≥ 1; steady
+    /// state ⇒ flat).
+    pub allocations: u64,
+    /// Total solves executed across lanes (each solve resets every
+    /// arena it touches exactly once).
+    pub solves: u64,
+}
+
+/// Per-domain dense buffers of one solve lane, sized to that domain.
+#[derive(Debug, Default)]
+struct DomainSolveScratch {
+    /// Interior RHS slice `f_ℓ`.
+    f: Vec<f64>,
+    /// `D⁻¹ f_ℓ`.
+    dinv_f: Vec<f64>,
+    /// Gather of `y` at this domain's interface columns.
+    ysub: Vec<f64>,
+    /// `Ê_ℓ y`.
+    ey: Vec<f64>,
+    /// `f_ℓ − Ê_ℓ y`.
+    rhs: Vec<f64>,
+    /// Interior solution `u_ℓ`.
+    u: Vec<f64>,
+    /// `F̂ D⁻¹ f_ℓ` (length = this domain's interface rows).
+    w: Vec<f64>,
+    /// Triangular-solve arena for this domain's `LU(D)` plan.
+    tri: TriScratch,
+}
+
+/// All reusable state one concurrent solve needs: RHS split buffers,
+/// Krylov workspaces, triangular-solve arenas, and the Schur apply
+/// scratch. Grown on first use (`allocations` ticks only when a buffer
+/// grows), then reused verbatim by every later solve on the lane.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    domains: Vec<DomainSolveScratch>,
+    /// Separator RHS `ĝ` (length `nsep`).
+    ghat: Vec<f64>,
+    /// `S·y` buffer for direct-fallback refinement.
+    sep_work: Vec<f64>,
+    /// Refinement residual buffer.
+    sep_r: Vec<f64>,
+    /// Refinement correction buffer.
+    sep_dy: Vec<f64>,
+    /// Arena behind [`ImplicitSchur`] applies (interior mutability:
+    /// `LinearOperator::apply` takes `&self`).
+    schur_apply: RefCell<SchurApplyScratch>,
+    /// Arena behind [`SchurPrecond`] applies and the direct fallback.
+    precond_tri: RefCell<TriScratch>,
+    gmres: GmresWorkspace,
+    bicgstab: BicgstabWorkspace,
+    allocations: u64,
+    resets: u64,
+}
+
+impl LaneScratch {
+    /// Sizes every buffer for `sys`, counting a growth event if any
+    /// buffer actually changed size.
+    fn prepare(&mut self, sys: &DbbdSystem) {
+        self.resets += 1;
+        let mut grew = false;
+        if self.domains.len() != sys.domains.len() {
+            self.domains.clear();
+            self.domains
+                .resize_with(sys.domains.len(), Default::default);
+            grew = true;
+        }
+        for (ds, dom) in self.domains.iter_mut().zip(&sys.domains) {
+            let dim = dom.dim();
+            if ds.f.len() != dim {
+                ds.f.resize(dim, 0.0);
+                ds.dinv_f.resize(dim, 0.0);
+                ds.ey.resize(dim, 0.0);
+                ds.rhs.resize(dim, 0.0);
+                ds.u.resize(dim, 0.0);
+                grew = true;
+            }
+            if ds.ysub.len() != dom.e_cols.len() {
+                ds.ysub.resize(dom.e_cols.len(), 0.0);
+                grew = true;
+            }
+            if ds.w.len() != dom.f_rows.len() {
+                ds.w.resize(dom.f_rows.len(), 0.0);
+                grew = true;
+            }
+        }
+        let ns = sys.nsep();
+        if self.ghat.len() != ns {
+            self.ghat.resize(ns, 0.0);
+            self.sep_work.resize(ns, 0.0);
+            self.sep_r.resize(ns, 0.0);
+            self.sep_dy.resize(ns, 0.0);
+            grew = true;
+        }
+        if grew {
+            self.allocations += 1;
+        }
+    }
+
+    /// Growth events across this lane *and* every arena nested in it.
+    fn allocation_count(&self) -> u64 {
+        self.allocations
+            + self
+                .domains
+                .iter()
+                .map(|d| d.tri.allocations())
+                .sum::<u64>()
+            + self.schur_apply.borrow().allocations()
+            + self.precond_tri.borrow().allocations()
+            + self.gmres.allocations()
+            + self.bicgstab.allocations()
+    }
+}
+
+/// The lanes owned by a [`Pdslin`]; lane `i` serves the `i`-th
+/// concurrent RHS of a batched solve (plain solves always use lane 0).
+#[derive(Debug, Default)]
+struct SolveScratch {
+    lanes: Vec<LaneScratch>,
+}
+
+/// Buffers the direct-fallback refinement loop borrows from a lane.
+struct DirectScratch<'a> {
+    work: &'a mut Vec<f64>,
+    r: &'a mut Vec<f64>,
+    dy: &'a mut Vec<f64>,
+    tri: &'a RefCell<TriScratch>,
+}
+
+/// One Schur-complement solve (equations (2)–(4) of the paper) against
+/// borrowed factors, using `lane` for every intermediate buffer and
+/// `workers` threads inside each SpMV / triangular sweep. Free function
+/// (not a method) so [`Pdslin::solve_many`] can run it on several lanes
+/// concurrently while the factors stay shared.
+#[allow(clippy::too_many_arguments)]
+fn solve_one(
+    sys: &DbbdSystem,
+    factors: &[FactoredDomain],
+    schur_lu: &LuFactors,
+    cfg: &PdslinConfig,
+    stats: &SetupStats,
+    b: &[f64],
+    budget: &Budget,
+    lane: &mut LaneScratch,
+    workers: usize,
+) -> Result<SolveOutcome, PdslinError> {
+    if let Err(i) = budget.check() {
+        return Err(fill_partial(interrupt_error(i, "solve"), stats));
+    }
+    let t = Instant::now();
+    let n: usize = sys.domains.iter().map(|d| d.dim()).sum::<usize>() + sys.nsep();
+    if b.len() != n {
+        return Err(PdslinError::InvalidInput {
+            message: format!("rhs has length {}, expected {n}", b.len()),
+        });
+    }
+    if let Some(i) = b.iter().position(|v| !v.is_finite()) {
+        return Err(PdslinError::NonFiniteInput {
+            what: "b",
+            index: i,
+        });
+    }
+    lane.prepare(sys);
+    let LaneScratch {
+        domains: dscratch,
+        ghat,
+        sep_work,
+        sep_r,
+        sep_dy,
+        schur_apply,
+        precond_tri,
+        gmres: gmres_ws,
+        bicgstab: bicg_ws,
+        ..
+    } = lane;
+    // Split b into interior parts f_ℓ and the separator part g, then
+    // fold each domain's contribution in place: ĝ = g − Σ F̂ D⁻¹ f.
+    for (slot, &r) in ghat.iter_mut().zip(&sys.sep_rows) {
+        *slot = b[r];
+    }
+    for ((dom, fd), ds) in sys.domains.iter().zip(factors).zip(dscratch.iter_mut()) {
+        for (slot, &r) in ds.f.iter_mut().zip(&dom.rows) {
+            *slot = b[r];
+        }
+        fd.lu
+            .solve_into(&ds.f, &mut ds.dinv_f, &mut ds.tri, workers);
+        dom.f_hat.matvec_into(&ds.dinv_f, &mut ds.w);
+        for (rl, &rg) in dom.f_rows.iter().enumerate() {
+            ghat[rg] -= ds.w[rl];
+        }
+    }
+    // Solve S y = ĝ with the preconditioned Krylov fallback chain.
+    let op = ImplicitSchur::with_workers(sys, factors, schur_apply, workers);
+    let m = SchurPrecond::with_workers(schur_lu, precond_tri, workers);
+    let direct = DirectScratch {
+        work: sep_work,
+        r: sep_r,
+        dy: sep_dy,
+        tri: precond_tri,
+    };
+    let (y, iterations, schur_residual, converged, method, recovery) = solve_schur_chain(
+        &op, &m, schur_lu, cfg, stats, ghat, budget, gmres_ws, bicg_ws, direct, workers,
+    )?;
+    // Back-substitute the interiors: u_ℓ = D⁻¹ (f_ℓ − Ê_ℓ y).
+    let mut x = vec![0.0; n];
+    for ((dom, fd), ds) in sys.domains.iter().zip(factors).zip(dscratch.iter_mut()) {
+        for (slot, &c) in ds.ysub.iter_mut().zip(&dom.e_cols) {
+            *slot = y[c];
+        }
+        dom.e_hat.matvec_into(&ds.ysub, &mut ds.ey);
+        for ((slot, fi), ei) in ds.rhs.iter_mut().zip(&ds.f).zip(&ds.ey) {
+            *slot = fi - ei;
+        }
+        fd.lu.solve_into(&ds.rhs, &mut ds.u, &mut ds.tri, workers);
+        for (li, &gi) in dom.rows.iter().enumerate() {
+            x[gi] = ds.u[li];
+        }
+    }
+    for (l, &gi) in sys.sep_rows.iter().enumerate() {
+        x[gi] = y[l];
+    }
+    Ok(SolveOutcome {
+        x,
+        iterations,
+        schur_residual,
+        converged,
+        method,
+        recovery,
+        seconds: t.elapsed().as_secs_f64(),
+    })
+}
+
+/// The Krylov fallback chain on the Schur system: primary method,
+/// then restart growth / method switch, then the direct `LU(S̃)`
+/// solve refined against the implicit `S`. All vector state lives in
+/// the caller's lane (`gmres_ws` / `bicg_ws` / `direct`), so repeat
+/// solves allocate nothing here beyond the returned `y`.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn solve_schur_chain(
+    op: &ImplicitSchur<'_>,
+    m: &SchurPrecond<'_>,
+    schur_lu: &LuFactors,
+    cfg: &PdslinConfig,
+    stats: &SetupStats,
+    ghat: &[f64],
+    budget: &Budget,
+    gmres_ws: &mut GmresWorkspace,
+    bicg_ws: &mut BicgstabWorkspace,
+    direct: DirectScratch<'_>,
+    workers: usize,
+) -> Result<(Vec<f64>, usize, f64, bool, String, RecoveryReport), PdslinError> {
+    let interrupted = |i: BudgetInterrupt| fill_partial(interrupt_error(i, "solve"), stats);
+    let base = cfg.gmres;
+    let tol = base.tol;
+    let floor = acceptance_floor(tol);
+    let mut recovery = RecoveryReport::default();
+    let mut tried: Vec<String> = Vec::new();
+    // Best iterate seen so far: (y, iterations, residual, method).
+    let mut best: Option<(Vec<f64>, usize, f64, String)> = None;
+
+    // (label, method) chain after the primary attempt.
+    enum Stage {
+        Gmres(GmresConfig),
+        Bicg(BicgstabConfig),
+    }
+    let mut chain: Vec<(String, Stage)> = Vec::new();
+    match cfg.krylov {
+        KrylovKind::Gmres => {
+            let mut first = base;
+            if cfg.fault.krylov_stall {
+                // Starve the first attempt (zero iterations allowed)
+                // so the fallback chain is genuinely exercised.
+                first.restart = 1;
+                first.max_iters = 0;
+            }
+            chain.push(("gmres".to_string(), Stage::Gmres(first)));
+            chain.push((
+                "gmres(restart-grow)".to_string(),
+                Stage::Gmres(GmresConfig {
+                    restart: base.restart.saturating_mul(2),
+                    max_iters: base.max_iters.saturating_mul(2),
+                    tol,
+                }),
+            ));
+            chain.push((
+                "bicgstab".to_string(),
+                Stage::Bicg(BicgstabConfig {
+                    max_iters: base.max_iters.saturating_mul(2),
+                    tol,
+                }),
+            ));
+        }
+        KrylovKind::Bicgstab => {
+            let mut first = BicgstabConfig {
+                max_iters: base.max_iters,
+                tol,
+            };
+            if cfg.fault.krylov_stall {
+                first.max_iters = 0;
+            }
+            chain.push(("bicgstab".to_string(), Stage::Bicg(first)));
+            chain.push((
+                "gmres".to_string(),
+                Stage::Gmres(GmresConfig {
+                    restart: base.restart,
+                    max_iters: base.max_iters.saturating_mul(2),
+                    tol,
+                }),
+            ));
+        }
+    }
+
+    let mut prev_reason = String::new();
+    for (label, stage) in chain {
+        if let Some(last) = tried.last() {
+            recovery.push(RecoveryEvent::KrylovFallback {
+                from: last.clone(),
+                to: label.clone(),
+                reason: prev_reason.clone(),
+            });
+        }
+        let (y, iters, residual, ok, breakdown) = match stage {
+            Stage::Gmres(c) => {
+                let r = gmres_with_workspace(op, m, ghat, None, &c, budget, gmres_ws);
+                if let Some(i) = r.interrupted {
+                    return Err(interrupted(i));
+                }
+                (r.x, r.iterations, r.residual, r.converged, r.breakdown)
+            }
+            Stage::Bicg(c) => {
+                let r = bicgstab_with_workspace(op, m, ghat, None, &c, budget, bicg_ws);
+                if let Some(i) = r.interrupted {
+                    return Err(interrupted(i));
+                }
+                (r.x, r.iterations, r.residual, r.converged, r.breakdown)
+            }
+        };
+        tried.push(label.clone());
+        if ok {
+            return Ok((y, iters, residual, true, label, recovery));
+        }
+        prev_reason = match breakdown {
+            Some(b) => b.to_string(),
+            None => format!("residual {residual:.1e} after {iters} iterations"),
+        };
+        if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
+            best = Some((y, iters, residual, label));
+        }
+    }
+
+    // Last resort: y = S̃⁻¹ ĝ, refined against the implicit S.
+    recovery.push(RecoveryEvent::KrylovFallback {
+        from: tried.last().cloned().unwrap_or_default(),
+        to: "direct".to_string(),
+        reason: prev_reason,
+    });
+    let label = "direct(LU(S~)+IR)".to_string();
+    tried.push(label.clone());
+    let bnorm = {
+        let t = norm2(ghat);
+        if t == 0.0 {
+            1.0
+        } else {
+            t
+        }
+    };
+    let mut y = vec![0.0; ghat.len()];
+    schur_lu.solve_into(ghat, &mut y, &mut direct.tri.borrow_mut(), workers);
+    let mut steps = 0usize;
+    let mut residual = f64::INFINITY;
+    for _ in 0..=10 {
+        budget.check().map_err(interrupted)?;
+        op.apply(&y, direct.work);
+        for ((ri, gi), wi) in direct.r.iter_mut().zip(ghat).zip(direct.work.iter()) {
+            *ri = gi - wi;
+        }
+        residual = norm2(direct.r) / bnorm;
+        if !residual.is_finite() || residual <= tol {
+            break;
+        }
+        schur_lu.solve_into(direct.r, direct.dy, &mut direct.tri.borrow_mut(), workers);
+        axpy(1.0, direct.dy, &mut y);
+        steps += 1;
+    }
+    recovery.push(RecoveryEvent::DirectSchurSolve {
+        refinement_steps: steps,
+        residual,
+    });
+    if residual.is_finite() && best.as_ref().is_none_or(|(_, _, r, _)| residual < *r) {
+        best = Some((y, steps, residual, label));
+    }
+    match best {
+        Some((y, iters, residual, label)) if residual <= floor => {
+            Ok((y, iters, residual, residual <= tol, label, recovery))
+        }
+        _ => {
+            let residual = best.map(|(_, _, r, _)| r).unwrap_or(f64::INFINITY);
+            Err(PdslinError::SolveFailed { residual, tried })
+        }
     }
 }
 

@@ -47,11 +47,12 @@ pub mod subdomain;
 
 pub use budget::{Budget, BudgetInterrupt, CancelToken};
 pub use checkpoint::SetupCheckpoint;
-pub use driver::{KrylovKind, Pdslin, PdslinConfig, SetupFailure, SolveOutcome};
+pub use driver::{KrylovKind, Pdslin, PdslinConfig, ScratchStats, SetupFailure, SolveOutcome};
 pub use error::{ErrorCategory, PdslinError};
 pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
 pub use fault::FaultPlan;
 pub use partition::{compute_partition, PartitionStats, PartitionerKind};
+pub use precond::{ImplicitSchur, SchurApplyScratch, SchurPrecond};
 pub use recovery::{RecoveryEvent, RecoveryReport};
 pub use rhs_order::RhsOrdering;
 pub use stats::{PhaseTimes, SetupStats};

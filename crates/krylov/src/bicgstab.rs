@@ -48,6 +48,54 @@ pub struct BicgstabResult {
     pub interrupted: Option<BudgetInterrupt>,
 }
 
+/// Reusable BiCGSTAB arenas: every per-solve vector of the recurrence,
+/// hoisted so repeated solves allocate nothing after the first call
+/// (only the returned [`BicgstabResult`] is fresh).
+#[derive(Debug, Default)]
+pub struct BicgstabWorkspace {
+    x: Vec<f64>,
+    work: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<f64>,
+    z: Vec<f64>,
+    r: Vec<f64>,
+    r0: Vec<f64>,
+    allocations: u64,
+    resets: u64,
+}
+
+impl BicgstabWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> BicgstabWorkspace {
+        BicgstabWorkspace::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        self.resets += 1;
+        if self.x.len() < n {
+            self.allocations += 1;
+            self.x.resize(n, 0.0);
+            self.work.resize(n, 0.0);
+            self.v.resize(n, 0.0);
+            self.p.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.r.resize(n, 0.0);
+            self.r0.resize(n, 0.0);
+        }
+    }
+
+    /// Number of times the arenas actually grew — flat after the first
+    /// solve of the largest size seen.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of solves served through this workspace.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
 /// Solves `A x = b` with right-preconditioned BiCGSTAB.
 pub fn bicgstab<O: LinearOperator, P: Preconditioner>(
     op: &O,
@@ -71,9 +119,53 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
     cfg: &BicgstabConfig,
     budget: &Budget,
 ) -> BicgstabResult {
+    bicgstab_with_workspace(
+        op,
+        precond,
+        b,
+        x0,
+        cfg,
+        budget,
+        &mut BicgstabWorkspace::new(),
+    )
+}
+
+/// [`bicgstab_budgeted`] with caller-owned arenas: after the first call
+/// of a given size nothing in the recurrence allocates, and the
+/// numerics are identical to the one-shot entry points.
+pub fn bicgstab_with_workspace<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &BicgstabConfig,
+    budget: &Budget,
+    ws: &mut BicgstabWorkspace,
+) -> BicgstabResult {
     let n = op.n();
     assert_eq!(b.len(), n);
-    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    ws.prepare(n);
+    let BicgstabWorkspace {
+        x,
+        work,
+        v,
+        p,
+        z,
+        r,
+        r0,
+        ..
+    } = ws;
+    let x = &mut x[..n];
+    let work = &mut work[..n];
+    let v = &mut v[..n];
+    let p = &mut p[..n];
+    let z = &mut z[..n];
+    let r = &mut r[..n];
+    let r0 = &mut r0[..n];
+    match x0 {
+        Some(x0) => x.copy_from_slice(x0),
+        None => x.fill(0.0),
+    }
     let bnorm = {
         let t = norm2(b);
         if t == 0.0 {
@@ -82,10 +174,6 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
             t
         }
     };
-    let mut work = vec![0.0; n];
-    let mut v = vec![0.0f64; n];
-    let mut p = vec![0.0f64; n];
-    let mut z = vec![0.0f64; n];
     let mut breakdown: Option<Breakdown> = None;
     let mut interrupted: Option<BudgetInterrupt> = None;
     let mut iterations = 0usize;
@@ -98,9 +186,11 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
             interrupted = Some(i);
             break;
         }
-        op.apply(&x, &mut work);
-        let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
-        let rnorm = norm2(&r);
+        op.apply(x, work);
+        for (ri, (bi, wi)) in r.iter_mut().zip(b.iter().zip(work.iter())) {
+            *ri = bi - wi;
+        }
+        let rnorm = norm2(r);
         if !rnorm.is_finite() {
             breakdown = Some(Breakdown::NonFinite);
             break;
@@ -108,7 +198,7 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
         if rnorm / bnorm <= cfg.tol {
             break;
         }
-        let r0: Vec<f64> = r.clone();
+        r0.copy_from_slice(r);
         let mut rho = 1.0f64;
         let mut alpha = 1.0f64;
         let mut omega = 1.0f64;
@@ -131,7 +221,7 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
                 interrupted = Some(i);
                 break 'outer;
             }
-            let rho_new = dot(&r0, &r);
+            let rho_new = dot(r0, r);
             if !rho_new.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
                 break 'outer;
@@ -146,9 +236,9 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
                 p[i] = r[i] + beta * (p[i] - omega * v[i]);
             }
             // v = A M⁻¹ p
-            precond.apply(&p, &mut z);
-            op.apply(&z, &mut v);
-            let r0v = dot(&r0, &v);
+            precond.apply(p, z);
+            op.apply(z, v);
+            let r0v = dot(r0, v);
             if !r0v.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
                 break 'outer;
@@ -158,11 +248,11 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
             }
             alpha = rho / r0v;
             // s = r − alpha v  (reuse r)
-            axpy(-alpha, &v, &mut r);
+            axpy(-alpha, v, r);
             // x += alpha M⁻¹ p
-            axpy(alpha, &z, &mut x);
+            axpy(alpha, z, x);
             iterations += 1;
-            let snorm = norm2(&r);
+            let snorm = norm2(r);
             if !snorm.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
                 break 'outer;
@@ -171,9 +261,9 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
                 continue 'outer;
             }
             // t = A M⁻¹ s
-            precond.apply(&r, &mut z);
-            op.apply(&z, &mut work);
-            let tt = dot(&work, &work);
+            precond.apply(r, z);
+            op.apply(z, work);
+            let tt = dot(work, work);
             if !tt.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
                 break 'outer;
@@ -181,15 +271,15 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
             if tt == 0.0 {
                 collapse!(Breakdown::OmegaCollapse);
             }
-            omega = dot(&work, &r) / tt;
+            omega = dot(work, r) / tt;
             if omega.abs() < 1e-300 {
                 collapse!(Breakdown::OmegaCollapse);
             }
             // x += omega M⁻¹ s ; r = s − omega t
-            axpy(omega, &z, &mut x);
-            axpy(-omega, &work, &mut r);
+            axpy(omega, z, x);
+            axpy(-omega, work, r);
             iterations += 1;
-            let rn = norm2(&r);
+            let rn = norm2(r);
             if !rn.is_finite() {
                 breakdown = Some(Breakdown::NonFinite);
                 break 'outer;
@@ -199,16 +289,15 @@ pub fn bicgstab_budgeted<O: LinearOperator, P: Preconditioner>(
             }
         }
     }
-    op.apply(&x, &mut work);
-    let res = norm2(
-        &b.iter()
-            .zip(&work)
-            .map(|(bi, wi)| bi - wi)
-            .collect::<Vec<_>>(),
-    );
-    let residual = res / bnorm;
+    op.apply(x, work);
+    let mut res_sq = 0.0f64;
+    for (bi, wi) in b.iter().zip(work.iter()) {
+        let d = bi - wi;
+        res_sq += d * d;
+    }
+    let residual = res_sq.sqrt() / bnorm;
     BicgstabResult {
-        x,
+        x: x.to_vec(),
         iterations,
         residual,
         converged: residual <= cfg.tol,

@@ -51,6 +51,81 @@ pub struct GmresResult {
     pub history: Vec<f64>,
 }
 
+/// Reusable GMRES arenas: the Arnoldi basis, Hessenberg matrix, Givens
+/// rotations and every intermediate vector, hoisted out of the restart
+/// loop so repeated solves against one operator allocate nothing after
+/// the first call (only the returned [`GmresResult`] is fresh).
+#[derive(Debug, Default)]
+pub struct GmresWorkspace {
+    v: Vec<Vec<f64>>,
+    h: Vec<f64>,
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
+    x: Vec<f64>,
+    work: Vec<f64>,
+    z: Vec<f64>,
+    w: Vec<f64>,
+    y: Vec<f64>,
+    update: Vec<f64>,
+    history: Vec<f64>,
+    allocations: u64,
+    resets: u64,
+}
+
+impl GmresWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> GmresWorkspace {
+        GmresWorkspace::default()
+    }
+
+    fn prepare(&mut self, n: usize, m: usize) {
+        self.resets += 1;
+        let mut grew = false;
+        if self.v.len() < m + 1 {
+            self.v.resize_with(m + 1, Vec::new);
+            grew = true;
+        }
+        for vi in &mut self.v {
+            if vi.len() < n {
+                vi.resize(n, 0.0);
+                grew = true;
+            }
+        }
+        if self.h.len() < (m + 1) * m {
+            self.h.resize((m + 1) * m, 0.0);
+            self.cs.resize(m, 0.0);
+            self.sn.resize(m, 0.0);
+            self.g.resize(m + 1, 0.0);
+            self.y.resize(m, 0.0);
+            grew = true;
+        }
+        if self.x.len() < n {
+            self.x.resize(n, 0.0);
+            self.work.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.w.resize(n, 0.0);
+            self.update.resize(n, 0.0);
+            grew = true;
+        }
+        if grew {
+            self.allocations += 1;
+        }
+        self.history.clear();
+    }
+
+    /// Number of times the arenas actually grew — flat after the first
+    /// solve of the largest `(n, restart)` seen.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of solves served through this workspace.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
 /// Solves `A x = b` with right-preconditioned restarted GMRES:
 /// iterates on `A M⁻¹ u = b`, returning `x = M⁻¹ u`-corrected iterates.
 pub fn gmres<O: LinearOperator, P: Preconditioner>(
@@ -75,16 +150,53 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
     cfg: &GmresConfig,
     budget: &Budget,
 ) -> GmresResult {
+    gmres_with_workspace(op, precond, b, x0, cfg, budget, &mut GmresWorkspace::new())
+}
+
+/// [`gmres_budgeted`] with caller-owned arenas: after the first call of
+/// a given size, nothing in the iteration allocates. The numerics are
+/// identical to the one-shot entry points (every arena slot is written
+/// before it is read, so stale contents never leak into the iteration).
+pub fn gmres_with_workspace<O: LinearOperator, P: Preconditioner>(
+    op: &O,
+    precond: &P,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &GmresConfig,
+    budget: &Budget,
+    ws: &mut GmresWorkspace,
+) -> GmresResult {
     let n = op.n();
     assert_eq!(b.len(), n);
     let m = cfg.restart.max(1);
-    let mut x = match x0 {
+    ws.prepare(n, m);
+    let GmresWorkspace {
+        v,
+        h,
+        cs,
+        sn,
+        g,
+        x,
+        work,
+        z,
+        w,
+        y,
+        update,
+        history,
+        ..
+    } = ws;
+    let x = &mut x[..n];
+    let work = &mut work[..n];
+    let z = &mut z[..n];
+    let w = &mut w[..n];
+    let update = &mut update[..n];
+    match x0 {
         Some(x0) => {
             assert_eq!(x0.len(), n);
-            x0.to_vec()
+            x.copy_from_slice(x0);
         }
-        None => vec![0.0; n],
-    };
+        None => x.fill(0.0),
+    }
     let bnorm = {
         let t = norm2(b);
         if t == 0.0 {
@@ -93,21 +205,22 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
             t
         }
     };
-    let mut history = Vec::new();
     let mut total_iters = 0usize;
     let mut breakdown = None;
     let mut interrupted: Option<BudgetInterrupt> = None;
-    let mut work = vec![0.0; n];
-    let mut z = vec![0.0; n];
     'outer: loop {
         if let Err(i) = budget.check() {
             interrupted = Some(i);
             break;
         }
-        // r = b − A x
-        op.apply(&x, &mut work);
-        let mut r: Vec<f64> = b.iter().zip(&work).map(|(bi, wi)| bi - wi).collect();
-        let beta = norm2(&r);
+        // r = b − A x, normalised straight into v₀.
+        op.apply(x, work);
+        let mut beta_sq = 0.0f64;
+        for (bi, wi) in b.iter().zip(work.iter()) {
+            let d = bi - wi;
+            beta_sq += d * d;
+        }
+        let beta = beta_sq.sqrt();
         if !beta.is_finite() {
             // Iterating on NaN/Inf can only produce more of it; stop now
             // and report the typed breakdown.
@@ -117,16 +230,9 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
         if beta / bnorm <= cfg.tol || total_iters >= cfg.max_iters {
             break;
         }
-        // Arnoldi basis V and Hessenberg H (column-major, (m+1) rows).
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        for ri in r.iter_mut() {
-            *ri /= beta;
+        for (v0i, (bi, wi)) in v[0].iter_mut().zip(b.iter().zip(work.iter())) {
+            *v0i = (bi - wi) / beta;
         }
-        v.push(r);
-        let mut h = vec![0.0f64; (m + 1) * m];
-        let mut cs = vec![0.0f64; m];
-        let mut sn = vec![0.0f64; m];
-        let mut g = vec![0.0f64; m + 1];
         g[0] = beta;
         let mut inner = 0usize;
         for j in 0..m {
@@ -140,16 +246,16 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
                 break;
             }
             // w = A M⁻¹ v_j
-            precond.apply(&v[j], &mut z);
-            op.apply(&z, &mut work);
-            let mut w = work.clone();
+            precond.apply(&v[j][..n], z);
+            op.apply(z, work);
+            w.copy_from_slice(work);
             // Modified Gram–Schmidt.
             for i in 0..=j {
-                let hij = sparsekit::ops::dot(&w, &v[i]);
+                let hij = sparsekit::ops::dot(w, &v[i][..n]);
                 h[i * m + j] = hij;
-                axpy(-hij, &v[i], &mut w);
+                axpy(-hij, &v[i][..n], w);
             }
-            let hj1 = norm2(&w);
+            let hj1 = norm2(w);
             h[(j + 1) * m + j] = hj1;
             // Apply previous Givens rotations to column j.
             for i in 0..j {
@@ -176,16 +282,14 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
             if rel <= cfg.tol || hj1 == 0.0 {
                 break;
             }
-            for wi in w.iter_mut() {
-                *wi /= hj1;
+            for (vi, wi) in v[j + 1].iter_mut().zip(w.iter()) {
+                *vi = wi / hj1;
             }
-            v.push(w);
         }
         if inner == 0 {
             break 'outer;
         }
         // Solve the triangular system H y = g.
-        let mut y = vec![0.0f64; inner];
         for i in (0..inner).rev() {
             let mut t = g[i];
             for k in (i + 1)..inner {
@@ -194,12 +298,12 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
             y[i] = t / h[i * m + i];
         }
         // x += M⁻¹ (V y)
-        let mut update = vec![0.0f64; n];
-        for (k, yk) in y.iter().enumerate() {
-            axpy(*yk, &v[k], &mut update);
+        update.fill(0.0);
+        for (k, yk) in y[..inner].iter().enumerate() {
+            axpy(*yk, &v[k][..n], update);
         }
-        precond.apply(&update, &mut z);
-        axpy(1.0, &z, &mut x);
+        precond.apply(update, z);
+        axpy(1.0, z, x);
         if interrupted.is_some() {
             break;
         }
@@ -214,22 +318,21 @@ pub fn gmres_budgeted<O: LinearOperator, P: Preconditioner>(
     // slack factor — so `converged` means exactly "the requested
     // tolerance was met" (NaN compares false, so a poisoned run can
     // never claim convergence).
-    op.apply(&x, &mut work);
-    let res: f64 = norm2(
-        &b.iter()
-            .zip(&work)
-            .map(|(bi, wi)| bi - wi)
-            .collect::<Vec<_>>(),
-    );
-    let residual = res / bnorm;
+    op.apply(x, work);
+    let mut res_sq = 0.0f64;
+    for (bi, wi) in b.iter().zip(work.iter()) {
+        let d = bi - wi;
+        res_sq += d * d;
+    }
+    let residual = res_sq.sqrt() / bnorm;
     GmresResult {
-        x,
+        x: x.to_vec(),
         iterations: total_iters,
         residual,
         converged: residual <= cfg.tol,
         breakdown,
         interrupted,
-        history,
+        history: history.clone(),
     }
 }
 

@@ -22,9 +22,17 @@ pub mod bicgstab;
 pub mod gmres;
 pub mod operator;
 
-pub use bicgstab::{bicgstab, bicgstab_budgeted, BicgstabConfig, BicgstabResult};
-pub use gmres::{gmres, gmres_budgeted, GmresConfig, GmresResult};
-pub use operator::{CsrOperator, IdentityPrecond, JacobiPrecond, LinearOperator, Preconditioner};
+pub use bicgstab::{
+    bicgstab, bicgstab_budgeted, bicgstab_with_workspace, BicgstabConfig, BicgstabResult,
+    BicgstabWorkspace,
+};
+pub use gmres::{
+    gmres, gmres_budgeted, gmres_with_workspace, GmresConfig, GmresResult, GmresWorkspace,
+};
+pub use operator::{
+    CsrOperator, CsrTransposeOperator, IdentityPrecond, JacobiPrecond, LinearOperator,
+    Preconditioner,
+};
 
 /// Why a Krylov iteration stopped making progress before converging.
 ///

@@ -30,6 +30,7 @@
 
 pub mod blocked;
 pub mod etree;
+pub mod levels;
 pub mod lu;
 pub mod refine;
 pub mod supernodes;
@@ -39,6 +40,7 @@ pub use blocked::{
     blocked_lower_solve, solve_in_blocks, solve_in_blocks_ordered, BlockSolveStats, BlockWorkspace,
 };
 pub use etree::{etree, first_nonzero_postorder_key, postorder};
+pub use levels::{LevelPlan, SolvePlan, TriScratch};
 pub use lu::{LuConfig, LuError, LuFactors};
 pub use refine::{condest_1, solve_refined, RefinedSolve};
 pub use supernodes::{detect_supernodes, supernodal_blocked_solve, Supernodes};

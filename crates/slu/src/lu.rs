@@ -1,6 +1,7 @@
 //! Gilbert–Peierls left-looking sparse LU with threshold partial
 //! pivoting (the algorithm family behind SuperLU).
 
+use crate::levels::{SolvePlan, TriScratch};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::{Csc, Csr, Perm};
 
@@ -96,6 +97,10 @@ pub struct LuFactors {
     /// (empty unless [`LuConfig::diag_perturb`] was enabled *and* the
     /// matrix was singular or near-singular at those steps).
     pub perturbed: Vec<usize>,
+    /// Level-scheduled execution plan for the triangular solves, built
+    /// once here so every subsequent solve — serial or parallel — reuses
+    /// it (see [`crate::levels`]).
+    plan: SolvePlan,
 }
 
 impl LuFactors {
@@ -286,12 +291,14 @@ impl LuFactors {
         let row_perm = Perm::from_to_new(pinv);
         let l = assemble_csc(n, &lcols, |old_row| row_perm.to_new(old_row));
         let u = assemble_csc(n, &ucols, |r| r);
+        let plan = SolvePlan::build(&l, &u, &row_perm, col_perm);
         Ok(LuFactors {
             l,
             u,
             row_perm,
             col_perm: col_perm.clone(),
             perturbed,
+            plan,
         })
     }
 
@@ -306,44 +313,27 @@ impl LuFactors {
     }
 
     /// Solves `A x = b` (dense right-hand side).
+    ///
+    /// Convenience wrapper over [`LuFactors::solve_into`] with a fresh
+    /// scratch and no parallelism; hot paths should hold a persistent
+    /// [`TriScratch`] and call `solve_into` directly.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.n();
-        assert_eq!(b.len(), n);
-        // c = P b
-        let mut y: Vec<f64> = (0..n).map(|k| b[self.row_perm.to_old(k)]).collect();
-        // L z = c (unit diagonal, in place).
-        for j in 0..n {
-            let zj = y[j];
-            if zj != 0.0 {
-                for (r, v) in self.l.col_iter(j) {
-                    if r > j {
-                        y[r] -= v * zj;
-                    }
-                }
-            }
-        }
-        // U w = z (backward).
-        for j in (0..n).rev() {
-            let col_r = self.u.col_indices(j);
-            let col_v = self.u.col_values(j);
-            // Diagonal is the entry with row == j (last in sorted order).
-            let dpos = col_r.binary_search(&j).expect("U diagonal missing");
-            let wj = y[j] / col_v[dpos];
-            y[j] = wj;
-            if wj != 0.0 {
-                for (idx, &r) in col_r.iter().enumerate() {
-                    if r < j {
-                        y[r] -= col_v[idx] * wj;
-                    }
-                }
-            }
-        }
-        // x[q_l] = w_l
-        let mut x = vec![0f64; n];
-        for l in 0..n {
-            x[self.col_perm.to_old(l)] = y[l];
-        }
+        let mut x = vec![0f64; self.n()];
+        self.solve_into(b, &mut x, &mut TriScratch::new(), 1);
         x
+    }
+
+    /// Solves `A x = b` into a caller-provided output using the cached
+    /// level-scheduled plan. `x` is fully overwritten; after the first
+    /// call of a given size the scratch is reused without allocating.
+    /// The result is byte-identical for every `workers` value.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64], scratch: &mut TriScratch, workers: usize) {
+        self.plan.solve_into(b, x, scratch, workers);
+    }
+
+    /// The level-scheduled triangular-solve plan built at factorisation.
+    pub fn solve_plan(&self) -> &SolvePlan {
+        &self.plan
     }
 }
 

@@ -29,12 +29,24 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 }
 
 /// Infinity norm of the residual `b − A x`.
+///
+/// Allocation-free: each row's `(Ax)_r` is accumulated on the stack —
+/// with exactly the same per-row loop as [`Csr::matvec_into`], so the
+/// result is byte-identical to the materialised form — and folded into
+/// the running maximum directly. Residual checks run once per Krylov
+/// attempt, so a fresh `Ax` vector here was a steady-state allocation.
 pub fn residual_inf_norm(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
-    let ax = a.matvec(x);
-    ax.iter()
-        .zip(b)
-        .map(|(p, q)| (p - q).abs())
-        .fold(0.0, f64::max)
+    assert_eq!(x.len(), a.ncols(), "residual dimension mismatch");
+    assert_eq!(b.len(), a.nrows(), "residual rhs mismatch");
+    let mut worst = 0.0f64;
+    for r in 0..a.nrows() {
+        let mut acc = 0f64;
+        for (c, v) in a.row_iter(r) {
+            acc += v * x[c];
+        }
+        worst = worst.max((acc - b[r]).abs());
+    }
+    worst
 }
 
 /// Builds the adjacency structure (CSR pattern without self-loops) of a

@@ -6,9 +6,11 @@
 //! cargo run --release --example schur_gmres
 //! ```
 
+use std::cell::RefCell;
+
 use krylov::{gmres, GmresConfig, IdentityPrecond};
 use pdslin::interface::{compute_interface, InterfaceConfig};
-use pdslin::precond::{ImplicitSchur, SchurPrecond};
+use pdslin::precond::{ImplicitSchur, SchurApplyScratch, SchurPrecond};
 use pdslin::schur::{assemble_schur, factor_schur};
 use pdslin::subdomain::factor_domain;
 use pdslin::{compute_partition, extract_dbbd, PartitionerKind, RhsOrdering};
@@ -40,7 +42,8 @@ fn main() {
         s_hat.nnz(),
         100.0 * s_hat.nnz() as f64 / (sys.nsep() * sys.nsep()) as f64
     );
-    let op = ImplicitSchur::new(&sys, &factors);
+    let apply_scratch = RefCell::new(SchurApplyScratch::new());
+    let op = ImplicitSchur::new(&sys, &factors, &apply_scratch);
     let b = vec![1.0; sys.nsep()];
     let cfg = GmresConfig {
         restart: 60,
@@ -55,7 +58,8 @@ fn main() {
     );
     for drop_tol in [0.0, 1e-6, 1e-3, 1e-2] {
         let (s_tilde, lu) = factor_schur(&s_hat, drop_tol, 0.1).expect("LU(S̃)");
-        let m = SchurPrecond::new(lu);
+        let tri = RefCell::new(slu::TriScratch::new());
+        let m = SchurPrecond::new(&lu, &tri);
         let r = gmres(&op, &m, &b, None, &cfg);
         println!(
             "{:<26} {:>6} iterations   residual {:.1e}   nnz(S̃) = {}",

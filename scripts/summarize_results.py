@@ -182,6 +182,46 @@ def supernodal():
         )
 
 
+def bench_solve():
+    rows = load("BENCH_solve")
+    if not rows:
+        return
+    print("\n## BENCH_solve (solve-phase kernels; exact-match asserted, speedups informational)\n")
+    print("| problem | kernel | workers | batch | seconds | speedup | match | iters |")
+    print("|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['problem']} | {r['kernel']} | {r['workers']} | {r['batch']} | "
+            f"{r['seconds']:.4f} | {r['speedup']:.2f}x | {r['matches_serial']} | {r['iterations']} |"
+        )
+
+
+def bench_kernels():
+    rows = load("BENCH_kernels")
+    if not rows:
+        return
+    print("\n## BENCH_kernels (setup-phase kernels; exact-match asserted, speedups informational)\n")
+    print("| problem | kernel | workers | seconds | speedup | match |")
+    print("|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['problem']} | {r['kernel']} | {r['workers']} | "
+            f"{r['seconds']:.4f} | {r['speedup']:.2f}x | {r['matches_serial']} |"
+        )
+
+
 if __name__ == "__main__":
-    for fn in [fig1, fig3, table2, table3, fig4, fig5, quasidense, ablations, supernodal]:
+    for fn in [
+        fig1,
+        fig3,
+        table2,
+        table3,
+        fig4,
+        fig5,
+        quasidense,
+        ablations,
+        supernodal,
+        bench_kernels,
+        bench_solve,
+    ]:
         fn()

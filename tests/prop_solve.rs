@@ -1,0 +1,244 @@
+//! Property tests of the solve phase: byte-identical parallel kernels
+//! (chunked SpMV, level-scheduled triangular solves), batched multi-RHS
+//! solves agreeing with sequential ones, typed budget interrupts
+//! mid-solve, and the zero-steady-state-allocation guarantee observed
+//! through the arena counters.
+//!
+//! Each randomized test sweeps a batch of deterministic SplitMix64
+//! seeds, so failures reproduce exactly.
+
+use std::time::Duration;
+
+use matgen::stencil::laplace2d;
+use pdslin::{Budget, CancelToken, Pdslin, PdslinConfig, PdslinError};
+use slu::{LuConfig, LuFactors, TriScratch};
+use sparsekit::{Coo, Csr, Perm, Rng64};
+
+/// Random sparse square matrix with a guaranteed nonzero, dominant
+/// diagonal (factorisable without pivoting drama).
+fn diag_dominant(rng: &mut Rng64, n_max: usize) -> Csr {
+    let n = rng.range(4, n_max);
+    let nnz = rng.below(4 * n);
+    let mut c = Coo::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for _ in 0..nnz {
+        let i = rng.below(n);
+        let j = rng.below(n);
+        let v = rng.f64_range(-1.0, 1.0);
+        if i != j {
+            c.push(i, j, v);
+            rowsum[i] += v.abs();
+        }
+    }
+    for (i, rs) in rowsum.iter().enumerate() {
+        c.push(i, i, 2.0 + rs);
+    }
+    c.to_csr()
+}
+
+fn rhs(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.f64_range(-3.0, 3.0)).collect()
+}
+
+#[test]
+fn chunked_spmv_matches_serial_bitwise() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 600);
+        let x = rhs(&mut rng, a.ncols());
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.matvec_into(&x, &mut y_ref);
+        for w in [1usize, 2, 4, 7] {
+            let mut y = vec![f64::NAN; a.nrows()];
+            a.matvec_into_workers(&x, &mut y, w);
+            assert_eq!(y, y_ref, "seed {seed}, workers {w}");
+        }
+    }
+}
+
+#[test]
+fn transpose_spmv_matches_materialised_transpose() {
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 200);
+        let x = rhs(&mut rng, a.nrows());
+        let mut y = vec![f64::NAN; a.ncols()];
+        a.matvec_transpose_into(&x, &mut y);
+        let mut y_ref = vec![0.0; a.ncols()];
+        a.transpose().matvec_into(&x, &mut y_ref);
+        for (i, (got, want)) in y.iter().zip(&y_ref).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "seed {seed}, row {i}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn level_scheduled_trisolve_matches_serial_bitwise() {
+    for seed in 0..12 {
+        let mut rng = Rng64::new(seed);
+        let a = diag_dominant(&mut rng, 500);
+        let n = a.nrows();
+        let lu = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default())
+            .expect("diag-dominant LU");
+        let b = rhs(&mut rng, n);
+        let mut x_ref = vec![0.0; n];
+        lu.solve_into(&b, &mut x_ref, &mut TriScratch::new(), 1);
+        for w in [2usize, 4, 7] {
+            let mut x = vec![f64::NAN; n];
+            lu.solve_into(&b, &mut x, &mut TriScratch::new(), w);
+            assert_eq!(x, x_ref, "seed {seed}, workers {w}");
+        }
+    }
+}
+
+#[test]
+fn solve_many_matches_sequential_solves() {
+    let a = laplace2d(20, 20);
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let mut rng = Rng64::new(7);
+    let batch: Vec<Vec<f64>> = (0..5).map(|_| rhs(&mut rng, a.nrows())).collect();
+    let seq: Vec<_> = batch
+        .iter()
+        .map(|b| solver.solve(b).expect("sequential solve"))
+        .collect();
+    let many = solver.solve_many(&batch).expect("batched solve");
+    assert_eq!(seq.len(), many.len());
+    for (i, (s, m)) in seq.iter().zip(&many).enumerate() {
+        assert_eq!(s.x, m.x, "rhs {i}: solution diverged");
+        assert_eq!(s.iterations, m.iterations, "rhs {i}");
+        assert_eq!(s.schur_residual, m.schur_residual, "rhs {i}");
+        assert_eq!(s.converged, m.converged, "rhs {i}");
+        assert_eq!(s.method, m.method, "rhs {i}");
+    }
+}
+
+#[test]
+fn solve_many_with_parallel_lanes_matches_serial_instance() {
+    let a = laplace2d(18, 18);
+    let mut rng = Rng64::new(11);
+    let batch: Vec<Vec<f64>> = (0..6).map(|_| rhs(&mut rng, a.nrows())).collect();
+    let serial_cfg = PdslinConfig {
+        k: 4,
+        parallel: false,
+        ..Default::default()
+    };
+    let parallel_cfg = PdslinConfig {
+        k: 4,
+        parallel: true,
+        ..Default::default()
+    };
+    let mut serial = Pdslin::setup(&a, serial_cfg).expect("setup serial");
+    let mut parallel = Pdslin::setup(&a, parallel_cfg).expect("setup parallel");
+    let want: Vec<_> = batch
+        .iter()
+        .map(|b| serial.solve(b).expect("serial solve"))
+        .collect();
+    let got = parallel.solve_many(&batch).expect("parallel batch");
+    for (i, (s, p)) in want.iter().zip(&got).enumerate() {
+        assert_eq!(s.x, p.x, "rhs {i}: parallel lanes diverged from serial");
+        assert_eq!(s.iterations, p.iterations, "rhs {i}");
+        assert_eq!(s.method, p.method, "rhs {i}");
+    }
+}
+
+#[test]
+fn cancelled_solve_surfaces_typed_error_and_solver_survives() {
+    let a = laplace2d(12, 12);
+    let cfg = PdslinConfig {
+        k: 2,
+        ..Default::default()
+    };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let b = vec![1.0; a.nrows()];
+    let token = CancelToken::new();
+    token.cancel();
+    let err = solver
+        .solve_budgeted(&b, &Budget::unlimited().with_token(token))
+        .expect_err("cancelled solve must fail");
+    assert!(
+        matches!(err, PdslinError::Cancelled { phase: "solve" }),
+        "got {err:?}"
+    );
+    // And the same for the batched path: first error in RHS order wins.
+    let token = CancelToken::new();
+    token.cancel();
+    let err = solver
+        .solve_many_budgeted(
+            &[b.clone(), b.clone()],
+            &Budget::unlimited().with_token(token),
+        )
+        .expect_err("cancelled batch must fail");
+    assert!(
+        matches!(err, PdslinError::Cancelled { phase: "solve" }),
+        "got {err:?}"
+    );
+    // The factors are untouched: a fresh budget solves fine.
+    let out = solver.solve(&b).expect("solver survives cancellation");
+    assert!(out.converged);
+}
+
+#[test]
+fn expired_deadline_mid_solve_keeps_partial_stats() {
+    let a = laplace2d(12, 12);
+    let cfg = PdslinConfig {
+        k: 2,
+        ..Default::default()
+    };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let b = vec![1.0; a.nrows()];
+    let expired = Budget::unlimited().with_deadline(Duration::ZERO);
+    let err = solver
+        .solve_budgeted(&b, &expired)
+        .expect_err("expired deadline must fail");
+    match err {
+        PdslinError::DeadlineExceeded { phase, partial, .. } => {
+            assert_eq!(phase, "solve");
+            // The stats of the completed setup phases ride along.
+            assert_eq!(partial.nnz_schur, solver.stats.nnz_schur);
+            assert_eq!(partial.separator_size, solver.stats.separator_size);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let out = solver.solve(&b).expect("solver survives expiry");
+    assert!(out.converged);
+}
+
+#[test]
+fn steady_state_solves_do_not_grow_arenas() {
+    let a = laplace2d(16, 16);
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let mut rng = Rng64::new(3);
+    let b0 = rhs(&mut rng, a.nrows());
+    solver.solve(&b0).expect("first solve");
+    let after_first = solver.scratch_stats();
+    assert_eq!(after_first.solves, 1);
+    assert!(
+        after_first.allocations > 0,
+        "the first solve has to grow the arenas"
+    );
+    // Every later solve — plain or batched — reuses the grown arenas:
+    // `solves` (arena resets) climbs, `allocations` stays flat.
+    for _ in 0..3 {
+        let b = rhs(&mut rng, a.nrows());
+        solver.solve(&b).expect("steady-state solve");
+    }
+    let batch: Vec<Vec<f64>> = (0..4).map(|_| rhs(&mut rng, a.nrows())).collect();
+    solver.solve_many(&batch).expect("steady-state batch");
+    let after_steady = solver.scratch_stats();
+    assert_eq!(after_steady.solves, 1 + 3 + 4);
+    assert_eq!(
+        after_steady.allocations, after_first.allocations,
+        "steady-state solves must not allocate in the hot loops"
+    );
+}
