@@ -70,6 +70,94 @@ impl Args {
     }
 }
 
+/// The options each subcommand accepts. Anything else is a usage error:
+/// a typo like `--blocksize` must fail loudly (exit code 2) rather than
+/// be silently ignored and leave the user running with defaults.
+pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
+    const SOURCE: [&str; 3] = ["matrix", "generate", "scale"];
+    const SOLVE: [&str; 16] = [
+        "matrix",
+        "generate",
+        "scale",
+        "k",
+        "partitioner",
+        "metric",
+        "constraint",
+        "ordering",
+        "tau",
+        "block-size",
+        "krylov",
+        "tol",
+        "interface-drop",
+        "schur-drop",
+        "deadline",
+        "mem-budget-mb",
+    ];
+    const PARTITION: [&str; 7] = [
+        "matrix",
+        "generate",
+        "scale",
+        "k",
+        "partitioner",
+        "metric",
+        "constraint",
+    ];
+    const GENMAT: [&str; 3] = ["generate", "scale", "out"];
+    const SERVE: [&str; 8] = [
+        "socket",
+        "workers",
+        "queue",
+        "max-batch",
+        "cache-budget-mb",
+        "mem-budget-mb",
+        "default-deadline-ms",
+        "drain-ms",
+    ];
+    const HELP_OPTS: [&str; 0] = [];
+    match command {
+        "solve" => Some(&SOLVE),
+        "partition" => Some(&PARTITION),
+        "genmat" => Some(&GENMAT),
+        "info" => Some(&SOURCE),
+        "serve" => Some(&SERVE),
+        "help" | "--help" | "-h" => Some(&HELP_OPTS),
+        _ => None,
+    }
+}
+
+/// Rejects options the subcommand does not understand. `Ok` for unknown
+/// subcommands — the dispatcher reports those itself.
+pub fn validate_options(args: &Args) -> Result<(), String> {
+    let Some(allowed) = allowed_options(&args.command) else {
+        return Ok(());
+    };
+    let mut unknown: Vec<&str> = args
+        .options
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    if unknown.is_empty() {
+        return Ok(());
+    }
+    unknown.sort_unstable();
+    Err(format!(
+        "unknown option{} for '{}': {}\nallowed: {}",
+        if unknown.len() > 1 { "s" } else { "" },
+        args.command,
+        unknown
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        allowed
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ))
+}
+
 /// Resolves a matrix kind by its paper name (case-insensitive, `.`/`_`
 /// agnostic).
 pub fn matrix_kind(name: &str) -> Result<MatrixKind, String> {
@@ -218,10 +306,23 @@ USAGE:
                    [--k K] [--partitioner ...]
   pdslin genmat    --generate KIND [--scale test|bench] --out FILE.mtx
   pdslin info      (--matrix F.mtx | --generate KIND [--scale ...])
+  pdslin serve     [--socket PATH] [--workers N] [--queue N] [--max-batch N]
+                   [--cache-budget-mb MB] [--mem-budget-mb MB]
+                   [--default-deadline-ms MS] [--drain-ms MS]
   pdslin help
 
+`serve` runs a persistent daemon speaking one JSON request per line
+(stdin/stdout, or a unix socket with --socket). Requests:
+  {\"id\":\"r1\",\"op\":\"solve\",\"generate\":\"g3_circuit\",\"k\":4,
+   \"rhs_seed\":7,\"deadline_ms\":2000}
+  {\"id\":\"m\",\"op\":\"metrics\"}    {\"id\":\"bye\",\"op\":\"shutdown\"}
+Factorizations are cached by matrix content; compatible concurrent
+requests coalesce into one batched solve. See docs/robustness.md.
+
+Unknown --options are rejected with exit code 2.
+
 EXIT CODES:
-  0 success, 1 usage/IO error, 2 invalid input matrix/config,
+  0 success, 1 usage/IO error, 2 invalid input matrix/config/option,
   3 numerical failure, 4 budget exhausted (deadline/cancel/memory),
   5 execution fault (worker panic)
 
@@ -328,6 +429,24 @@ mod tests {
         assert!(build_budget(&bad).is_err());
         let neg = parse_args(argv("solve --deadline -1")).unwrap();
         assert!(build_budget(&neg).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_per_subcommand() {
+        let ok = parse_args(argv("solve --generate g3_circuit --k 4 --tol 1e-8")).unwrap();
+        assert!(validate_options(&ok).is_ok());
+        let typo = parse_args(argv("solve --generate g3_circuit --blocksize 32")).unwrap();
+        let err = validate_options(&typo).unwrap_err();
+        assert!(err.contains("--blocksize"), "{err}");
+        assert!(err.contains("allowed:"), "{err}");
+        // An option valid for one subcommand is not valid for another.
+        let wrong = parse_args(argv("info --k 4 --generate g3_circuit")).unwrap();
+        assert!(validate_options(&wrong).is_err());
+        let serve = parse_args(argv("serve --workers 2 --queue 8")).unwrap();
+        assert!(validate_options(&serve).is_ok());
+        // Unknown subcommands are the dispatcher's problem, not ours.
+        let other = parse_args(argv("dance --k 4")).unwrap();
+        assert!(validate_options(&other).is_ok());
     }
 
     #[test]

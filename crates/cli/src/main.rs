@@ -4,7 +4,8 @@ use std::process::ExitCode;
 
 use pdslin::{PartitionStats, Pdslin, PdslinConfig, PdslinError, RecoveryReport};
 use pdslin_cli::{
-    build_budget, exit_code, load_matrix, parse_args, partitioner, rhs_ordering, scale, Args, HELP,
+    build_budget, exit_code, load_matrix, parse_args, partitioner, rhs_ordering, scale,
+    validate_options, Args, HELP,
 };
 use sparsekit::ops::residual_inf_norm;
 
@@ -39,11 +40,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = validate_options(&args) {
+        // A typo'd option is invalid input, not a solver failure: the
+        // input exit code (2) so scripts can tell it from exit 1 IO
+        // errors.
+        eprintln!("error: {e}\n\n{HELP}");
+        return ExitCode::from(2);
+    }
     let result = match args.command.as_str() {
         "solve" => cmd_solve(&args),
         "partition" => cmd_partition(&args).map_err(CmdError::from),
         "genmat" => cmd_genmat(&args).map_err(CmdError::from),
         "info" => cmd_info(&args).map_err(CmdError::from),
+        "serve" => cmd_serve(&args).map_err(CmdError::from),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -74,7 +83,7 @@ fn report_recovery(stage: &str, recovery: &RecoveryReport) {
 fn cmd_solve(args: &Args) -> Result<(), CmdError> {
     let a = load_matrix(args)?;
     println!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
-    let cfg = PdslinConfig {
+    let mut cfg = PdslinConfig {
         k: args.parse_or("k", 8usize)?,
         partitioner: partitioner(args)?,
         rhs_ordering: rhs_ordering(args)?,
@@ -84,6 +93,7 @@ fn cmd_solve(args: &Args) -> Result<(), CmdError> {
         schur_drop_tol: args.parse_or("schur-drop", 1e-8)?,
         ..Default::default()
     };
+    cfg.gmres.tol = args.parse_or("tol", cfg.gmres.tol)?;
     let budget = build_budget(args)?;
     let mut solver = Pdslin::setup_budgeted(&a, cfg, &budget).map_err(|f| f.error)?;
     report_recovery("setup", &solver.stats.recovery);
@@ -114,7 +124,87 @@ fn cmd_solve(args: &Args) -> Result<(), CmdError> {
         out.schur_residual
     );
     println!("‖b − Ax‖∞ = {:.3e}", residual_inf_norm(&a, &out.x, &b));
+    // Health summary on stderr: the observables the service exposes via
+    // its metrics endpoint, surfaced here for one-shot runs too.
+    let scratch = solver.scratch_stats();
+    eprintln!(
+        "health: scratch lanes = {}, allocations = {}, solves = {} | \
+         factorizations = {} (reused {}) | recovery events: setup {}, solve {}",
+        scratch.lanes,
+        scratch.allocations,
+        scratch.solves,
+        solver.stats.factorizations,
+        solver.stats.factorizations_reused,
+        solver.stats.recovery.len(),
+        out.recovery.len()
+    );
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let cfg = pdslin_service::ServiceConfig {
+        workers: args.parse_or("workers", 2usize)?.max(1),
+        queue_capacity: args.parse_or("queue", 64usize)?.max(1),
+        max_batch: args.parse_or("max-batch", 8usize)?.max(1),
+        cache_budget_bytes: args
+            .parse_or("cache-budget-mb", 256usize)?
+            .saturating_mul(1024 * 1024),
+        setup_mem_budget_bytes: match args.get("mem-budget-mb") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad value for --mem-budget-mb: '{v}'"))?
+                    .saturating_mul(1024 * 1024),
+            ),
+        },
+        default_deadline_ms: match args.get("default-deadline-ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad value for --default-deadline-ms: '{v}'"))?,
+            ),
+        },
+        ..Default::default()
+    };
+    let drain = std::time::Duration::from_millis(args.parse_or("drain-ms", 10_000u64)?);
+    let workers = cfg.workers;
+    let service = pdslin_service::Service::start(cfg);
+    let report = match args.get("socket") {
+        Some(path) => {
+            eprintln!("pdslin serve: listening on {path} ({workers} workers)");
+            serve_on_socket(&service, path, drain)?
+        }
+        None => {
+            eprintln!("pdslin serve: reading jsonl requests from stdin ({workers} workers)");
+            let stdin = std::io::stdin();
+            pdslin_service::serve_lines(&service, stdin.lock(), std::io::stdout(), drain)
+                .map_err(|e| format!("serve failed: {e}"))?
+        }
+    };
+    eprintln!(
+        "pdslin serve: shut down (drained {}, cancelled {})",
+        report.drained, report.cancelled
+    );
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_on_socket(
+    service: &pdslin_service::Service,
+    path: &str,
+    drain: std::time::Duration,
+) -> Result<pdslin_service::ShutdownReport, String> {
+    pdslin_service::serve_socket(service, std::path::Path::new(path), drain)
+        .map_err(|e| format!("socket serve failed: {e}"))
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(
+    _service: &pdslin_service::Service,
+    _path: &str,
+    _drain: std::time::Duration,
+) -> Result<pdslin_service::ShutdownReport, String> {
+    Err("--socket is only supported on unix platforms; use stdin/stdout mode".into())
 }
 
 fn cmd_partition(args: &Args) -> Result<(), String> {

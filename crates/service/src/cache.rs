@@ -1,0 +1,279 @@
+//! The factorization cache: content-addressed, LRU-evicted, byte-budgeted.
+//!
+//! The expensive part of every request is `Pdslin::setup` (partition,
+//! extract, `LU(D)`, `Comp(S)`, `LU(S̃)`); the solve phase reuses the
+//! factors allocation-free. The cache keys finished setups by the matrix
+//! *content* fingerprint plus the config fields that shape the
+//! factorization (see `SolveRequest::cache_key`), so repeat traffic —
+//! the whole premise of running the solver as a service — pays setup
+//! once.
+//!
+//! Admission control reuses the workspace's byte-estimate machinery:
+//! each entry is costed with [`solver_bytes_estimate`] (the same
+//! `csr_bytes` accounting as `schur_bytes_estimate`), and inserting past
+//! the budget evicts least-recently-used entries. An entry evicted while
+//! a request still holds its `Arc` keeps working — eviction only
+//! unlinks it from the map, so "cache eviction mid-request" degrades to
+//! a future cache miss, never a dangling factorization.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pdslin::Pdslin;
+use sparsekit::spgemm::csr_bytes;
+
+/// Estimated resident bytes of a finished factorization: the extracted
+/// DBBD system (`D`, `Ê`, `F̂`, `C`) plus every LU factor, using the
+/// same CSR byte model as the setup-time memory admission.
+pub fn solver_bytes_estimate(solver: &Pdslin) -> usize {
+    let mut total = 0usize;
+    for dom in &solver.sys.domains {
+        total += csr_bytes(dom.d.nrows(), dom.d.nnz());
+        total += csr_bytes(dom.e_hat.nrows(), dom.e_hat.nnz());
+        total += csr_bytes(dom.f_hat.nrows(), dom.f_hat.nnz());
+    }
+    total += csr_bytes(solver.sys.c.nrows(), solver.sys.c.nnz());
+    for f in &solver.factors {
+        total += csr_bytes(f.lu.l.ncols(), f.lu.l.nnz());
+        total += csr_bytes(f.lu.u.ncols(), f.lu.u.nnz());
+    }
+    total += csr_bytes(solver.schur_lu.l.ncols(), solver.schur_lu.l.nnz());
+    total += csr_bytes(solver.schur_lu.u.ncols(), solver.schur_lu.u.nnz());
+    total
+}
+
+/// One cached factorization.
+pub struct CacheEntry {
+    /// The content cache key this entry answers for.
+    pub key: u64,
+    /// Estimated resident bytes (fixed at insert).
+    pub bytes: usize,
+    /// The solver. Locked for the duration of each solve that uses it;
+    /// concurrent requests for the same entry serialize here (or ride
+    /// the same coalesced batch and share one lock acquisition).
+    pub solver: Mutex<Pdslin>,
+    last_used: AtomicU64,
+}
+
+struct CacheMap {
+    entries: HashMap<u64, Arc<CacheEntry>>,
+    total_bytes: usize,
+}
+
+/// The shared factorization cache.
+pub struct FactorCache {
+    budget_bytes: usize,
+    map: Mutex<CacheMap>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FactorCache {
+    /// An empty cache holding at most `budget_bytes` of estimated
+    /// factorization state (0 disables caching entirely: every insert
+    /// immediately evicts, every lookup misses).
+    pub fn new(budget_bytes: usize) -> FactorCache {
+        FactorCache {
+            budget_bytes,
+            map: Mutex::new(CacheMap {
+                entries: HashMap::new(),
+                total_bytes: 0,
+            }),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up `key`, bumping its recency and the hit/miss counters.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        let map = self.map.lock().unwrap();
+        match map.entries.get(&key) {
+            Some(e) => {
+                e.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly set-up solver under `key`, then evicts
+    /// least-recently-used entries (never the one just inserted) until
+    /// the estimated total fits the byte budget again. Returns the new
+    /// entry; if the budget cannot fit even this entry alone, it is
+    /// returned usable but already unlinked.
+    pub fn insert(&self, key: u64, solver: Pdslin) -> Arc<CacheEntry> {
+        let entry = Arc::new(CacheEntry {
+            key,
+            bytes: solver_bytes_estimate(&solver),
+            solver: Mutex::new(solver),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        let mut map = self.map.lock().unwrap();
+        if let Some(old) = map.entries.insert(key, Arc::clone(&entry)) {
+            // Same key raced in twice (e.g. two distinct spec keys naming
+            // identical content); the replaced entry keeps serving its
+            // in-flight holders.
+            map.total_bytes = map.total_bytes.saturating_sub(old.bytes);
+        }
+        map.total_bytes += entry.bytes;
+        while map.total_bytes > self.budget_bytes && map.entries.len() > 1 {
+            let victim = map
+                .entries
+                .values()
+                .filter(|e| e.key != key)
+                .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                .map(|e| e.key);
+            match victim {
+                Some(vk) => self.unlink(&mut map, vk),
+                None => break,
+            }
+        }
+        if map.total_bytes > self.budget_bytes {
+            // The new entry alone exceeds the budget: serve this request
+            // from it, but do not retain it.
+            self.unlink(&mut map, key);
+        }
+        entry
+    }
+
+    fn unlink(&self, map: &mut CacheMap, key: u64) {
+        if let Some(e) = map.entries.remove(&key) {
+            map.total_bytes = map.total_bytes.saturating_sub(e.bytes);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// (hits, misses, evictions) so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (entries, estimated bytes) currently resident.
+    pub fn usage(&self) -> (usize, usize) {
+        let map = self.map.lock().unwrap();
+        (map.entries.len(), map.total_bytes)
+    }
+
+    /// Aggregated scratch statistics over every resident solver whose
+    /// lock is free right now (busy solvers are skipped rather than
+    /// stalling the metrics request behind a long solve).
+    pub fn scratch_totals(&self) -> (u64, u64, u64) {
+        let entries: Vec<Arc<CacheEntry>> = {
+            let map = self.map.lock().unwrap();
+            map.entries.values().cloned().collect()
+        };
+        let (mut lanes, mut allocations, mut solves) = (0u64, 0u64, 0u64);
+        for e in entries {
+            if let Ok(solver) = e.solver.try_lock() {
+                let s = solver.scratch_stats();
+                lanes += s.lanes as u64;
+                allocations += s.allocations;
+                solves += s.solves;
+            }
+        }
+        (lanes, allocations, solves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgen::stencil::laplace2d;
+    use pdslin::PdslinConfig;
+
+    fn small_solver() -> Pdslin {
+        let a = laplace2d(12, 12);
+        let cfg = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
+        Pdslin::setup(&a, cfg).expect("setup")
+    }
+
+    #[test]
+    fn bytes_estimate_is_positive_and_stable() {
+        let s = small_solver();
+        let b = solver_bytes_estimate(&s);
+        assert!(b > 0);
+        assert_eq!(b, solver_bytes_estimate(&s));
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache = FactorCache::new(1 << 30);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, small_solver());
+        assert!(cache.lookup(1).is_some());
+        let (h, m, e) = cache.counters();
+        assert_eq!((h, m, e), (1, 1, 0));
+        assert_eq!(cache.usage().0, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let one = solver_bytes_estimate(&small_solver());
+        // Room for two entries, not three.
+        let cache = FactorCache::new(one * 2 + one / 2);
+        cache.insert(1, small_solver());
+        cache.insert(2, small_solver());
+        assert_eq!(cache.usage().0, 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, small_solver());
+        assert_eq!(cache.usage().0, 2);
+        assert!(cache.lookup(1).is_some(), "recently used must survive");
+        assert!(cache.lookup(2).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(3).is_some());
+        assert_eq!(cache.counters().2, 1, "exactly one eviction");
+    }
+
+    #[test]
+    fn oversized_entry_is_served_but_not_retained() {
+        let cache = FactorCache::new(16);
+        let entry = cache.insert(7, small_solver());
+        assert!(entry.solver.lock().is_ok());
+        assert_eq!(cache.usage(), (0, 0));
+        assert!(cache.lookup(7).is_none());
+    }
+
+    #[test]
+    fn evicted_entry_keeps_working_for_in_flight_holders() {
+        let one = solver_bytes_estimate(&small_solver());
+        let cache = FactorCache::new(one + one / 2);
+        let held = cache.insert(1, small_solver());
+        cache.insert(2, small_solver()); // evicts 1
+        assert!(cache.lookup(1).is_none());
+        let mut solver = held.solver.lock().unwrap();
+        let n = solver.sys.part.part_of.len();
+        let out = solver
+            .solve(&vec![1.0; n])
+            .expect("evicted entry still solves");
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn scratch_totals_skip_locked_entries() {
+        let cache = FactorCache::new(1 << 30);
+        let e = cache.insert(1, small_solver());
+        let _guard = e.solver.lock().unwrap();
+        let (lanes, _, _) = cache.scratch_totals();
+        assert_eq!(lanes, 0, "busy entries are skipped, not awaited");
+    }
+}

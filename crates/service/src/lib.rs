@@ -1,0 +1,52 @@
+//! `pdslin-service` — the solver as a persistent daemon.
+//!
+//! The economics of a Schur-complement hybrid solver are front-loaded:
+//! `setup` (partition → extract → `LU(D)` → `Comp(S)` → `LU(S̃)`)
+//! dominates, while each subsequent `solve` reuses the factors
+//! allocation-free. A one-shot CLI throws that investment away after a
+//! single right-hand side. This crate keeps it: a daemon accepts
+//! concurrent solve requests over a jsonl protocol (stdin/stdout or a
+//! unix socket), caches factorizations by matrix *content* fingerprint,
+//! and coalesces compatible concurrent requests into `solve_many`
+//! batches.
+//!
+//! The robustness spine, end to end:
+//!
+//! * **Admission control** — a bounded queue; overflow and post-shutdown
+//!   submissions get immediate typed `overloaded` rejections with a
+//!   retry-after hint ([`server`]).
+//! * **Deadlines** — per-request wall-clock budgets enforced while
+//!   queued (reaper sweep) and while running (cooperative
+//!   [`pdslin::Budget`]); a request is never hung past its deadline.
+//! * **Retry with backoff** — recoverable (`execution`-category)
+//!   failures retry with exponential backoff under a per-request retry
+//!   budget.
+//! * **Graceful degradation** — setup under a memory budget re-drops
+//!   the Schur preconditioner instead of failing, and the response
+//!   records it; the factorization cache evicts LRU entries under its
+//!   own byte budget ([`cache`]).
+//! * **Graceful shutdown** — admission closes first, in-flight work
+//!   drains against a deadline, the remainder is cancelled with typed
+//!   responses.
+//! * **Observability** — a `metrics` request snapshots queue, cache,
+//!   retry, and scratch-arena counters ([`metrics`]).
+//!
+//! See `docs/robustness.md` ("Service failure modes") for the
+//! failure-mode → typed-response table.
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod transport;
+
+pub use cache::{solver_bytes_estimate, FactorCache};
+pub use metrics::MetricsSnapshot;
+pub use proto::{
+    parse_request, MatrixSpec, Request, Response, ResponseBody, RhsSpec, SolveRequest,
+};
+pub use server::{Service, ServiceConfig, ShutdownReport};
+pub use transport::serve_lines;
+#[cfg(unix)]
+pub use transport::socket::serve_socket;

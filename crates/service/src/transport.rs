@@ -1,0 +1,264 @@
+//! Transports: jsonl over stdin/stdout (or any reader/writer pair) and
+//! over a unix domain socket.
+//!
+//! Both transports share the same shape: a reader parses request lines
+//! and submits them, a dedicated writer thread serialises responses in
+//! completion order, and a `shutdown` request (or EOF on the line
+//! transport) closes admission and drains.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::proto::{parse_request, Request, Response, ResponseBody};
+use crate::server::{Service, ShutdownReport};
+
+/// Serves jsonl requests from `input`, writing jsonl responses to
+/// `output` in completion order, until a `shutdown` request or EOF;
+/// then drains for at most `drain` and acknowledges. This is the
+/// `pdslin serve` stdin/stdout transport, and the unit-testable core of
+/// the socket transport.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    service: &Service,
+    input: R,
+    output: W,
+    drain: Duration,
+) -> std::io::Result<ShutdownReport> {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let mut shutdown_id: Option<String> = None;
+    let report = std::thread::scope(|scope| -> std::io::Result<ShutdownReport> {
+        let writer = scope.spawn(move || {
+            let mut output = output;
+            for resp in rx {
+                // A vanished client cannot be answered; keep draining so
+                // senders never block.
+                let _ = writeln!(output, "{}", resp.to_json_line());
+                let _ = output.flush();
+            }
+        });
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Err(msg) => {
+                    let _ = tx.send(Response::input_error("", msg));
+                }
+                Ok(Request::Metrics { id }) => {
+                    let _ = tx.send(Response {
+                        id,
+                        body: ResponseBody::Metrics(service.metrics_snapshot()),
+                    });
+                }
+                Ok(Request::Shutdown { id }) => {
+                    shutdown_id = Some(id);
+                    break;
+                }
+                Ok(Request::Solve { id, solve }) => service.submit(&id, solve, &tx),
+            }
+        }
+        let report = service.shutdown(drain);
+        if let Some(id) = shutdown_id {
+            let _ = tx.send(Response {
+                id,
+                body: ResponseBody::Shutdown {
+                    drained: report.drained,
+                    cancelled: report.cancelled,
+                },
+            });
+        }
+        drop(tx);
+        let _ = writer.join();
+        Ok(report)
+    })?;
+    Ok(report)
+}
+
+/// Unix-domain-socket transport (`pdslin serve --socket PATH`).
+#[cfg(unix)]
+pub mod socket {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    use crate::proto::{parse_request, Request, Response, ResponseBody};
+    use crate::server::{Service, ShutdownReport};
+
+    /// Accepts connections on a fresh socket at `path` (any stale file
+    /// is replaced), serving each connection's jsonl stream
+    /// concurrently. A `shutdown` request on any connection stops the
+    /// accept loop, drains the service for at most `drain`, and
+    /// acknowledges on that connection.
+    pub fn serve_socket(
+        service: &Service,
+        path: &Path,
+        drain: Duration,
+    ) -> std::io::Result<ShutdownReport> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let report = std::thread::scope(|scope| -> std::io::Result<ShutdownReport> {
+            let mut handles = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let stop = Arc::clone(&stop);
+                        handles.push(scope.spawn(move || {
+                            let _ = serve_connection(service, stream, &stop, drain);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+            // Connections have quiesced (each drains its own in-flight
+            // replies); this is a no-op unless no connection ever sent
+            // `shutdown`.
+            Ok(service.shutdown(drain))
+        });
+        let _ = std::fs::remove_file(path);
+        report
+    }
+
+    fn serve_connection(
+        service: &Service,
+        stream: std::os::unix::net::UnixStream,
+        stop: &AtomicBool,
+        drain: Duration,
+    ) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        // A bounded read timeout keeps an idle connection from pinning
+        // the accept loop open across a shutdown requested elsewhere.
+        // (A client pausing >100 ms *mid-line* may lose that fragment;
+        // jsonl clients write whole lines.)
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mut write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let (tx, rx) = mpsc::channel::<Response>();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(move || {
+                use std::io::Write;
+                for resp in rx {
+                    let _ = writeln!(write_half, "{}", resp.to_json_line());
+                    let _ = write_half.flush();
+                }
+            });
+            use std::io::BufRead;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Err(msg) => {
+                        let _ = tx.send(Response::input_error("", msg));
+                    }
+                    Ok(Request::Metrics { id }) => {
+                        let _ = tx.send(Response {
+                            id,
+                            body: ResponseBody::Metrics(service.metrics_snapshot()),
+                        });
+                    }
+                    Ok(Request::Shutdown { id }) => {
+                        stop.store(true, Ordering::Release);
+                        let report = service.shutdown(drain);
+                        let _ = tx.send(Response {
+                            id,
+                            body: ResponseBody::Shutdown {
+                                drained: report.drained,
+                                cancelled: report.cancelled,
+                            },
+                        });
+                        break;
+                    }
+                    Ok(Request::Solve { id, solve }) => service.submit(&id, solve, &tx),
+                }
+            }
+            drop(tx);
+            let _ = writer.join();
+        });
+        Ok(())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::server::ServiceConfig;
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        #[test]
+        fn socket_round_trip_with_shutdown() {
+            let dir = std::env::temp_dir().join(format!("pdslin-svc-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("svc.sock");
+            let service = Service::start(ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            });
+            let report = std::thread::scope(|scope| {
+                let svc = &service;
+                let p = path.clone();
+                let server =
+                    scope.spawn(move || serve_socket(svc, &p, Duration::from_secs(10)).unwrap());
+                // Wait for the socket file to appear.
+                let mut client = loop {
+                    match UnixStream::connect(&path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                writeln!(
+                    client,
+                    r#"{{"id":"s1","op":"solve","generate":"g3_circuit","k":2}}"#
+                )
+                .unwrap();
+                writeln!(client, r#"{{"id":"m1","op":"metrics"}}"#).unwrap();
+                writeln!(client, r#"{{"id":"bye","op":"shutdown"}}"#).unwrap();
+                let mut lines = BufReader::new(client).lines();
+                let mut seen = std::collections::BTreeMap::new();
+                for _ in 0..3 {
+                    let line = lines.next().unwrap().unwrap();
+                    let j = crate::json::Json::parse(&line).unwrap();
+                    seen.insert(
+                        j.get("id").unwrap().as_str().unwrap().to_string(),
+                        j.get("status").unwrap().as_str().unwrap().to_string(),
+                    );
+                }
+                assert_eq!(seen.get("s1").map(String::as_str), Some("ok"));
+                assert_eq!(seen.get("m1").map(String::as_str), Some("ok"));
+                assert_eq!(seen.get("bye").map(String::as_str), Some("ok"));
+                server.join().unwrap()
+            });
+            assert_eq!(report.cancelled, 0);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Content fingerprinting for sparse matrices.
+//!
+//! The solver service caches expensive `Pdslin` factorizations keyed by
+//! the *content* of the input matrix, not by where it came from: two
+//! requests naming the same generated analogue, or two paths to
+//! byte-identical Matrix Market files, must map to the same cache entry.
+//! [`csr_fingerprint`] hashes the full CSR image (shape, row pointers,
+//! column indices, and the exact bit patterns of the values) with FNV-1a,
+//! so any structural or numerical change — including a sign flip or a
+//! `-0.0`/`+0.0` swap — produces a different key.
+//!
+//! FNV-1a is not collision-resistant against adversaries; it is a cache
+//! key, not a security boundary. A collision costs a wrong cache hit on
+//! deliberately crafted inputs, which the service tolerates no worse
+//! than any content-addressed cache would.
+
+use crate::Csr;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher over words.
+///
+/// Kept deliberately tiny (no `std::hash::Hasher` impl) so call sites
+/// state exactly which words enter the digest, in which order.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher in the FNV-1a initial state.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds one byte into the digest.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a 64-bit word (little-endian bytes) into the digest.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a float's exact bit pattern into the digest.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds every byte of a string into the digest, length-prefixed so
+    /// `("ab", "c")` and `("a", "bc")` diverge.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The 64-bit content fingerprint of a CSR matrix: shape, sparsity
+/// pattern, and exact value bits. Equal matrices always agree;
+/// distinct matrices disagree except under (astronomically unlikely,
+/// non-adversarial) FNV collisions.
+pub fn csr_fingerprint(a: &Csr) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(a.nrows() as u64);
+    h.write_u64(a.ncols() as u64);
+    for &p in a.indptr() {
+        h.write_u64(p as u64);
+    }
+    for &j in a.indices() {
+        h.write_u64(j as u64);
+    }
+    for &v in a.values() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 4.0);
+        c.push(0, 2, -1.0);
+        c.push(1, 1, 3.0);
+        c.push(2, 0, -1.0);
+        c.push(2, 2, 5.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn equal_matrices_agree() {
+        assert_eq!(csr_fingerprint(&sample()), csr_fingerprint(&sample()));
+    }
+
+    #[test]
+    fn value_change_changes_the_fingerprint() {
+        let a = sample();
+        let mut b = sample();
+        b.values_mut()[1] = -1.0000001;
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&b));
+    }
+
+    #[test]
+    fn sign_of_zero_is_observed() {
+        let mut a = sample();
+        let mut b = sample();
+        a.values_mut()[0] = 0.0;
+        b.values_mut()[0] = -0.0;
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&b));
+    }
+
+    #[test]
+    fn structure_change_changes_the_fingerprint() {
+        let a = sample();
+        let mut c = Coo::new(3, 3);
+        // Same values, one entry moved to a different column.
+        c.push(0, 0, 4.0);
+        c.push(0, 1, -1.0);
+        c.push(1, 1, 3.0);
+        c.push(2, 0, -1.0);
+        c.push(2, 2, 5.0);
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&c.to_csr()));
+    }
+
+    #[test]
+    fn shape_enters_the_digest() {
+        let a = Csr::from_parts(2, 3, vec![0, 0, 0], vec![], vec![]);
+        let b = Csr::from_parts(3, 2, vec![0, 0, 0, 0], vec![], vec![]);
+        assert_ne!(csr_fingerprint(&a), csr_fingerprint(&b));
+    }
+
+    #[test]
+    fn string_hashing_is_length_prefixed() {
+        let mut h1 = Fnv64::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Fnv64::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -37,6 +37,7 @@ pub mod budget;
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod fingerprint;
 pub mod io;
 pub mod ops;
 pub mod par;
@@ -48,5 +49,6 @@ pub use budget::{Budget, BudgetInterrupt, CancelToken};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
+pub use fingerprint::{csr_fingerprint, Fnv64};
 pub use perm::Perm;
 pub use rng::Rng64;

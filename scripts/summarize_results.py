@@ -210,6 +210,65 @@ def bench_kernels():
         )
 
 
+BENCH_SERVICE_SCHEMA = {
+    "phase": str,
+    "concurrency": int,
+    "requests": int,
+    "ok": int,
+    "typed_errors": int,
+    "overloaded": int,
+    "retries": int,
+    "injected_failures": int,
+    "batches": int,
+    "coalesced": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "degraded_setups": int,
+    "deadline_violations": int,
+    "p50_ms": float,
+    "p99_ms": float,
+    "throughput_rps": float,
+}
+
+
+def bench_service():
+    rows = load("BENCH_service")
+    if rows is None:
+        return
+    # Shape validation is a hard failure: CI gates on this file, so a
+    # silently renamed field must break the build, not the dashboard.
+    if not isinstance(rows, list) or not rows:
+        sys.exit("BENCH_service.json: expected a non-empty list of rows")
+    for i, r in enumerate(rows):
+        for field, ty in BENCH_SERVICE_SCHEMA.items():
+            if field not in r:
+                sys.exit(f"BENCH_service.json row {i}: missing field '{field}'")
+            v = r[field]
+            ok = isinstance(v, ty) or (ty is float and isinstance(v, int))
+            if not ok or isinstance(v, bool):
+                sys.exit(
+                    f"BENCH_service.json row {i}: field '{field}' is "
+                    f"{type(v).__name__}, expected {ty.__name__}"
+                )
+        if r["deadline_violations"] != 0:
+            sys.exit(f"BENCH_service.json row {i}: deadline violations recorded")
+        answered = r["ok"] + r["typed_errors"] + r["overloaded"]
+        if answered != r["requests"]:
+            sys.exit(
+                f"BENCH_service.json row {i}: {answered} typed responses "
+                f"for {r['requests']} requests"
+            )
+    print("\n## BENCH_service (daemon under load; every request typed, deadlines honoured)\n")
+    print("| phase | clients | reqs | ok | err | over | p50 ms | p99 ms | req/s | cache h/m | retries |")
+    print("|---|---|---|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['phase']} | {r['concurrency']} | {r['requests']} | {r['ok']} | "
+            f"{r['typed_errors']} | {r['overloaded']} | {r['p50_ms']:.2f} | {r['p99_ms']:.2f} | "
+            f"{r['throughput_rps']:.1f} | {r['cache_hits']}/{r['cache_misses']} | {r['retries']} |"
+        )
+
+
 if __name__ == "__main__":
     for fn in [
         fig1,
@@ -223,5 +282,6 @@ if __name__ == "__main__":
         supernodal,
         bench_kernels,
         bench_solve,
+        bench_service,
     ]:
         fn()

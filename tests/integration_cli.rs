@@ -55,3 +55,34 @@ fn all_paper_matrices_resolve_by_name() {
         assert_eq!(resolved, kind);
     }
 }
+
+#[test]
+fn unknown_options_are_rejected_with_input_exit_code() {
+    use pdslin_cli::{exit_code, validate_options};
+
+    // A typo'd flag is rejected with a message naming the stray option
+    // and listing the allowed set…
+    let args = parse_args(argv("solve --generate g3_circuit --blocksize 32 --k 4")).unwrap();
+    let err = validate_options(&args).expect_err("--blocksize is not a solve option");
+    assert!(err.contains("--blocksize"), "{err}");
+    assert!(err.contains("allowed"), "{err}");
+
+    // …and the error maps to the input exit code (2), the same class
+    // as a malformed matrix file.
+    assert_eq!(exit_code(pdslin::ErrorCategory::Input), 2);
+
+    // Flags are validated per subcommand: --k is fine for solve but
+    // meaningless for info.
+    let args = parse_args(argv("info --matrix m.mtx --k 4")).unwrap();
+    assert!(validate_options(&args).is_err());
+
+    // Valid option sets pass untouched, including the serve subcommand.
+    for cmd in [
+        "solve --generate g3_circuit --k 4 --tol 1e-10 --deadline 30",
+        "serve --workers 2 --queue 16 --cache-budget-mb 64",
+        "partition --generate g3_circuit --k 8 --metric soed",
+    ] {
+        let args = parse_args(argv(cmd)).unwrap();
+        assert!(validate_options(&args).is_ok(), "{cmd}");
+    }
+}

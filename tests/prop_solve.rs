@@ -242,3 +242,60 @@ fn steady_state_solves_do_not_grow_arenas() {
         "steady-state solves must not allocate in the hot loops"
     );
 }
+
+#[test]
+fn cancellation_racing_a_batch_is_all_or_typed_first_error() {
+    // A helper thread flips the CancelToken at varying points during a
+    // batched solve. Whatever the race outcome, solve_many_budgeted
+    // must be atomic at the API level: either the full batch (matching
+    // an uncancelled reference bitwise) or the first error in RHS
+    // order — which under cancellation is the typed Cancelled error,
+    // never a partial result, never a panic.
+    let a = laplace2d(24, 24);
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let mut rng = Rng64::new(23);
+    let batch: Vec<Vec<f64>> = (0..8).map(|_| rhs(&mut rng, a.nrows())).collect();
+    let reference = solver.solve_many(&batch).expect("uncancelled reference");
+
+    for delay_us in [0u64, 20, 50, 100, 250, 500, 1000, 5000] {
+        let token = CancelToken::new();
+        let racer = token.clone();
+        let result = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                racer.cancel();
+            });
+            solver.solve_many_budgeted(&batch, &Budget::unlimited().with_token(token))
+        });
+        match result {
+            Ok(outs) => {
+                // Cancel lost the race: the batch is complete and
+                // bitwise identical to the uncancelled run.
+                assert_eq!(outs.len(), batch.len(), "delay {delay_us}us");
+                for (i, (got, want)) in outs.iter().zip(&reference).enumerate() {
+                    assert_eq!(got.x, want.x, "delay {delay_us}us, rhs {i}");
+                    assert_eq!(
+                        got.iterations, want.iterations,
+                        "delay {delay_us}us, rhs {i}"
+                    );
+                }
+            }
+            Err(PdslinError::Cancelled { phase }) => {
+                assert_eq!(phase, "solve", "delay {delay_us}us");
+            }
+            Err(other) => panic!("delay {delay_us}us: unexpected error {other:?}"),
+        }
+        // The factors survive whichever way the race went: the next
+        // unbudgeted batch reproduces the reference exactly.
+        let again = solver
+            .solve_many(&batch)
+            .expect("solver survives a raced cancellation");
+        for (got, want) in again.iter().zip(&reference) {
+            assert_eq!(got.x, want.x, "delay {delay_us}us: post-race drift");
+        }
+    }
+}
