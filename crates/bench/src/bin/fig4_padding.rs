@@ -1,5 +1,5 @@
 //! **Fig. 4 (a–d)** — fraction of padded zeros vs block size `B` for the
-//! three RHS reordering techniques (natural, postorder, hypergraph),
+//! four RHS reordering techniques (natural, postorder, hypergraph, RGB),
 //! reported as min/avg/max over the eight subdomains, on the tdr190k,
 //! dds.quad, dds.linear and matrix211 analogues.
 //!
@@ -36,6 +36,7 @@ fn main() {
         RhsOrdering::Natural,
         RhsOrdering::Postorder,
         RhsOrdering::Hypergraph { tau: Some(0.4) },
+        RhsOrdering::Rgb(Default::default()),
     ];
     let mut rows = Vec::new();
     for kind in kinds {
@@ -58,8 +59,8 @@ fn main() {
             kind.name()
         );
         println!(
-            "{:<6} {:>28} {:>28} {:>28}",
-            "B", "natural", "postorder", "hypergraph"
+            "{:<6} {:>28} {:>28} {:>28} {:>28}",
+            "B", "natural", "postorder", "hypergraph", "rgb"
         );
         for &b in &blocks {
             let mut cells = Vec::new();
@@ -88,8 +89,8 @@ fn main() {
                 });
             }
             println!(
-                "{:<6} {:>28} {:>28} {:>28}",
-                b, cells[0], cells[1], cells[2]
+                "{:<6} {:>28} {:>28} {:>28} {:>28}",
+                b, cells[0], cells[1], cells[2], cells[3]
             );
         }
     }

@@ -14,7 +14,10 @@ use std::time::Duration;
 
 use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
 use matgen::{MatrixKind, Scale};
-use pdslin::{Budget, ErrorCategory, PartitionerKind, RhsOrdering};
+use pdslin::{
+    select_strategy, Budget, ErrorCategory, PartitionerKind, RgbConfig, RhsOrdering, Strategy,
+    WeightScheme,
+};
 use sparsekit::Csr;
 
 /// A parsed command line: subcommand plus `--key value` options.
@@ -75,7 +78,7 @@ impl Args {
 /// be silently ignored and leave the user running with defaults.
 pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
     const SOURCE: [&str; 3] = ["matrix", "generate", "scale"];
-    const SOLVE: [&str; 16] = [
+    const SOLVE: [&str; 21] = [
         "matrix",
         "generate",
         "scale",
@@ -83,8 +86,13 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "partitioner",
         "metric",
         "constraint",
+        "weights",
+        "strategy",
         "ordering",
         "tau",
+        "rgb-iters",
+        "rgb-depth",
+        "rgb-min-part",
         "block-size",
         "krylov",
         "tol",
@@ -93,7 +101,7 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "deadline",
         "mem-budget-mb",
     ];
-    const PARTITION: [&str; 7] = [
+    const PARTITION: [&str; 9] = [
         "matrix",
         "generate",
         "scale",
@@ -101,6 +109,8 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "partitioner",
         "metric",
         "constraint",
+        "weights",
+        "strategy",
     ];
     const GENMAT: [&str; 3] = ["generate", "scale", "out"];
     const SERVE: [&str; 8] = [
@@ -214,6 +224,46 @@ pub fn partitioner(args: &Args) -> Result<PartitionerKind, String> {
     }
 }
 
+/// Resolves the `--weights` option into a [`WeightScheme`].
+pub fn weight_scheme(args: &Args) -> Result<WeightScheme, String> {
+    match args.get_or("weights", "unit") {
+        "unit" => Ok(WeightScheme::Unit),
+        "value" => Ok(WeightScheme::ValueScaled),
+        other => Err(format!("unknown weights '{other}' (unit|value)")),
+    }
+}
+
+/// Whether `--strategy auto` was requested (the only accepted value).
+pub fn strategy_mode(args: &Args) -> Result<bool, String> {
+    match args.get("strategy") {
+        None => Ok(false),
+        Some("auto") => Ok(true),
+        Some(other) => Err(format!("unknown strategy '{other}' (auto)")),
+    }
+}
+
+/// Applies the automatic strategy selector onto `cfg`, honouring
+/// explicit flags: any of `--partitioner`, `--weights`, `--ordering`
+/// and `--block-size` the user passed keeps its value; the selector
+/// only fills in the unspecified knobs. Returns the selected strategy
+/// so callers can report the rationale.
+pub fn apply_auto_strategy(args: &Args, a: &Csr, cfg: &mut pdslin::PdslinConfig) -> Strategy {
+    let s = select_strategy(a);
+    if args.get("partitioner").is_none() {
+        cfg.partitioner = s.partitioner;
+    }
+    if args.get("weights").is_none() {
+        cfg.weights = s.weights;
+    }
+    if args.get("ordering").is_none() {
+        cfg.rhs_ordering = s.ordering;
+    }
+    if args.get("block-size").is_none() {
+        cfg.block_size = s.block_size;
+    }
+    s
+}
+
 /// Resolves the outer Krylov method.
 pub fn krylov_kind(args: &Args) -> Result<pdslin::KrylovKind, String> {
     match args.get_or("krylov", "gmres") {
@@ -237,6 +287,14 @@ pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
                 ),
             };
             Ok(RhsOrdering::Hypergraph { tau })
+        }
+        "rgb" => {
+            let d = RgbConfig::default();
+            Ok(RhsOrdering::Rgb(RgbConfig {
+                swap_iters: args.parse_or("rgb-iters", d.swap_iters)?,
+                max_depth: args.parse_or("rgb-depth", d.max_depth)?,
+                min_partition: args.parse_or("rgb-min-part", d.min_partition)?,
+            }))
         }
         other => Err(format!("unknown ordering '{other}'")),
     }
@@ -298,12 +356,15 @@ pdslin — Schur-complement hybrid solver (paper reproduction)
 USAGE:
   pdslin solve     (--matrix F.mtx | --generate KIND [--scale test|bench])
                    [--k K] [--partitioner ngd|rhb] [--metric soed|cnet|con1]
-                   [--constraint single|multi|unit]
-                   [--ordering natural|postorder|hypergraph [--tau T]]
+                   [--constraint single|multi|unit] [--weights unit|value]
+                   [--strategy auto]
+                   [--ordering natural|postorder|hypergraph|rgb [--tau T]
+                    [--rgb-iters N] [--rgb-depth N] [--rgb-min-part N]]
                    [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
                    [--deadline SECS] [--mem-budget-mb MB]
   pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
-                   [--k K] [--partitioner ...]
+                   [--k K] [--partitioner ...] [--weights unit|value]
+                   [--strategy auto]
   pdslin genmat    --generate KIND [--scale test|bench] --out FILE.mtx
   pdslin info      (--matrix F.mtx | --generate KIND [--scale ...])
   pdslin serve     [--socket PATH] [--workers N] [--queue N] [--max-batch N]
@@ -318,6 +379,10 @@ USAGE:
   {\"id\":\"m\",\"op\":\"metrics\"}    {\"id\":\"bye\",\"op\":\"shutdown\"}
 Factorizations are cached by matrix content; compatible concurrent
 requests coalesce into one batched solve. See docs/robustness.md.
+
+`--strategy auto` samples structural features of the matrix and picks
+partitioner, weighting, RHS ordering and block size; explicit flags
+always win over the selector. See docs/partitioning.md.
 
 Unknown --options are rejected with exit code 2.
 
@@ -399,6 +464,62 @@ mod tests {
             rhs_ordering(&b).unwrap(),
             RhsOrdering::Hypergraph { tau: None }
         );
+    }
+
+    #[test]
+    fn rgb_ordering_resolution() {
+        let a = parse_args(argv("solve --ordering rgb")).unwrap();
+        assert_eq!(
+            rhs_ordering(&a).unwrap(),
+            RhsOrdering::Rgb(RgbConfig::default())
+        );
+        let b = parse_args(argv("solve --ordering rgb --rgb-iters 3 --rgb-min-part 4")).unwrap();
+        match rhs_ordering(&b).unwrap() {
+            RhsOrdering::Rgb(cfg) => {
+                assert_eq!(cfg.swap_iters, 3);
+                assert_eq!(cfg.min_partition, 4);
+                assert_eq!(cfg.max_depth, RgbConfig::default().max_depth);
+            }
+            other => panic!("expected rgb, got {other:?}"),
+        }
+        let bad = parse_args(argv("solve --ordering rgb --rgb-iters many")).unwrap();
+        assert!(rhs_ordering(&bad).is_err());
+    }
+
+    #[test]
+    fn weights_and_strategy_resolution() {
+        let a = parse_args(argv("solve --weights value")).unwrap();
+        assert_eq!(weight_scheme(&a).unwrap(), WeightScheme::ValueScaled);
+        let d = parse_args(argv("solve")).unwrap();
+        assert_eq!(weight_scheme(&d).unwrap(), WeightScheme::Unit);
+        assert!(weight_scheme(&parse_args(argv("solve --weights heavy")).unwrap()).is_err());
+        assert!(strategy_mode(&parse_args(argv("solve --strategy auto")).unwrap()).unwrap());
+        assert!(!strategy_mode(&d).unwrap());
+        assert!(strategy_mode(&parse_args(argv("solve --strategy manual")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn auto_strategy_respects_explicit_flags() {
+        let a = matgen::generate(MatrixKind::G3Circuit, Scale::Test);
+        // No explicit flags: the selector decides everything.
+        let args = parse_args(argv("solve --generate g3_circuit --strategy auto")).unwrap();
+        let mut cfg = pdslin::PdslinConfig::default();
+        let s = apply_auto_strategy(&args, &a, &mut cfg);
+        assert_eq!(cfg.block_size, s.block_size);
+        assert_eq!(cfg.rhs_ordering, s.ordering);
+        // Explicit flags survive the selector.
+        let args = parse_args(argv(
+            "solve --generate g3_circuit --strategy auto --ordering natural --block-size 17",
+        ))
+        .unwrap();
+        let mut cfg = pdslin::PdslinConfig {
+            rhs_ordering: rhs_ordering(&args).unwrap(),
+            block_size: args.parse_or("block-size", 60).unwrap(),
+            ..Default::default()
+        };
+        apply_auto_strategy(&args, &a, &mut cfg);
+        assert_eq!(cfg.rhs_ordering, RhsOrdering::Natural);
+        assert_eq!(cfg.block_size, 17);
     }
 
     #[test]

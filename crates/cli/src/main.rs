@@ -4,8 +4,8 @@ use std::process::ExitCode;
 
 use pdslin::{PartitionStats, Pdslin, PdslinConfig, PdslinError, RecoveryReport};
 use pdslin_cli::{
-    build_budget, exit_code, load_matrix, parse_args, partitioner, rhs_ordering, scale,
-    validate_options, Args, HELP,
+    apply_auto_strategy, build_budget, exit_code, load_matrix, parse_args, partitioner,
+    rhs_ordering, scale, strategy_mode, validate_options, weight_scheme, Args, HELP,
 };
 use sparsekit::ops::residual_inf_norm;
 
@@ -86,6 +86,7 @@ fn cmd_solve(args: &Args) -> Result<(), CmdError> {
     let mut cfg = PdslinConfig {
         k: args.parse_or("k", 8usize)?,
         partitioner: partitioner(args)?,
+        weights: weight_scheme(args)?,
         rhs_ordering: rhs_ordering(args)?,
         block_size: args.parse_or("block-size", 60usize)?,
         krylov: pdslin_cli::krylov_kind(args)?,
@@ -94,6 +95,17 @@ fn cmd_solve(args: &Args) -> Result<(), CmdError> {
         ..Default::default()
     };
     cfg.gmres.tol = args.parse_or("tol", cfg.gmres.tol)?;
+    if strategy_mode(args)? {
+        let s = apply_auto_strategy(args, &a, &mut cfg);
+        eprintln!(
+            "strategy: {} + {} weights + {} ordering, B = {} ({})",
+            cfg.partitioner.label(),
+            cfg.weights.label(),
+            cfg.rhs_ordering.label(),
+            cfg.block_size,
+            s.rationale
+        );
+    }
     let budget = build_budget(args)?;
     let mut solver = Pdslin::setup_budgeted(&a, cfg, &budget).map_err(|f| f.error)?;
     report_recovery("setup", &solver.stats.recovery);
@@ -210,9 +222,25 @@ fn serve_on_socket(
 fn cmd_partition(args: &Args) -> Result<(), String> {
     let a = load_matrix(args)?;
     let k = args.parse_or("k", 8usize)?;
-    let kind = partitioner(args)?;
+    let mut kind = partitioner(args)?;
+    let mut weights = weight_scheme(args)?;
+    if strategy_mode(args)? {
+        let s = pdslin::select_strategy(&a);
+        if args.get("partitioner").is_none() {
+            kind = s.partitioner;
+        }
+        if args.get("weights").is_none() {
+            weights = s.weights;
+        }
+        eprintln!(
+            "strategy: {} + {} weights ({})",
+            kind.label(),
+            weights.label(),
+            s.rationale
+        );
+    }
     let t = std::time::Instant::now();
-    let part = pdslin::compute_partition(&a, k, &kind);
+    let part = pdslin::compute_partition_weighted(&a, k, &kind, weights);
     let secs = t.elapsed().as_secs_f64();
     let st = PartitionStats::compute(&a, &part);
     println!(

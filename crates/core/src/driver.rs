@@ -32,6 +32,7 @@ use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use graphpart::WeightScheme;
 use krylov::{
     bicgstab_with_workspace, gmres_with_workspace, BicgstabConfig, BicgstabWorkspace, GmresConfig,
     GmresWorkspace, LinearOperator,
@@ -75,6 +76,8 @@ pub struct PdslinConfig {
     pub k: usize,
     /// DBBD partitioner.
     pub partitioner: PartitionerKind,
+    /// Edge/net weighting of the partitioner (unit or value-scaled).
+    pub weights: WeightScheme,
     /// RHS ordering for the interface solves (§IV).
     pub rhs_ordering: RhsOrdering,
     /// Block size `B` of the simultaneous triangular solves.
@@ -100,6 +103,7 @@ impl Default for PdslinConfig {
         PdslinConfig {
             k: 8,
             partitioner: PartitionerKind::Ngd,
+            weights: WeightScheme::Unit,
             rhs_ordering: RhsOrdering::Postorder,
             block_size: 60,
             interface_drop_tol: 1e-8,
@@ -359,6 +363,7 @@ impl Pdslin {
                 a,
                 cfg.k,
                 &cfg.partitioner,
+                cfg.weights,
                 cfg.fault.fail_partitioner,
                 &mut recovery,
             )?

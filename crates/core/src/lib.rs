@@ -43,6 +43,7 @@ pub mod rhs_order;
 pub mod scaling;
 pub mod schur;
 pub mod stats;
+pub mod strategy;
 pub mod subdomain;
 
 pub use budget::{Budget, BudgetInterrupt, CancelToken};
@@ -51,8 +52,12 @@ pub use driver::{KrylovKind, Pdslin, PdslinConfig, ScratchStats, SetupFailure, S
 pub use error::{ErrorCategory, PdslinError};
 pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
 pub use fault::FaultPlan;
-pub use partition::{compute_partition, PartitionStats, PartitionerKind};
+pub use graphpart::{RgbConfig, WeightScheme};
+pub use partition::{
+    compute_partition, compute_partition_weighted, PartitionStats, PartitionerKind,
+};
 pub use precond::{ImplicitSchur, SchurApplyScratch, SchurPrecond};
 pub use recovery::{RecoveryEvent, RecoveryReport};
 pub use rhs_order::RhsOrdering;
 pub use stats::{PhaseTimes, SetupStats};
+pub use strategy::{sample_features, select_strategy, MatrixFeatures, Strategy};

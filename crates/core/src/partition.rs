@@ -6,7 +6,9 @@
 //! requested partitioner → NGD → natural block split, recording every
 //! hop in the [`RecoveryReport`].
 
-use graphpart::{nested_dissection, trim_separator, DbbdPartition, Graph, NdConfig, SEPARATOR};
+use graphpart::{
+    nested_dissection, trim_separator, DbbdPartition, Graph, NdConfig, WeightScheme, SEPARATOR,
+};
 use hypergraph::{rhb_partition, RhbConfig};
 use sparsekit::Csr;
 
@@ -48,15 +50,31 @@ impl PartitionerKind {
 /// Computes a k-way DBBD partition of `a` (the partitioners work on the
 /// symmetrised matrix `|A| + |Aᵀ|`, exactly as §III prescribes).
 pub fn compute_partition(a: &Csr, k: usize, kind: &PartitionerKind) -> DbbdPartition {
+    compute_partition_weighted(a, k, kind, WeightScheme::Unit)
+}
+
+/// [`compute_partition`] with an explicit edge/net weighting scheme:
+/// [`WeightScheme::ValueScaled`] biases both partitioners towards keeping
+/// strong couplings inside subdomains (NGD edge weights, RHB net costs)
+/// instead of cutting them into the separator.
+pub fn compute_partition_weighted(
+    a: &Csr,
+    k: usize,
+    kind: &PartitionerKind,
+    weights: WeightScheme,
+) -> DbbdPartition {
     let sym = if a.pattern_symmetric() {
         a.clone()
     } else {
         a.symmetrize_abs()
     };
-    let g = Graph::from_matrix(&sym);
+    let g = Graph::from_matrix_weighted(&sym, weights);
     let mut part = match kind {
         PartitionerKind::Ngd => nested_dissection(&g, k, &NdConfig::default()),
-        PartitionerKind::Rhb(cfg) => rhb_partition(&sym, k, cfg),
+        PartitionerKind::Rhb(cfg) => {
+            let cfg = RhbConfig { weights, ..*cfg };
+            rhb_partition(&sym, k, &cfg)
+        }
     };
     // Post-pass for every partitioner: drop redundant separator vertices
     // (wide hypergraph separators carry many; NGD's are near-minimal
@@ -187,6 +205,7 @@ pub fn compute_partition_robust(
     a: &Csr,
     k: usize,
     kind: &PartitionerKind,
+    weights: WeightScheme,
     inject_failure: bool,
     recovery: &mut RecoveryReport,
 ) -> Result<DbbdPartition, PdslinError> {
@@ -201,7 +220,7 @@ pub fn compute_partition_robust(
         reason = format!("NGD requires a power-of-two k, got {k}");
         ngd_was_tried = true;
     } else {
-        let p = compute_partition(a, k, kind);
+        let p = compute_partition_weighted(a, k, kind, weights);
         ngd_was_tried = matches!(kind, PartitionerKind::Ngd);
         match validate_partition(a, &p) {
             Ok(()) => return Ok(p),
@@ -214,7 +233,7 @@ pub fn compute_partition_robust(
             to: "NGD".to_string(),
             reason: reason.clone(),
         });
-        let p = compute_partition(a, k, &PartitionerKind::Ngd);
+        let p = compute_partition_weighted(a, k, &PartitionerKind::Ngd, weights);
         match validate_partition(a, &p) {
             Ok(()) => return Ok(p),
             Err(d) => {
@@ -346,6 +365,20 @@ mod tests {
     }
 
     #[test]
+    fn value_weighted_partitions_are_valid() {
+        let a = laplace2d(20, 20);
+        for kind in [
+            PartitionerKind::Ngd,
+            PartitionerKind::Rhb(RhbConfig::default()),
+        ] {
+            let p = compute_partition_weighted(&a, 4, &kind, WeightScheme::ValueScaled);
+            assert!(validate_partition(&a, &p).is_ok(), "{}", kind.label());
+            let st = PartitionStats::compute(&a, &p);
+            assert_eq!(st.dims.iter().sum::<usize>() + st.separator_size, 400);
+        }
+    }
+
+    #[test]
     fn valid_partitions_pass_validation() {
         let a = laplace2d(16, 16);
         for kind in [
@@ -413,7 +446,15 @@ mod tests {
     fn robust_chain_clean_run_records_nothing() {
         let a = laplace2d(12, 12);
         let mut rec = crate::recovery::RecoveryReport::default();
-        let p = compute_partition_robust(&a, 2, &PartitionerKind::Ngd, false, &mut rec).unwrap();
+        let p = compute_partition_robust(
+            &a,
+            2,
+            &PartitionerKind::Ngd,
+            WeightScheme::Unit,
+            false,
+            &mut rec,
+        )
+        .unwrap();
         assert!(rec.is_empty());
         assert!(validate_partition(&a, &p).is_ok());
     }
@@ -422,7 +463,15 @@ mod tests {
     fn robust_chain_survives_injected_failure() {
         let a = laplace2d(12, 12);
         let mut rec = crate::recovery::RecoveryReport::default();
-        let p = compute_partition_robust(&a, 2, &PartitionerKind::Ngd, true, &mut rec).unwrap();
+        let p = compute_partition_robust(
+            &a,
+            2,
+            &PartitionerKind::Ngd,
+            WeightScheme::Unit,
+            true,
+            &mut rec,
+        )
+        .unwrap();
         assert!(!rec.is_empty(), "fallback must be recorded");
         assert!(validate_partition(&a, &p).is_ok());
         assert!(matches!(

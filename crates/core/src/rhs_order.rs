@@ -1,7 +1,7 @@
 //! Phase 4a: reordering sparse right-hand sides for the blocked
 //! triangular solve (§IV of the paper).
 //!
-//! Three strategies are implemented:
+//! Four strategies are implemented:
 //!
 //! * **Natural** — keep the incoming (global nested-dissection) order;
 //! * **Postorder** (§IV-A) — sort columns by the position of their first
@@ -11,8 +11,13 @@
 //! * **Hypergraph** (§IV-B) — build the row-net model of the *symbolic
 //!   solution pattern* `G` with net cost `B`, optionally remove empty and
 //!   quasi-dense rows (§V-B(c)), and partition the columns into blocks of
-//!   exactly `B` columns minimising con1 ≡ padded zeros.
+//!   exactly `B` columns minimising con1 ≡ padded zeros;
+//! * **Rgb** — recursive graph bisection over the solution patterns
+//!   ([`graphpart::rgb_order`]): a sequence-layout alternative to the
+//!   row-net partitioner that clusters columns with overlapping reaches
+//!   by a log-gap cost, then refines under the exact padding objective.
 
+use graphpart::{rgb_order, RgbConfig};
 use hypergraph::bisect::BisectConfig;
 use hypergraph::models::row_net_model;
 use hypergraph::recursive::recursive_partition_exact_seeded;
@@ -34,6 +39,10 @@ pub enum RhsOrdering {
         /// Quasi-dense row-density threshold τ.
         tau: Option<f64>,
     },
+    /// Recursive graph bisection of the solution patterns (BP-style
+    /// sequence layout), refined under the exact padding objective and
+    /// guarded to never pad more than the natural order.
+    Rgb(RgbConfig),
 }
 
 impl RhsOrdering {
@@ -43,6 +52,7 @@ impl RhsOrdering {
             RhsOrdering::Natural => "natural",
             RhsOrdering::Postorder => "postorder",
             RhsOrdering::Hypergraph { .. } => "hypergraph",
+            RhsOrdering::Rgb(_) => "rgb",
         }
     }
 }
@@ -60,7 +70,7 @@ pub fn order_columns(
     ws: &mut SolveWorkspace,
 ) -> Vec<usize> {
     match ordering {
-        RhsOrdering::Hypergraph { .. } => {
+        RhsOrdering::Hypergraph { .. } | RhsOrdering::Rgb(_) => {
             let reaches = column_reaches(cols, l, ws);
             order_columns_precomputed(cols, &reaches, l.nrows(), block_size, ordering)
         }
@@ -183,6 +193,25 @@ pub fn order_columns_precomputed(
                 > padding_of_order(reaches, n, &seed, block_size).0
             {
                 seed
+            } else {
+                order
+            }
+        }
+        RhsOrdering::Rgb(cfg) => {
+            if m <= block_size {
+                return (0..m).collect();
+            }
+            assert_eq!(reaches.len(), m, "rgb ordering needs reaches");
+            let mut order = rgb_order(reaches, n, &cfg);
+            // RGB optimises a gap-cost proxy; refine the resulting layout
+            // under the true padding objective, then guard against ever
+            // padding more than the natural (identity) order.
+            refine_blocks_by_padding(reaches, n, block_size, &mut order);
+            let natural: Vec<usize> = (0..m).collect();
+            if padding_of_order(reaches, n, &order, block_size).0
+                > padding_of_order(reaches, n, &natural, block_size).0
+            {
+                natural
             } else {
                 order
             }
@@ -427,6 +456,46 @@ mod tests {
         let mut sorted = ord.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5], "must be a permutation");
+    }
+
+    #[test]
+    fn rgb_groups_identical_columns() {
+        let l = bidiag_l(20);
+        let cols = seeded_cols(&[2, 15, 2, 15]);
+        let mut ws = SolveWorkspace::new(20);
+        let cfg = RgbConfig {
+            min_partition: 2,
+            ..Default::default()
+        };
+        let ord = order_columns(&cols, &l, 2, RhsOrdering::Rgb(cfg), &mut ws);
+        let first_pair: std::collections::HashSet<usize> = ord[..2].iter().copied().collect();
+        assert!(
+            first_pair == [0usize, 2].into_iter().collect()
+                || first_pair == [1usize, 3].into_iter().collect(),
+            "identical-reach columns must share a block, got {ord:?}"
+        );
+    }
+
+    #[test]
+    fn rgb_never_pads_more_than_natural() {
+        let l = bidiag_l(32);
+        let cols = seeded_cols(&[31, 1, 17, 3, 29, 5, 19, 7]);
+        let mut ws = SolveWorkspace::new(32);
+        let reaches = column_reaches(&cols, &l, &mut ws);
+        for block in [2usize, 3, 4] {
+            let ord = order_columns_precomputed(
+                &cols,
+                &reaches,
+                32,
+                block,
+                RhsOrdering::Rgb(RgbConfig::default()),
+            );
+            let natural: Vec<usize> = (0..cols.len()).collect();
+            assert!(
+                padding_of_order(&reaches, 32, &ord, block).0
+                    <= padding_of_order(&reaches, 32, &natural, block).0
+            );
+        }
     }
 
     #[test]

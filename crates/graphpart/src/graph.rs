@@ -2,6 +2,65 @@
 
 use sparsekit::Csr;
 
+/// How edge/net weights are derived from the matrix (Vecharynski–Saad–
+/// Sosonkina-style value-aware partitioning).
+///
+/// `Unit` reproduces the purely structural partitioners of the paper;
+/// `ValueScaled` derives integer weights from coefficient magnitudes via
+/// [`magnitude_weight`], so the partitioners avoid cutting
+/// large-magnitude couplings — the entries whose loss most degrades the
+/// dropped-`S̃` preconditioner on heterogeneous-coefficient matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WeightScheme {
+    /// Structural (unit) weights — the paper's baseline.
+    #[default]
+    Unit,
+    /// Magnitude-scaled integer weights.
+    ValueScaled,
+}
+
+impl WeightScheme {
+    /// Label used by the experiment harnesses and CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WeightScheme::Unit => "unit",
+            WeightScheme::ValueScaled => "value",
+        }
+    }
+}
+
+/// Integer weight of a coefficient of magnitude `v_abs` relative to a
+/// reference magnitude (typically the median off-diagonal magnitude):
+/// `1 + round(log2(1 + v/ref))`, clamped to `[1, 16]`. Logarithmic so a
+/// few huge entries cannot drown the structural term, clamped so weights
+/// stay comparable to the unit scheme's balance tolerances.
+pub fn magnitude_weight(v_abs: f64, ref_mag: f64) -> i64 {
+    if !(v_abs.is_finite() && ref_mag.is_finite()) || ref_mag <= 0.0 || v_abs <= 0.0 {
+        return 1;
+    }
+    let w = 1.0 + (1.0 + v_abs / ref_mag).log2().round();
+    (w as i64).clamp(1, 16)
+}
+
+/// Median of the absolute off-diagonal values of `a` (0.0 if there are
+/// none) — the reference magnitude for [`magnitude_weight`].
+pub fn median_offdiag_magnitude(a: &Csr) -> f64 {
+    let mut mags: Vec<f64> = Vec::with_capacity(a.nnz());
+    for i in 0..a.nrows() {
+        for (j, v) in a.row_iter(i) {
+            if j != i && v != 0.0 {
+                mags.push(v.abs());
+            }
+        }
+    }
+    if mags.is_empty() {
+        return 0.0;
+    }
+    let mid = mags.len() / 2;
+    mags.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    mags[mid]
+}
+
 /// An undirected graph with integer vertex and edge weights.
 ///
 /// Stored like CSR: `adj[xadj[v]..xadj[v+1]]` are the neighbours of `v`,
@@ -61,28 +120,50 @@ impl Graph {
     /// The matrix is symmetrised structurally (`|A|+|Aᵀ|`) first; the
     /// diagonal is ignored. Vertex weights are 1, edge weights are 1.
     pub fn from_matrix(a: &Csr) -> Self {
+        Graph::from_matrix_weighted(a, WeightScheme::Unit)
+    }
+
+    /// [`Graph::from_matrix`] with a [`WeightScheme`]: under
+    /// `ValueScaled`, each edge carries [`magnitude_weight`] of the
+    /// symmetrised coefficient, so refinement prefers cutting weak
+    /// couplings. Vertex weights stay 1 under both schemes (subdomain
+    /// balance remains a row-count balance).
+    pub fn from_matrix_weighted(a: &Csr, scheme: WeightScheme) -> Self {
         assert_eq!(a.nrows(), a.ncols(), "graph requires square matrix");
-        let s = if a.pattern_symmetric() {
+        // Value-scaled weights need value-symmetric input: a symmetric
+        // *pattern* does not guarantee symmetric *values*, and the edge
+        // (v,u) must weigh the same from both endpoints.
+        let s = if a.pattern_symmetric() && scheme == WeightScheme::Unit {
             a.clone()
         } else {
             a.symmetrize_abs()
         };
         let n = s.nrows();
+        let ref_mag = match scheme {
+            WeightScheme::Unit => 0.0,
+            WeightScheme::ValueScaled => median_offdiag_magnitude(&s),
+        };
         let mut xadj = vec![0usize; n + 1];
         let mut adj = Vec::with_capacity(s.nnz());
+        let mut ewgt = Vec::with_capacity(s.nnz());
         for v in 0..n {
-            for &u in s.row_indices(v) {
+            for (u, val) in s.row_iter(v) {
                 if u != v {
                     adj.push(u);
+                    ewgt.push(match scheme {
+                        WeightScheme::Unit => 1,
+                        // Symmetric values of the symmetrised matrix give
+                        // the same weight to (v,u) and (u,v).
+                        WeightScheme::ValueScaled => magnitude_weight(val.abs(), ref_mag),
+                    });
                 }
             }
             xadj[v + 1] = adj.len();
         }
-        let m = adj.len();
         Graph {
             xadj,
             adj,
-            ewgt: vec![1; m],
+            ewgt,
             vwgt: vec![1; n],
         }
     }

@@ -47,7 +47,8 @@ pub mod ordering;
 pub mod separator;
 pub mod trim;
 
-pub use graph::Graph;
+pub use graph::{magnitude_weight, median_offdiag_magnitude, Graph, WeightScheme};
 pub use nd::{nd_ordering, nested_dissection, DbbdPartition, NdConfig, SEPARATOR};
+pub use ordering::rgb::{rgb_order, RgbConfig};
 pub use ordering::{mindeg::min_degree_order, rcm::rcm_order};
 pub use trim::trim_separator;

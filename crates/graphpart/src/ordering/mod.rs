@@ -1,4 +1,6 @@
-//! Fill-reducing orderings used before subdomain factorisation.
+//! Fill-reducing orderings used before subdomain factorisation, plus
+//! the recursive-graph-bisection sequence layout used for RHS ordering.
 
 pub mod mindeg;
 pub mod rcm;
+pub mod rgb;

@@ -21,7 +21,9 @@
 //! full-diagonal matrices, so a DBBD form of `MᵀM` is one of `A`. See
 //! DESIGN.md §3 for the substitution note.
 
-use graphpart::{DbbdPartition, SEPARATOR};
+use graphpart::{
+    magnitude_weight, median_offdiag_magnitude, DbbdPartition, WeightScheme, SEPARATOR,
+};
 use sparsekit::Csr;
 
 use crate::bisect::{multilevel_bisect, BisectConfig};
@@ -84,6 +86,12 @@ pub struct RhbConfig {
     /// repairs cross-half nnz imbalance that deeper levels cannot fix on
     /// graded meshes; the ablation harness compares both.
     pub unit_first_level: bool,
+    /// Net-cost weighting: under [`WeightScheme::ValueScaled`] each
+    /// column net's initial cost is scaled by the magnitude of its
+    /// largest coefficient, so cutting a strong coupling (promoting its
+    /// vertex to the separator and exposing it to dropping) costs more
+    /// than cutting a weak one.
+    pub weights: WeightScheme,
 }
 
 impl Default for RhbConfig {
@@ -95,6 +103,7 @@ impl Default for RhbConfig {
             coarse_target: 128,
             factor: StructuralFactor::LowerTriangular,
             unit_first_level: false,
+            weights: WeightScheme::Unit,
         }
     }
 }
@@ -182,6 +191,26 @@ pub fn rhb_partition(m: &Csr, k: usize, cfg: &RhbConfig) -> DbbdPartition {
         "RHB expects the (symmetrised) square matrix"
     );
     let ncols = m.ncols();
+    // Per-column magnitude scaling computed on the *original* matrix
+    // (structural factors may duplicate or zero values).
+    let col_scale: Vec<i64> = match cfg.weights {
+        WeightScheme::Unit => vec![1i64; ncols],
+        WeightScheme::ValueScaled => {
+            let ref_mag = median_offdiag_magnitude(m);
+            let mut max_abs = vec![0.0f64; ncols];
+            for i in 0..m.nrows() {
+                for (j, v) in m.row_iter(i) {
+                    if j != i {
+                        max_abs[j] = max_abs[j].max(v.abs());
+                    }
+                }
+            }
+            max_abs
+                .iter()
+                .map(|&v| magnitude_weight(v, ref_mag))
+                .collect()
+        }
+    };
     let mfac = structural_factor(m, cfg.factor);
     let m = &mfac;
     let nrows = m.nrows();
@@ -193,7 +222,9 @@ pub fn rhb_partition(m: &Csr, k: usize, cfg: &RhbConfig) -> DbbdPartition {
     let global_row_nnz: Vec<i64> = (0..nrows).map(|i| m.row_nnz(i) as i64).collect();
     let mut row_part = vec![0usize; nrows];
     let rows: Vec<usize> = (0..nrows).collect();
-    let cols: Vec<(usize, i64)> = (0..ncols).map(|j| (j, initial_cost)).collect();
+    let cols: Vec<(usize, i64)> = (0..ncols)
+        .map(|j| (j, initial_cost * col_scale[j]))
+        .collect();
     let mut state = RhbState {
         m,
         cfg,

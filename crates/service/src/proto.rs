@@ -15,6 +15,10 @@
 //! (+ `scale`, default `test`) or `matrix` (a Matrix Market path);
 //! `k` (default 4), `block_size` (default 60), `interface_drop_tol` /
 //! `schur_drop_tol` (default 1e-8), `krylov` (`gmres`|`bicgstab`);
+//! `partitioner` (`ngd`|`rhb`), `weights` (`unit`|`value`), `ordering`
+//! (`natural`|`postorder`|`hypergraph`|`rgb`, with `tau` for the
+//! hypergraph variant); `strategy` (`"auto"` samples the matrix and
+//! picks partitioner/weights/ordering/block size; explicit fields win);
 //! `rhs` (inline array), `rhs_seed` (deterministic vector), or neither
 //! (all-ones); `deadline_ms` (per-request wall-clock deadline);
 //! `retry_limit` (service-level retry budget, default 2). Fault
@@ -36,7 +40,10 @@
 
 use crate::json::{escape, num, Json};
 use crate::metrics::MetricsSnapshot;
-use pdslin::{ErrorCategory, FaultPlan, KrylovKind, PdslinError};
+use pdslin::{
+    ErrorCategory, FaultPlan, KrylovKind, PartitionerKind, PdslinError, RgbConfig, RhsOrdering,
+    WeightScheme,
+};
 use sparsekit::Fnv64;
 
 /// Where a request's matrix comes from.
@@ -92,6 +99,18 @@ pub struct SolveRequest {
     pub schur_drop_tol: f64,
     /// Outer Krylov method.
     pub krylov: KrylovKind,
+    /// DBBD partitioner.
+    pub partitioner: PartitionerKind,
+    /// Edge/net weighting of the partitioner.
+    pub weights: WeightScheme,
+    /// RHS ordering for the interface solves.
+    pub ordering: RhsOrdering,
+    /// Run the automatic strategy selector on the loaded matrix; fields
+    /// the client set explicitly still win over the selector.
+    pub auto_strategy: bool,
+    /// Which of partitioner / weights / ordering / block_size the client
+    /// set explicitly (bits 0..=3) — the selector leaves those alone.
+    pub explicit_fields: u8,
     /// The right-hand side.
     pub rhs: RhsSpec,
     /// Per-request wall-clock deadline, if any.
@@ -213,6 +232,39 @@ impl SolveRequest {
             KrylovKind::Gmres => 0,
             KrylovKind::Bicgstab => 1,
         });
+        // Partitioner, weighting and ordering all shape the
+        // factorization; two requests differing in any of them must not
+        // share a cache entry. `auto_strategy` resolves deterministically
+        // from the matrix, so folding the request-level flag (plus which
+        // fields the client pinned) keeps the key sound.
+        match self.partitioner {
+            PartitionerKind::Ngd => h.write_u8(0),
+            PartitionerKind::Rhb(cfg) => {
+                h.write_u8(1);
+                h.write_str(&PartitionerKind::Rhb(cfg).label());
+            }
+        }
+        h.write_u8(match self.weights {
+            WeightScheme::Unit => 0,
+            WeightScheme::ValueScaled => 1,
+        });
+        match self.ordering {
+            RhsOrdering::Natural => h.write_u8(0),
+            RhsOrdering::Postorder => h.write_u8(1),
+            RhsOrdering::Hypergraph { tau } => {
+                h.write_u8(2);
+                // τ lives in [0, 1]; -1 marks "no filter".
+                h.write_f64(tau.unwrap_or(-1.0));
+            }
+            RhsOrdering::Rgb(cfg) => {
+                h.write_u8(3);
+                h.write_u64(cfg.swap_iters as u64);
+                h.write_u64(cfg.max_depth as u64);
+                h.write_u64(cfg.min_partition as u64);
+            }
+        }
+        h.write_u8(u8::from(self.auto_strategy));
+        h.write_u8(self.explicit_fields);
         // A faulted request must not share (or poison) the clean entry
         // for the same matrix: fold the fault plan into the key.
         let f = &self.fault;
@@ -299,6 +351,67 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "bicgstab" => KrylovKind::Bicgstab,
                 other => return Err(format!("unknown krylov '{other}'")),
             };
+            let mut explicit_fields = 0u8;
+            let partitioner = match j.get("partitioner").and_then(Json::as_str) {
+                None => PartitionerKind::Ngd,
+                Some(p) => {
+                    explicit_fields |= 1;
+                    match p {
+                        "ngd" => PartitionerKind::Ngd,
+                        "rhb" => PartitionerKind::Rhb(Default::default()),
+                        other => return Err(format!("unknown partitioner '{other}' (ngd|rhb)")),
+                    }
+                }
+            };
+            let weights = match j.get("weights").and_then(Json::as_str) {
+                None => WeightScheme::Unit,
+                Some(w) => {
+                    explicit_fields |= 2;
+                    match w {
+                        "unit" => WeightScheme::Unit,
+                        "value" => WeightScheme::ValueScaled,
+                        other => return Err(format!("unknown weights '{other}' (unit|value)")),
+                    }
+                }
+            };
+            let ordering = match j.get("ordering").and_then(Json::as_str) {
+                None => RhsOrdering::Postorder,
+                Some(o) => {
+                    explicit_fields |= 4;
+                    match o {
+                        "natural" => RhsOrdering::Natural,
+                        "postorder" => RhsOrdering::Postorder,
+                        "hypergraph" => RhsOrdering::Hypergraph {
+                            tau: match j.get("tau") {
+                                None | Some(Json::Null) => None,
+                                Some(v) => Some(v.as_f64().ok_or("bad 'tau'")?),
+                            },
+                        },
+                        "rgb" => {
+                            let d = RgbConfig::default();
+                            RhsOrdering::Rgb(RgbConfig {
+                                swap_iters: field_u64(&j, "rgb_iters", d.swap_iters as u64)?
+                                    as usize,
+                                max_depth: field_u64(&j, "rgb_depth", d.max_depth as u64)? as usize,
+                                min_partition: field_u64(
+                                    &j,
+                                    "rgb_min_part",
+                                    d.min_partition as u64,
+                                )? as usize,
+                            })
+                        }
+                        other => return Err(format!("unknown ordering '{other}'")),
+                    }
+                }
+            };
+            if !matches!(j.get("block_size"), None | Some(Json::Null)) {
+                explicit_fields |= 8;
+            }
+            let auto_strategy = match j.get("strategy").and_then(Json::as_str) {
+                None => false,
+                Some("auto") => true,
+                Some(other) => return Err(format!("unknown strategy '{other}' (auto)")),
+            };
             let fault = FaultPlan {
                 worker_panic: opt_u64(&j, "worker_panic")?.map(|v| v as usize),
                 worker_panic_persistent: field_bool(&j, "worker_panic_persistent")?,
@@ -314,6 +427,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 interface_drop_tol: field_f64(&j, "interface_drop_tol", 1e-8)?,
                 schur_drop_tol: field_f64(&j, "schur_drop_tol", 1e-8)?,
                 krylov,
+                partitioner,
+                weights,
+                ordering,
+                auto_strategy,
+                explicit_fields,
                 rhs,
                 deadline_ms: opt_u64(&j, "deadline_ms")?,
                 retry_limit: field_u64(&j, "retry_limit", 2)? as u32,
@@ -573,6 +691,74 @@ mod tests {
             r#"{"id":"e","op":"solve","generate":"g3_circuit","rhs_seed":3,"deadline_ms":50}"#,
         );
         assert_eq!(a.spec_key(), e.spec_key());
+    }
+
+    #[test]
+    fn parses_strategy_and_ordering_fields() {
+        let s = parse_solve(
+            r#"{"id":"a","op":"solve","generate":"g3_circuit","partitioner":"rhb",
+                "weights":"value","ordering":"rgb","rgb_iters":3}"#,
+        );
+        assert!(matches!(s.partitioner, PartitionerKind::Rhb(_)));
+        assert_eq!(s.weights, WeightScheme::ValueScaled);
+        match s.ordering {
+            RhsOrdering::Rgb(cfg) => assert_eq!(cfg.swap_iters, 3),
+            other => panic!("expected rgb, got {other:?}"),
+        }
+        assert!(!s.auto_strategy);
+        assert_eq!(s.explicit_fields, 1 | 2 | 4);
+
+        let s = parse_solve(
+            r#"{"id":"b","op":"solve","generate":"g3_circuit","strategy":"auto","block_size":30}"#,
+        );
+        assert!(s.auto_strategy);
+        assert_eq!(s.explicit_fields, 8, "only block_size pinned");
+
+        assert!(parse_request(
+            r#"{"id":"x","op":"solve","generate":"g3_circuit","strategy":"manual"}"#
+        )
+        .is_err());
+        assert!(parse_request(
+            r#"{"id":"x","op":"solve","generate":"g3_circuit","ordering":"zigzag"}"#
+        )
+        .is_err());
+        assert!(parse_request(
+            r#"{"id":"x","op":"solve","generate":"g3_circuit","weights":"heavy"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn spec_key_separates_strategy_fields() {
+        let base = parse_solve(r#"{"id":"a","op":"solve","generate":"g3_circuit"}"#);
+        let rhb =
+            parse_solve(r#"{"id":"b","op":"solve","generate":"g3_circuit","partitioner":"rhb"}"#);
+        let val =
+            parse_solve(r#"{"id":"c","op":"solve","generate":"g3_circuit","weights":"value"}"#);
+        let rgb =
+            parse_solve(r#"{"id":"d","op":"solve","generate":"g3_circuit","ordering":"rgb"}"#);
+        let tau = parse_solve(
+            r#"{"id":"e","op":"solve","generate":"g3_circuit","ordering":"hypergraph","tau":0.4}"#,
+        );
+        let notau = parse_solve(
+            r#"{"id":"f","op":"solve","generate":"g3_circuit","ordering":"hypergraph"}"#,
+        );
+        let auto =
+            parse_solve(r#"{"id":"g","op":"solve","generate":"g3_circuit","strategy":"auto"}"#);
+        let keys = [
+            base.spec_key(),
+            rhb.spec_key(),
+            val.spec_key(),
+            rgb.spec_key(),
+            tau.spec_key(),
+            notau.spec_key(),
+            auto.spec_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "strategy fields must split the cache key");
+            }
+        }
     }
 
     #[test]

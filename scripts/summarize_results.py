@@ -104,8 +104,8 @@ def fig4():
     bs = sorted({r["block_size"] for r in rows})
     for m in mats:
         print(f"\n{m}:")
-        print("| B | natural | postorder | hypergraph |")
-        print("|---|---|---|---|")
+        print("| B | natural | postorder | hypergraph | rgb |")
+        print("|---|---|---|---|---|")
         for b in bs:
             cells = {}
             for r in rows:
@@ -113,7 +113,8 @@ def fig4():
                     cells[r["ordering"]] = r["avg"]
             print(
                 f"| {b} | {cells.get('natural', 0):.3f} | "
-                f"{cells.get('postorder', 0):.3f} | {cells.get('hypergraph', 0):.3f} |"
+                f"{cells.get('postorder', 0):.3f} | {cells.get('hypergraph', 0):.3f} | "
+                f"{cells.get('rgb', 0):.3f} |"
             )
 
 
@@ -210,6 +211,62 @@ def bench_kernels():
         )
 
 
+BENCH_PARTITION_SCHEMA = {
+    "matrix": str,
+    "block_size": int,
+    "natural": int,
+    "postorder": int,
+    "hypergraph": int,
+    "rgb": int,
+    "true_nnz": int,
+    "rgb_le_natural": bool,
+    "ngd_sep": int,
+    "ngd_vw_sep": int,
+    "rhb_sep": int,
+    "rhb_vw_sep": int,
+    "strategy": str,
+}
+
+
+def bench_partition():
+    rows = load("BENCH_partition")
+    if rows is None:
+        return
+    # Hard validation, like BENCH_service: CI gates on this file.
+    if not isinstance(rows, list) or not rows:
+        sys.exit("BENCH_partition.json: expected a non-empty list of rows")
+    if len({r.get("matrix") for r in rows}) < 3:
+        sys.exit("BENCH_partition.json: expected rows for at least 3 matrices")
+    for i, r in enumerate(rows):
+        for field, ty in BENCH_PARTITION_SCHEMA.items():
+            if field not in r:
+                sys.exit(f"BENCH_partition.json row {i}: missing field '{field}'")
+            v = r[field]
+            if ty is bool:
+                ok = isinstance(v, bool)
+            else:
+                ok = isinstance(v, ty) and not isinstance(v, bool)
+            if not ok:
+                sys.exit(
+                    f"BENCH_partition.json row {i}: field '{field}' is "
+                    f"{type(v).__name__}, expected {ty.__name__}"
+                )
+        if not r["rgb_le_natural"] or r["rgb"] > r["natural"]:
+            sys.exit(
+                f"BENCH_partition.json row {i}: rgb padding {r['rgb']} "
+                f"exceeds natural {r['natural']}"
+            )
+    print("\n## BENCH_partition (padded zeros per ordering; separators unit vs value-weighted)\n")
+    print("| matrix | B | natural | postorder | hypergraph | rgb | NGD sep u/v | RHB sep u/v | auto strategy |")
+    print("|---|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        print(
+            f"| {r['matrix']} | {r['block_size']} | {r['natural']} | {r['postorder']} | "
+            f"{r['hypergraph']} | {r['rgb']} | {r['ngd_sep']}/{r['ngd_vw_sep']} | "
+            f"{r['rhb_sep']}/{r['rhb_vw_sep']} | {r['strategy']} |"
+        )
+
+
 BENCH_SERVICE_SCHEMA = {
     "phase": str,
     "concurrency": int,
@@ -282,6 +339,7 @@ if __name__ == "__main__":
         supernodal,
         bench_kernels,
         bench_solve,
+        bench_partition,
         bench_service,
     ]:
         fn()

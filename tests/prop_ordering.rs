@@ -1,0 +1,196 @@
+//! Oracle property tests for the four RHS ordering strategies
+//! (natural, postorder, hypergraph, RGB), on randomized inputs with
+//! deterministic SplitMix64 seeds.
+//!
+//! Every ordering must (a) be a valid permutation, (b) report padding
+//! that matches an independent brute-force `HashSet` oracle, and
+//! (c) leave the blocked-solve *results* bit-identical — reordering is
+//! a layout optimisation, never a numerical one. RGB additionally must
+//! never pad more than the natural order (guaranteed by the guard in
+//! `order_columns_precomputed`).
+
+use std::collections::HashSet;
+
+use pdslin::rhs_order::{column_reaches, order_columns_precomputed, padding_of_order};
+use pdslin::{RgbConfig, RhsOrdering};
+use slu::blocked::solve_in_blocks_ordered;
+use slu::trisolve::SolveWorkspace;
+use slu::SparseVec;
+use sparsekit::budget::Budget;
+use sparsekit::{Coo, Csc, Rng64};
+
+fn all_orderings() -> [RhsOrdering; 4] {
+    [
+        RhsOrdering::Natural,
+        RhsOrdering::Postorder,
+        RhsOrdering::Hypergraph { tau: Some(0.4) },
+        RhsOrdering::Rgb(RgbConfig::default()),
+    ]
+}
+
+/// Lower-triangular chain factor with stride `skip`: column `j` has a
+/// single subdiagonal entry at row `j + skip`. Every solution entry
+/// receives at most one update and all values are powers of two, so the
+/// numeric solve is *exactly* order independent — any bitwise
+/// difference between orderings is a real bug, not rounding.
+fn chain_factor(n: usize, skip: usize) -> Csc {
+    let mut c = Coo::new(n, n);
+    for i in 0..n {
+        c.push(i, i, 1.0);
+        if i + skip < n {
+            c.push(i + skip, i, -0.5);
+        }
+    }
+    c.to_csr().to_csc()
+}
+
+/// Random sparse RHS columns with power-of-two values.
+fn random_cols(rng: &mut Rng64, n: usize, ncols: usize) -> Vec<SparseVec> {
+    (0..ncols)
+        .map(|_| {
+            let len = rng.range(1, 5);
+            let mut idx: Vec<usize> = (0..len).map(|_| rng.below(n)).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            let vals: Vec<f64> = idx
+                .iter()
+                .map(|_| [0.5, 1.0, 2.0, 4.0][rng.below(4)])
+                .collect();
+            SparseVec::new(idx, vals)
+        })
+        .collect()
+}
+
+/// Brute-force padding oracle: per block, the union pattern via a
+/// `HashSet`, padding = `|union| · |block| − Σ |reach|`.
+fn oracle_padding(reaches: &[Vec<usize>], order: &[usize], block_size: usize) -> (u64, u64) {
+    let mut padded = 0u64;
+    let mut true_nnz = 0u64;
+    for chunk in order.chunks(block_size) {
+        let mut union: HashSet<usize> = HashSet::new();
+        let mut chunk_true = 0u64;
+        for &j in chunk {
+            chunk_true += reaches[j].len() as u64;
+            union.extend(reaches[j].iter().copied());
+        }
+        padded += union.len() as u64 * chunk.len() as u64 - chunk_true;
+        true_nnz += chunk_true;
+    }
+    (padded, true_nnz)
+}
+
+fn is_permutation(order: &[usize], m: usize) -> bool {
+    let mut seen = vec![false; m];
+    order.len() == m
+        && order
+            .iter()
+            .all(|&j| j < m && !std::mem::replace(&mut seen[j], true))
+}
+
+#[test]
+fn padding_matches_bruteforce_oracle() {
+    for seed in 0..16u64 {
+        let mut rng = Rng64::new(seed);
+        let n = rng.range(24, 48);
+        let skip = rng.range(1, 4);
+        let l = chain_factor(n, skip);
+        let ncols = rng.range(8, 24);
+        let cols = random_cols(&mut rng, n, ncols);
+        let mut ws = SolveWorkspace::new(n);
+        let reaches = column_reaches(&cols, &l, &mut ws);
+        for &b in &[2usize, 3, 5, 8] {
+            for ord in all_orderings() {
+                let order = order_columns_precomputed(&cols, &reaches, n, b, ord);
+                assert!(
+                    is_permutation(&order, cols.len()),
+                    "seed {seed} B={b} {}: not a permutation: {order:?}",
+                    ord.label()
+                );
+                let fast = padding_of_order(&reaches, n, &order, b);
+                let slow = oracle_padding(&reaches, &order, b);
+                assert_eq!(
+                    fast,
+                    slow,
+                    "seed {seed} B={b} {}: bitset padding disagrees with oracle",
+                    ord.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_solve_identical_across_orderings() {
+    for seed in 0..16u64 {
+        let mut rng = Rng64::new(seed);
+        let n = rng.range(24, 48);
+        let skip = rng.range(1, 4);
+        let l = chain_factor(n, skip);
+        let ncols = rng.range(8, 24);
+        let cols = random_cols(&mut rng, n, ncols);
+        let mut ws = SolveWorkspace::new(n);
+        let reaches = column_reaches(&cols, &l, &mut ws);
+        let b = rng.range(2, 6);
+        // Reference: natural order, densified per original column.
+        let mut reference: Option<Vec<Vec<f64>>> = None;
+        for ord in all_orderings() {
+            let order = order_columns_precomputed(&cols, &reaches, n, b, ord);
+            let (sols, _) =
+                solve_in_blocks_ordered(&l, false, &cols, &order, b, 1, &Budget::unlimited())
+                    .expect("unlimited budget never interrupts");
+            // Position p of the output solves `cols[order[p]]`: un-permute
+            // into original column index, then densify.
+            let mut dense = vec![vec![0.0f64; n]; cols.len()];
+            for (p, sol) in sols.iter().enumerate() {
+                let j = order[p];
+                for (&i, &v) in sol.indices.iter().zip(&sol.values) {
+                    dense[j][i] = v;
+                }
+            }
+            match &reference {
+                None => reference = Some(dense),
+                Some(r) => {
+                    for (j, (got, want)) in dense.iter().zip(r).enumerate() {
+                        assert!(
+                            got.iter()
+                                .zip(want)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "seed {seed} {}: column {j} differs from natural order",
+                            ord.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rgb_never_pads_more_than_natural() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(seed);
+        let n = rng.range(24, 64);
+        let skip = rng.range(1, 4);
+        let l = chain_factor(n, skip);
+        let ncols = rng.range(6, 28);
+        let cols = random_cols(&mut rng, n, ncols);
+        let mut ws = SolveWorkspace::new(n);
+        let reaches = column_reaches(&cols, &l, &mut ws);
+        for &b in &[2usize, 4, 7] {
+            let natural: Vec<usize> = (0..cols.len()).collect();
+            let rgb = order_columns_precomputed(
+                &cols,
+                &reaches,
+                n,
+                b,
+                RhsOrdering::Rgb(RgbConfig::default()),
+            );
+            let p_nat = padding_of_order(&reaches, n, &natural, b).0;
+            let p_rgb = padding_of_order(&reaches, n, &rgb, b).0;
+            assert!(
+                p_rgb <= p_nat,
+                "seed {seed} B={b}: rgb {p_rgb} > natural {p_nat}"
+            );
+        }
+    }
+}

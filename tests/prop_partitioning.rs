@@ -69,6 +69,73 @@ fn rhb_always_yields_valid_dbbd() {
     }
 }
 
+/// Random symmetric matrix with strongly heterogeneous magnitudes:
+/// a handful of couplings are 100× the background, so value-scaled
+/// weights genuinely differ from unit weights.
+fn random_heterogeneous(rng: &mut Rng64, n_max: usize) -> Csr {
+    let n = rng.range(48, n_max);
+    let mut c = Coo::new(n, n);
+    for i in 0..n {
+        c.push(i, i, 4.0);
+        if i + 1 < n {
+            let v = if rng.below(8) == 0 { -100.0 } else { -1.0 };
+            c.push_sym(i, i + 1, v);
+        }
+    }
+    for _ in 0..2 * n {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            let w = if rng.below(8) == 0 { -50.0 } else { -0.5 };
+            c.push_sym(u, v, w);
+        }
+    }
+    c.to_csr()
+}
+
+/// Value-weighted ND and RHB must keep every DBBD invariant of the unit
+/// path — validity, full coverage — and stay balanced: no subdomain may
+/// swallow most of the interior. This is the regression net for the
+/// `WeightScheme::ValueScaled` plumbing through both partitioners.
+#[test]
+fn value_weighted_partitions_stay_valid_and_balanced() {
+    use pdslin::{compute_partition_weighted, PartitionerKind, WeightScheme};
+    let k = 4usize;
+    for seed in 0..24 {
+        let mut rng = Rng64::new(seed);
+        let a = random_heterogeneous(&mut rng, 96);
+        let n = a.nrows();
+        for kind in [
+            PartitionerKind::Ngd,
+            PartitionerKind::Rhb(Default::default()),
+        ] {
+            for weights in [WeightScheme::Unit, WeightScheme::ValueScaled] {
+                let part = compute_partition_weighted(&a, k, &kind, weights);
+                assert!(dbbd_is_valid(&a, &part), "seed {seed} {kind:?} {weights:?}");
+                let sizes = part.subdomain_sizes();
+                let interior: usize = sizes.iter().sum();
+                assert_eq!(
+                    interior + part.separator_size(),
+                    n,
+                    "seed {seed} {kind:?} {weights:?}"
+                );
+                // Balance: recursive bisection halves the interior at
+                // every level, so with k = 4 no single subdomain may
+                // hold more than ~three quarters of it. Tiny interiors
+                // (wide separator on a near-random graph) are exempt —
+                // there the bound is dominated by integer effects.
+                let max = sizes.iter().copied().max().unwrap_or(0);
+                if interior >= 24 {
+                    assert!(
+                        max * 4 <= interior * 3,
+                        "seed {seed} {kind:?} {weights:?}: subdomain {max} of {interior}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn vertex_separator_always_separates() {
     for seed in 0..24 {
