@@ -1,0 +1,204 @@
+//! Measured multi-process `LU(D)` speedups vs the parsim prediction.
+//!
+//! The paper's parallel-performance analysis (§V / Fig. 1) rests on a
+//! simulated schedule built from measured sequential costs. This harness
+//! closes the loop for the one phase the repo can genuinely parallelize
+//! across *processes*: it shards `LU(D)` over 1/2/4 supervised worker
+//! processes (`crates/shard`), measures the real wall-clock of the
+//! sharded phase, and writes it side by side with parsim's predicted
+//! `LU(D)` window at the same core count — so the simulator's
+//! assumptions can be checked against a real multi-process execution on
+//! the same machine.
+//!
+//! One extra row per matrix re-runs the widest configuration with an
+//! injected worker kill (`FaultPlan::worker_kill`), recording the
+//! recovery counters: the measured cost of crash tolerance.
+//!
+//! Output: `results/BENCH_shard.json` (schema validated by
+//! `scripts/summarize_results.py`).
+
+use std::time::Instant;
+
+use matgen::MatrixKind;
+use parsim::pdslin_model::{simulate_config, MeasuredCosts};
+use parsim::Machine;
+use pdslin::{Budget, FaultPlan, Pdslin, PdslinConfig};
+use pdslin_bench::{fmt_secs, json_record, scale_from_env, write_json};
+use pdslin_shard::{shard_setup, ShardConfig};
+
+json_record! {
+    struct Row {
+        matrix: String,
+        n: usize,
+        nnz: usize,
+        k: usize,
+        workers: usize,
+        injected_kill: bool,
+        inproc_lu_d_s: f64,
+        shard_lu_d_s: f64,
+        measured_speedup: f64,
+        parsim_lu_d_s: f64,
+        parsim_speedup: f64,
+        workers_lost: usize,
+        respawns: usize,
+        reassigned_domains: usize,
+        factorizations_remote: usize,
+        factorizations_local: usize,
+        factorizations_reused: usize,
+        degraded: bool,
+        bit_identical: bool,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let kinds = [MatrixKind::G3Circuit, MatrixKind::Asic680ks];
+    let k = 8;
+    let worker_counts = [1usize, 2, 4];
+    let budget = Budget::unlimited();
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!(
+        "{:<12} {:>3} {:>7} {:>5} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "matrix",
+        "w",
+        "kill",
+        "k",
+        "inproc LU(D)",
+        "shard LU(D)",
+        "measured",
+        "parsim LU(D)",
+        "predicted"
+    );
+    for kind in kinds {
+        let a = matgen::generate(kind, scale);
+        let cfg = PdslinConfig {
+            k,
+            ..Default::default()
+        };
+
+        // In-process baseline: sequential LU(D) wall + per-domain costs
+        // (the measured inputs of the parsim model) + the reference
+        // solution for the bit-identity check.
+        let mut baseline = Pdslin::setup_budgeted(&a, cfg, &budget)
+            .unwrap_or_else(|f| panic!("in-process setup failed: {}", f.error));
+        let inproc_lu_d = baseline.stats.times.lu_d;
+        let costs = MeasuredCosts {
+            lu_d: baseline.stats.domain_costs.lu_d.clone(),
+            comp_s: baseline.stats.domain_costs.comp_s.clone(),
+            gather_bytes: baseline
+                .stats
+                .nnz_t
+                .iter()
+                .map(|&nnz| 12.0 * nnz as f64)
+                .collect(),
+            lu_s: baseline.stats.times.lu_s,
+            solve: 0.0,
+        };
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| 1.0 + ((i * 7) % 23) as f64 / 23.0)
+            .collect();
+        let x_ref = baseline.solve(&b).expect("baseline solve").x;
+        // parsim's LU(D) window with one core per worker process.
+        let predict = |workers: usize| {
+            simulate_config(
+                &costs,
+                &Machine {
+                    cores: workers,
+                    ..Machine::default()
+                },
+                k,
+            )
+            .0
+            .lu_d
+        };
+        let parsim_serial = predict(1);
+
+        for &workers in &worker_counts {
+            for injected_kill in [false, true] {
+                // One injected-kill row per matrix, at the widest sweep
+                // point, so the recovery cost is visible next to the
+                // clean measurement it perturbs.
+                if injected_kill && workers != *worker_counts.last().unwrap() {
+                    continue;
+                }
+                let mut fcfg = cfg;
+                if injected_kill {
+                    fcfg.fault = FaultPlan {
+                        worker_kill: Some(k - 1),
+                        ..Default::default()
+                    };
+                }
+                let shard = ShardConfig {
+                    workers,
+                    ..Default::default()
+                };
+                let t0 = Instant::now();
+                let (mut solver, report) = shard_setup(&a, fcfg, &shard, &budget)
+                    .unwrap_or_else(|f| panic!("shard setup failed: {}", f.error));
+                let _total = t0.elapsed();
+                let x = solver.solve(&b).expect("shard solve").x;
+                let bit_identical = x.len() == x_ref.len()
+                    && x.iter()
+                        .zip(&x_ref)
+                        .all(|(u, v)| u.to_bits() == v.to_bits());
+                let shard_lu_d = report.lu_d_wall_seconds;
+                let parsim_lu_d = predict(workers);
+                let row = Row {
+                    matrix: kind.name().to_string(),
+                    n: a.nrows(),
+                    nnz: a.nnz(),
+                    k,
+                    workers,
+                    injected_kill,
+                    inproc_lu_d_s: inproc_lu_d,
+                    shard_lu_d_s: shard_lu_d,
+                    measured_speedup: if shard_lu_d > 0.0 {
+                        inproc_lu_d / shard_lu_d
+                    } else {
+                        f64::NAN
+                    },
+                    parsim_lu_d_s: parsim_lu_d,
+                    parsim_speedup: if parsim_lu_d > 0.0 {
+                        parsim_serial / parsim_lu_d
+                    } else {
+                        f64::NAN
+                    },
+                    workers_lost: report.workers_lost,
+                    respawns: report.respawns,
+                    reassigned_domains: report.reassigned_domains,
+                    factorizations_remote: report.factorizations_remote,
+                    factorizations_local: report.factorizations_local,
+                    factorizations_reused: solver.stats.factorizations_reused,
+                    degraded: report.degraded_to_in_process,
+                    bit_identical,
+                };
+                println!(
+                    "{:<12} {:>3} {:>7} {:>5} {:>12} {:>12} {:>8.2}x {:>11} {:>8.2}x{}{}",
+                    row.matrix,
+                    row.workers,
+                    if row.injected_kill { "kill" } else { "-" },
+                    row.k,
+                    fmt_secs(row.inproc_lu_d_s),
+                    fmt_secs(row.shard_lu_d_s),
+                    row.measured_speedup,
+                    fmt_secs(row.parsim_lu_d_s),
+                    row.parsim_speedup,
+                    if row.degraded { "  [degraded]" } else { "" },
+                    if row.bit_identical {
+                        ""
+                    } else {
+                        "  [MISMATCH]"
+                    },
+                );
+                assert!(
+                    row.bit_identical,
+                    "sharded solve diverged from in-process on {}",
+                    row.matrix
+                );
+                rows.push(row);
+            }
+        }
+    }
+    write_json("BENCH_shard", &rows);
+}

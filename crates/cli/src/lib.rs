@@ -78,7 +78,7 @@ impl Args {
 /// be silently ignored and leave the user running with defaults.
 pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
     const SOURCE: [&str; 3] = ["matrix", "generate", "scale"];
-    const SOLVE: [&str; 21] = [
+    const SOLVE: [&str; 22] = [
         "matrix",
         "generate",
         "scale",
@@ -100,6 +100,7 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "schur-drop",
         "deadline",
         "mem-budget-mb",
+        "shard-workers",
     ];
     const PARTITION: [&str; 9] = [
         "matrix",
@@ -361,7 +362,7 @@ USAGE:
                    [--ordering natural|postorder|hypergraph|rgb [--tau T]
                     [--rgb-iters N] [--rgb-depth N] [--rgb-min-part N]]
                    [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
-                   [--deadline SECS] [--mem-budget-mb MB]
+                   [--deadline SECS] [--mem-budget-mb MB] [--shard-workers N]
   pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
                    [--k K] [--partitioner ...] [--weights unit|value]
                    [--strategy auto]
@@ -379,6 +380,11 @@ USAGE:
   {\"id\":\"m\",\"op\":\"metrics\"}    {\"id\":\"bye\",\"op\":\"shutdown\"}
 Factorizations are cached by matrix content; compatible concurrent
 requests coalesce into one batched solve. See docs/robustness.md.
+
+`--shard-workers N` runs the LU(D) phase across N supervised worker
+*processes* (crash-tolerant: heartbeats, respawn, reassignment, and
+degradation to in-process execution — see docs/robustness.md). Results
+are bit-identical to the in-process path.
 
 `--strategy auto` samples structural features of the matrix and picks
 partitioner, weighting, RHS ordering and block size; explicit flags
@@ -556,6 +562,13 @@ mod tests {
     fn unknown_options_are_rejected_per_subcommand() {
         let ok = parse_args(argv("solve --generate g3_circuit --k 4 --tol 1e-8")).unwrap();
         assert!(validate_options(&ok).is_ok());
+        let sharded = parse_args(argv("solve --generate g3_circuit --shard-workers 4")).unwrap();
+        assert!(validate_options(&sharded).is_ok());
+        assert_eq!(sharded.parse_or("shard-workers", 0usize).unwrap(), 4);
+        // …but only for `solve`; `partition` has no process substrate.
+        let wrong_cmd =
+            parse_args(argv("partition --generate g3_circuit --shard-workers 2")).unwrap();
+        assert!(validate_options(&wrong_cmd).is_err());
         let typo = parse_args(argv("solve --generate g3_circuit --blocksize 32")).unwrap();
         let err = validate_options(&typo).unwrap_err();
         assert!(err.contains("--blocksize"), "{err}");

@@ -275,32 +275,7 @@ impl Pdslin {
         cfg: PdslinConfig,
         budget: &Budget,
     ) -> Result<Pdslin, SetupFailure> {
-        let n = a.nrows();
-        if a.ncols() != n {
-            return Err(PdslinError::InvalidInput {
-                message: format!("matrix must be square, got {n}x{}", a.ncols()),
-            }
-            .into());
-        }
-        if n == 0 {
-            return Err(PdslinError::InvalidInput {
-                message: "matrix is empty".to_string(),
-            }
-            .into());
-        }
-        if cfg.k == 0 || cfg.k > n {
-            return Err(PdslinError::InvalidInput {
-                message: format!("k = {} must be in 1..={n}", cfg.k),
-            }
-            .into());
-        }
-        if let Some(i) = first_nonfinite_row(a) {
-            return Err(PdslinError::NonFiniteInput {
-                what: "A",
-                index: i,
-            }
-            .into());
-        }
+        Self::validate_input(a, &cfg)?;
 
         match Self::setup_attempt(
             a,
@@ -340,18 +315,43 @@ impl Pdslin {
         }
     }
 
-    /// One full setup pass. `force_natural_block` skips the configured
-    /// partitioner (used by the whole-setup retry after a double worker
-    /// panic); `inject_panic` is the fault-injection target for this
-    /// pass.
-    fn setup_attempt(
+    /// Input validation shared by every setup entry point (including the
+    /// multi-process shard supervisor via [`Pdslin::prepare_system`]).
+    fn validate_input(a: &Csr, cfg: &PdslinConfig) -> Result<(), PdslinError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(PdslinError::InvalidInput {
+                message: format!("matrix must be square, got {n}x{}", a.ncols()),
+            });
+        }
+        if n == 0 {
+            return Err(PdslinError::InvalidInput {
+                message: "matrix is empty".to_string(),
+            });
+        }
+        if cfg.k == 0 || cfg.k > n {
+            return Err(PdslinError::InvalidInput {
+                message: format!("k = {} must be in 1..={n}", cfg.k),
+            });
+        }
+        if let Some(i) = first_nonfinite_row(a) {
+            return Err(PdslinError::NonFiniteInput {
+                what: "A",
+                index: i,
+            });
+        }
+        Ok(())
+    }
+
+    /// Phases 1–2 (partition → extract), shared by the in-process setup
+    /// and [`Pdslin::prepare_system`].
+    fn prepare_inner(
         a: &Csr,
         cfg: &PdslinConfig,
         budget: &Budget,
-        mut recovery: RecoveryReport,
+        recovery: &mut RecoveryReport,
         force_natural_block: bool,
-        inject_panic: Option<usize>,
-    ) -> Result<Pdslin, SetupFailure> {
+    ) -> Result<(DbbdSystem, SetupStats), PdslinError> {
         let mut stats = SetupStats::default();
 
         phase_check(budget, "partition", &stats)?;
@@ -365,7 +365,7 @@ impl Pdslin {
                 &cfg.partitioner,
                 cfg.weights,
                 cfg.fault.fail_partitioner,
-                &mut recovery,
+                recovery,
             )?
         };
         stats.times.partition = t.elapsed().as_secs_f64();
@@ -379,6 +379,71 @@ impl Pdslin {
         stats.nnz_d = sys.domains.iter().map(|d| d.d.nnz()).collect();
         stats.nnzcol_e = sys.domains.iter().map(|d| d.e_cols.len()).collect();
         stats.nnz_e = sys.domains.iter().map(|d| d.e_hat.nnz()).collect();
+        Ok((sys, stats))
+    }
+
+    /// The front half of `setup` — validation, partitioning, and DBBD
+    /// extraction — without factoring anything. External execution
+    /// substrates (the multi-process shard supervisor in `crates/shard`)
+    /// use this to obtain the exact subdomain blocks the in-process
+    /// setup would factor, distribute `LU(D)` elsewhere, and re-enter the
+    /// pipeline through [`Pdslin::complete_setup`]; going through this
+    /// pair guarantees the distributed run is bit-identical to
+    /// [`Pdslin::setup_budgeted`] on the same input.
+    pub fn prepare_system(
+        a: &Csr,
+        cfg: &PdslinConfig,
+        budget: &Budget,
+    ) -> Result<(DbbdSystem, SetupStats, RecoveryReport), PdslinError> {
+        Self::validate_input(a, cfg)?;
+        let mut recovery = RecoveryReport::default();
+        let (sys, stats) = Self::prepare_inner(a, cfg, budget, &mut recovery, false)?;
+        Ok((sys, stats, recovery))
+    }
+
+    /// The back half of `setup` — `Comp(S)`, memory admission, Schur
+    /// assembly, and `LU(S̃)` — from already-factored subdomains.
+    /// Counterpart of [`Pdslin::prepare_system`]: `factors[ℓ]` must
+    /// factor `sys.domains[ℓ].d` under `cfg`, and `stats`/`recovery`
+    /// carry whatever the caller accumulated producing them (the caller
+    /// sets `stats.factorizations` / `stats.factorizations_reused`).
+    /// Errors past this point carry a [`SetupCheckpoint`] exactly like
+    /// the in-process setup.
+    pub fn complete_setup(
+        sys: DbbdSystem,
+        factors: Vec<FactoredDomain>,
+        stats: SetupStats,
+        recovery: RecoveryReport,
+        cfg: PdslinConfig,
+        budget: &Budget,
+    ) -> Result<Pdslin, SetupFailure> {
+        if factors.len() != sys.domains.len() {
+            return Err(PdslinError::InvalidInput {
+                message: format!(
+                    "{} factors for {} domains",
+                    factors.len(),
+                    sys.domains.len()
+                ),
+            }
+            .into());
+        }
+        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget)
+    }
+
+    /// One full setup pass. `force_natural_block` skips the configured
+    /// partitioner (used by the whole-setup retry after a double worker
+    /// panic); `inject_panic` is the fault-injection target for this
+    /// pass.
+    fn setup_attempt(
+        a: &Csr,
+        cfg: &PdslinConfig,
+        budget: &Budget,
+        mut recovery: RecoveryReport,
+        force_natural_block: bool,
+        inject_panic: Option<usize>,
+    ) -> Result<Pdslin, SetupFailure> {
+        let (sys, mut stats) =
+            Self::prepare_inner(a, cfg, budget, &mut recovery, force_natural_block)?;
 
         // LU(D): one parallel task per subdomain (level-1 parallelism),
         // each with its own retry escalation, isolated under

@@ -30,6 +30,7 @@
 
 pub mod budget;
 pub mod checkpoint;
+pub mod codec;
 pub mod driver;
 pub mod error;
 pub mod extract;

@@ -23,6 +23,8 @@ use std::sync::{Arc, Mutex};
 use pdslin::Pdslin;
 use sparsekit::spgemm::csr_bytes;
 
+use crate::sync::{lock_recover, try_lock_recover};
+
 /// Estimated resident bytes of a finished factorization: the extracted
 /// DBBD system (`D`, `Ê`, `F̂`, `C`) plus every LU factor, using the
 /// same CSR byte model as the setup-time memory admission.
@@ -95,7 +97,7 @@ impl FactorCache {
 
     /// Looks up `key`, bumping its recency and the hit/miss counters.
     pub fn lookup(&self, key: u64) -> Option<Arc<CacheEntry>> {
-        let map = self.map.lock().unwrap();
+        let map = lock_recover(&self.map);
         match map.entries.get(&key) {
             Some(e) => {
                 e.last_used.store(self.tick(), Ordering::Relaxed);
@@ -121,7 +123,7 @@ impl FactorCache {
             solver: Mutex::new(solver),
             last_used: AtomicU64::new(self.tick()),
         });
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock_recover(&self.map);
         if let Some(old) = map.entries.insert(key, Arc::clone(&entry)) {
             // Same key raced in twice (e.g. two distinct spec keys naming
             // identical content); the replaced entry keeps serving its
@@ -167,7 +169,7 @@ impl FactorCache {
 
     /// (entries, estimated bytes) currently resident.
     pub fn usage(&self) -> (usize, usize) {
-        let map = self.map.lock().unwrap();
+        let map = lock_recover(&self.map);
         (map.entries.len(), map.total_bytes)
     }
 
@@ -176,12 +178,12 @@ impl FactorCache {
     /// stalling the metrics request behind a long solve).
     pub fn scratch_totals(&self) -> (u64, u64, u64) {
         let entries: Vec<Arc<CacheEntry>> = {
-            let map = self.map.lock().unwrap();
+            let map = lock_recover(&self.map);
             map.entries.values().cloned().collect()
         };
         let (mut lanes, mut allocations, mut solves) = (0u64, 0u64, 0u64);
         for e in entries {
-            if let Ok(solver) = e.solver.try_lock() {
+            if let Some(solver) = try_lock_recover(&e.solver) {
                 let s = solver.scratch_stats();
                 lanes += s.lanes as u64;
                 allocations += s.allocations;
@@ -266,6 +268,35 @@ mod tests {
             .solve(&vec![1.0; n])
             .expect("evicted entry still solves");
         assert!(out.converged);
+    }
+
+    #[test]
+    fn poisoned_entry_does_not_take_down_the_cache() {
+        let cache = FactorCache::new(1 << 30);
+        let e = cache.insert(1, small_solver());
+        // A panicking request poisons the entry's solver lock…
+        let poisoner = Arc::clone(&e);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.solver.lock().unwrap();
+            panic!("request dies while holding the solver");
+        })
+        .join();
+        assert!(e.solver.lock().is_err(), "the lock must actually poison");
+        // …but the daemon keeps serving: lookups, new solves through the
+        // recovered guard, metrics sweeps, and inserts all still work.
+        let again = cache.lookup(1).expect("entry still resident");
+        let mut solver = crate::sync::lock_recover(&again.solver);
+        let n = solver.sys.part.part_of.len();
+        assert!(solver.solve(&vec![1.0; n]).expect("still solves").converged);
+        drop(solver);
+        let (lanes, _, solves) = cache.scratch_totals();
+        assert!(
+            lanes >= 1,
+            "poisoned-but-free entry is counted, not skipped"
+        );
+        assert!(solves >= 1);
+        cache.insert(2, small_solver());
+        assert_eq!(cache.usage().0, 2);
     }
 
     #[test]

@@ -243,12 +243,23 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Copy the maximal run of plain bytes in one shot.
+                    // Validating per-character would re-scan the whole
+                    // remaining tail each time — quadratic in the string
+                    // length, which matters for the megabyte hex payloads
+                    // the shard wire protocol carries. Stopping at `"` or
+                    // `\` never splits a UTF-8 scalar: both are ASCII and
+                    // cannot appear inside a multi-byte sequence.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -328,6 +339,21 @@ mod tests {
         let quoted = escape(original);
         let parsed = Json::parse(&quoted).unwrap();
         assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn megabyte_payload_string_parses_in_linear_time() {
+        // The shard wire protocol ships hex-encoded factor payloads of
+        // several megabytes in one string field. The old per-character
+        // path re-validated the whole remaining tail for every byte —
+        // quadratic, minutes of CPU at this size — which showed up as
+        // spurious heartbeat timeouts in the shard supervisor. This
+        // round-trip finishes instantly with the linear run-copy path
+        // and regresses loudly (test timeout) with the quadratic one.
+        let payload = "0123456789abcdef".repeat(1 << 16);
+        let doc = format!("{{\"op\":\"done\",\"payload\":\"{payload}\"}}");
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("payload").unwrap().as_str(), Some(&payload[..]));
     }
 
     #[test]

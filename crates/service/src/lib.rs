@@ -39,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod sync;
 pub mod transport;
 
 pub use cache::{solver_bytes_estimate, FactorCache};

@@ -43,6 +43,7 @@ use sparsekit::csr_fingerprint;
 use crate::cache::{CacheEntry, FactorCache};
 use crate::metrics::{add, Metrics, MetricsSnapshot};
 use crate::proto::{Response, ResponseBody, SolveReply, SolveRequest};
+use crate::sync::{lock_recover, wait_recover};
 
 /// Tunables for one service instance.
 #[derive(Clone, Debug)]
@@ -180,7 +181,7 @@ impl Service {
         let inner = &self.inner;
         let spec_key = solve.spec_key();
         let deadline_ms = solve.deadline_ms.or(inner.cfg.default_deadline_ms);
-        let mut q = inner.queue.lock().unwrap();
+        let mut q = lock_recover(&inner.queue);
         if !q.open {
             add(&inner.metrics.overloaded, 1);
             let depth = q.jobs.len();
@@ -224,7 +225,7 @@ impl Service {
     }
 
     fn retry_after_hint(&self, depth: usize) -> u64 {
-        let ema = *self.inner.ema_solve_ms.lock().unwrap();
+        let ema = *lock_recover(&self.inner.ema_solve_ms);
         let per = if ema > 0.0 { ema } else { 10.0 };
         let workers = self.inner.cfg.workers.max(1) as f64;
         (((depth + 1) as f64 * per / workers).ceil() as u64).max(1)
@@ -234,7 +235,7 @@ impl Service {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let inner = &self.inner;
         let mut s = inner.metrics.snapshot();
-        s.queue_depth = inner.queue.lock().unwrap().jobs.len();
+        s.queue_depth = lock_recover(&inner.queue).jobs.len();
         let (h, m, e) = inner.cache.counters();
         s.cache_hits = h;
         s.cache_misses = m;
@@ -246,7 +247,7 @@ impl Service {
         s.scratch_lanes = lanes;
         s.scratch_allocations = allocations;
         s.scratch_solves = solves;
-        s.ema_solve_ms = *inner.ema_solve_ms.lock().unwrap();
+        s.ema_solve_ms = *lock_recover(&inner.ema_solve_ms);
         s
     }
 
@@ -256,28 +257,28 @@ impl Service {
     pub fn shutdown(&self, drain: Duration) -> ShutdownReport {
         let inner = &self.inner;
         {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = lock_recover(&inner.queue);
             q.open = false;
         }
         inner.cond.notify_all();
-        *inner.drain_deadline.lock().unwrap() = Some(Instant::now() + drain);
+        *lock_recover(&inner.drain_deadline) = Some(Instant::now() + drain);
 
         let answered_before = inner.metrics.completed_ok.load(Ordering::Relaxed)
             + inner.metrics.failed.load(Ordering::Relaxed);
         let cancelled_before = inner.metrics.cancelled_shutdown.load(Ordering::Relaxed);
 
-        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        let workers = std::mem::take(&mut *lock_recover(&self.workers));
         for w in workers {
             let _ = w.join();
         }
         inner.reaper_stop.store(true, Ordering::Release);
-        if let Some(r) = self.reaper.lock().unwrap().take() {
+        if let Some(r) = lock_recover(&self.reaper).take() {
             let _ = r.join();
         }
         // Workers and reaper are gone; anything still queued (races at
         // the very end of the drain window) is flushed here.
         let leftovers: Vec<Job> = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = lock_recover(&inner.queue);
             q.jobs.drain(..).collect()
         };
         for job in leftovers {
@@ -304,7 +305,7 @@ impl Drop for Service {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let batch = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = lock_recover(&inner.queue);
             loop {
                 if let Some(head) = q.jobs.pop_front() {
                     break collect_batch(inner, &mut q, head);
@@ -312,7 +313,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if !q.open {
                     return;
                 }
-                q = inner.cond.wait(q).unwrap();
+                q = wait_recover(&inner.cond, q);
             }
         };
         process(inner, batch);
@@ -349,7 +350,7 @@ fn reaper_loop(inner: &Arc<Inner>) {
         // Sweep queue-expired jobs so a busy worker pool cannot strand a
         // request past its deadline.
         let expired: Vec<Job> = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = lock_recover(&inner.queue);
             let mut out = Vec::new();
             let mut i = 0;
             while i < q.jobs.len() {
@@ -376,15 +377,11 @@ fn reaper_loop(inner: &Arc<Inner>) {
         }
         // Past the drain deadline: cancel in-flight work and flush the
         // remaining queue with typed cancellations.
-        let drain_over = inner
-            .drain_deadline
-            .lock()
-            .unwrap()
-            .is_some_and(|d| d <= now);
+        let drain_over = lock_recover(&inner.drain_deadline).is_some_and(|d| d <= now);
         if drain_over {
             inner.shutdown_token.cancel();
             let rest: Vec<Job> = {
-                let mut q = inner.queue.lock().unwrap();
+                let mut q = lock_recover(&inner.queue);
                 q.jobs.drain(..).collect()
             };
             for job in rest {
@@ -481,7 +478,7 @@ fn solver_config(req: &SolveRequest, a: &sparsekit::Csr) -> PdslinConfig {
 }
 
 fn observe_solve_ms(inner: &Inner, ms: f64) {
-    let mut e = inner.ema_solve_ms.lock().unwrap();
+    let mut e = lock_recover(&inner.ema_solve_ms);
     *e = if *e == 0.0 { ms } else { 0.8 * *e + 0.2 * ms };
 }
 
@@ -527,7 +524,7 @@ fn process(inner: &Arc<Inner>, mut jobs: Vec<Job>) {
 fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &'static str, f64)> {
     let spec = &jobs[0].solve;
     let spec_key = jobs[0].spec_key;
-    if let Some(&ck) = inner.memo.lock().unwrap().get(&spec_key) {
+    if let Some(&ck) = lock_recover(&inner.memo).get(&spec_key) {
         if let Some(entry) = inner.cache.lookup(ck) {
             return Some((entry, "hit", 0.0));
         }
@@ -543,7 +540,7 @@ fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &
         }
     };
     let cache_key = spec.cache_key(csr_fingerprint(&a));
-    inner.memo.lock().unwrap().insert(spec_key, cache_key);
+    lock_recover(&inner.memo).insert(spec_key, cache_key);
     if let Some(entry) = inner.cache.lookup(cache_key) {
         return Some((entry, "hit", ms_since(t0)));
     }
@@ -572,7 +569,7 @@ fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &
     // A previous deadline-interrupted setup may have stranded a
     // checkpoint with LU(D) already done: resume it instead of paying
     // the factorizations again.
-    let stashed = inner.stash.lock().unwrap().remove(&cache_key);
+    let stashed = lock_recover(&inner.stash).remove(&cache_key);
     let result = match stashed {
         Some(ckpt) => Pdslin::resume(*ckpt, &budget),
         None => Pdslin::setup_budgeted(&a, solver_config(spec, &a), &budget),
@@ -606,7 +603,7 @@ fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &
         }
         Err(failure) => {
             if let Some(ckpt) = failure.checkpoint {
-                inner.stash.lock().unwrap().insert(cache_key, ckpt);
+                lock_recover(&inner.stash).insert(cache_key, ckpt);
             }
             for job in jobs {
                 reply_error(inner, job, &failure.error, 0);
@@ -637,7 +634,7 @@ fn process_coalesced(
     let batch_result = match budget_until(inner, deadline) {
         Err(_) => None, // tightest deadline already passed; solo paths sort it out
         Ok(budget) => {
-            let mut solver = entry.solver.lock().unwrap();
+            let mut solver = lock_recover(&entry.solver);
             let n = solver.sys.part.part_of.len();
             let mut rhs = Vec::with_capacity(jobs.len());
             let mut bad_len = false;
@@ -736,7 +733,7 @@ fn process_solo(
             match budget_until(inner, job.deadline) {
                 Err(e) => Err(e),
                 Ok(budget) => {
-                    let mut solver = entry.solver.lock().unwrap();
+                    let mut solver = lock_recover(&entry.solver);
                     let n = solver.sys.part.part_of.len();
                     let b = job.solve.rhs.build(n);
                     if b.len() != n {

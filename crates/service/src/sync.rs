@@ -1,0 +1,75 @@
+//! Poison-tolerant locking for the daemon's shared state.
+//!
+//! A panic inside one request's critical section (a worker thread dying
+//! mid-solve, a panicking fault injection) poisons the `Mutex` it held.
+//! With the standard `lock().unwrap()` idiom that poison then cascades:
+//! every future request touching the cache, queue, or metrics panics in
+//! turn, and one bad request has taken down the whole daemon — exactly
+//! the failure-amplification a supervised service must not exhibit.
+//!
+//! These helpers recover the guard from a poisoned lock instead. That is
+//! sound here because every critical section in this crate leaves its
+//! protected data structurally valid at each await-free step: queue and
+//! cache maps are only mutated through total operations (push/remove/
+//! insert), and a solver interrupted mid-solve re-validates and resets
+//! its scratch state on the next `solve` call. The poison flag adds no
+//! information we act on — the panic itself was already contained and
+//! answered with a typed response.
+
+use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Tries to lock `m` without blocking; `None` only when the lock is
+/// genuinely held right now (a free-but-poisoned lock is recovered).
+pub fn try_lock_recover<T>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Waits on `cond`, recovering the reacquired guard if another holder
+/// panicked while we slept.
+pub fn wait_recover<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard)
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn poison(m: &Arc<Mutex<Vec<u32>>>) {
+        let m = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn lock_recover_survives_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        poison(&m);
+        assert!(m.lock().is_err(), "the lock must actually be poisoned");
+        let mut g = lock_recover(&m);
+        g.push(4);
+        assert_eq!(*g, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_lock_recover_distinguishes_poison_from_contention() {
+        let m = Arc::new(Mutex::new(vec![7]));
+        poison(&m);
+        assert_eq!(try_lock_recover(&m).map(|g| g.clone()), Some(vec![7]));
+        let _busy = lock_recover(&m);
+        assert!(try_lock_recover(&m).is_none(), "held lock stays WouldBlock");
+    }
+}

@@ -1,0 +1,15 @@
+//! Worker-process entry point of the shard substrate.
+//!
+//! Spawned by the supervisor (`pdslin_shard::shard_setup`) with the
+//! heartbeat period in milliseconds as the only argument; speaks the
+//! jsonl protocol of `pdslin_shard::wire` on stdin/stdout.
+
+use std::time::Duration;
+
+fn main() {
+    let hb_ms = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<u64>().ok())
+        .unwrap_or(25);
+    pdslin_shard::worker::run_worker(Duration::from_millis(hb_ms));
+}

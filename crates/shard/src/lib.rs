@@ -1,0 +1,29 @@
+//! `pdslin_shard` — crash-tolerant multi-process sharded execution of
+//! the PDSLin setup pipeline.
+//!
+//! PDSLin is a *distributed-memory* solver: the paper's schedules assume
+//! subdomain factorizations running in separate address spaces, where a
+//! worker can genuinely die (SIGKILL, OOM, node loss), not merely panic.
+//! This crate provides that substrate in miniature: the `LU(D)` phase is
+//! sharded across spawned **worker processes** speaking a jsonl protocol
+//! ([`wire`], reusing the framing conventions of `crates/service`), under
+//! a parent **supervisor** ([`supervisor`]) that owns heartbeats,
+//! liveness deadlines, bounded respawn with backoff, reassignment of a
+//! dead worker's subdomains, checkpoint-validated reuse of completed
+//! work, and graceful degradation to in-process execution — every
+//! outcome surfaced through the typed `PdslinError` taxonomy, never a
+//! hang or an untyped crash (see docs/robustness.md, "Process failure
+//! modes").
+//!
+//! The success-path contract is *bit-identical results*: a sharded setup
+//! re-enters the in-process driver through `Pdslin::prepare_system` /
+//! `Pdslin::complete_setup`, and every matrix and factor crosses the
+//! process boundary as exact IEEE-754 bit patterns, so
+//! [`supervisor::shard_setup`] produces the same solver — and the same
+//! solve outputs, bit for bit — as `Pdslin::setup_budgeted`.
+
+pub mod supervisor;
+pub mod wire;
+pub mod worker;
+
+pub use supervisor::{find_worker_binary, shard_setup, ShardConfig, ShardReport, WORKER_BIN_ENV};

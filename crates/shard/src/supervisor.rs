@@ -1,0 +1,768 @@
+//! The parent-side supervisor: spawns worker processes, shards the
+//! `LU(D)` phase across them, and owns the whole robustness story —
+//! heartbeat liveness, loss detection (pipe EOF, torn frames, stalled
+//! children), bounded respawn with backoff, reassignment of a dead
+//! worker's subdomains to survivors, and graceful degradation to
+//! in-process execution when the respawn budget is exhausted.
+//!
+//! The supervisor keeps a *checkpoint ledger*: the sealed, checksummed
+//! byte frames each completed factorization arrived in. On any worker
+//! loss, recovery re-validates the ledger instead of trusting live
+//! objects — completed work is only ever *reused* from bytes that still
+//! pass their checksum (`factorizations_reused`), and an entry that
+//! fails validation is discarded with a typed reason and recomputed,
+//! never trusted or crashed on.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use pdslin::budget::interrupt_error;
+use pdslin::subdomain::{factor_domain_robust, FactoredDomain};
+use pdslin::{Budget, Pdslin, PdslinConfig, PdslinError, RecoveryEvent, SetupFailure, SetupStats};
+use pdslin_service::json::Json;
+use sparsekit::Csr;
+
+use crate::wire::{self, FactorDone, FactorRequest, Inject};
+
+/// Supervisor knobs. The defaults are production-shaped; tests shrink
+/// the timeouts to keep the fault matrix fast.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Worker processes to spawn (clamped to the number of subdomains;
+    /// `0` behaves as `1`).
+    pub workers: usize,
+    /// Worker heartbeat period in milliseconds.
+    pub heartbeat_interval_ms: u64,
+    /// Liveness deadline: a worker silent for this long is declared hung
+    /// and killed. Must comfortably exceed the heartbeat period.
+    pub heartbeat_timeout_ms: u64,
+    /// Total respawns the supervisor may perform before it stops
+    /// replacing lost workers.
+    pub respawn_limit: usize,
+    /// Backoff before the first respawn, in milliseconds; doubles per
+    /// respawn (capped at 2 s).
+    pub respawn_backoff_ms: u64,
+    /// Explicit path to the worker binary; when `None` the supervisor
+    /// searches `PDSLIN_SHARD_WORKER`, the directory of the current
+    /// executable, and finally asks cargo to build it.
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: 2,
+            heartbeat_interval_ms: 25,
+            heartbeat_timeout_ms: 1_000,
+            respawn_limit: 2,
+            respawn_backoff_ms: 50,
+            worker_bin: None,
+        }
+    }
+}
+
+/// What actually happened during a sharded setup — the observable
+/// counters the fault-matrix tests (and `bench_shard`) assert on.
+#[derive(Clone, Debug, Default)]
+pub struct ShardReport {
+    /// Workers requested by the caller.
+    pub workers_requested: usize,
+    /// Processes actually spawned (respawns included).
+    pub workers_spawned: usize,
+    /// Workers lost to EOF, torn frames, or heartbeat timeouts.
+    pub workers_lost: usize,
+    /// Respawns performed (bounded by `ShardConfig::respawn_limit`).
+    pub respawns: usize,
+    /// Subdomains re-assigned after their worker died mid-flight.
+    pub reassigned_domains: usize,
+    /// Workers killed for heartbeat staleness.
+    pub heartbeat_timeouts: usize,
+    /// Truncated/corrupt response frames detected.
+    pub torn_frames: usize,
+    /// Checkpoint-ledger entries that failed validation during recovery
+    /// and were recomputed instead of reused.
+    pub checkpoint_rejected: usize,
+    /// Factorizations computed by worker processes.
+    pub factorizations_remote: usize,
+    /// Factorizations computed in-process (degraded path).
+    pub factorizations_local: usize,
+    /// Completed factorizations carried across a worker loss by
+    /// validating their ledger bytes (never recomputed).
+    pub factorizations_reused: usize,
+    /// True when the respawn budget ran out (or no worker binary exists)
+    /// and the supervisor fell back to in-process execution.
+    pub degraded_to_in_process: bool,
+    /// Parent-side wall-clock seconds of the sharded `LU(D)` phase.
+    pub lu_d_wall_seconds: f64,
+}
+
+/// Environment variable overriding the worker-binary location.
+pub const WORKER_BIN_ENV: &str = "PDSLIN_SHARD_WORKER";
+
+const WORKER_BIN_NAME: &str = "pdslin-shard-worker";
+
+fn candidate_near(exe: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut dir = exe.parent();
+    for _ in 0..3 {
+        let Some(d) = dir else { break };
+        out.push(d.join(WORKER_BIN_NAME));
+        out.push(d.join(format!("{WORKER_BIN_NAME}.exe")));
+        dir = d.parent();
+    }
+    out
+}
+
+/// Locates the worker binary: explicit override, `PDSLIN_SHARD_WORKER`,
+/// next to the current executable (covering `target/<profile>/` and
+/// `target/<profile>/deps/` layouts), and as a last resort a
+/// `cargo build` of the shard crate. Returns `None` when none of that
+/// produces an executable — the supervisor then degrades to in-process
+/// execution instead of failing.
+pub fn find_worker_binary(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(p) = explicit {
+        return p.is_file().then(|| p.to_path_buf());
+    }
+    if let Ok(p) = std::env::var(WORKER_BIN_ENV) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let near: Vec<PathBuf> = std::env::current_exe()
+        .ok()
+        .map(|exe| candidate_near(&exe))
+        .unwrap_or_default();
+    if let Some(hit) = near.iter().find(|p| p.is_file()) {
+        return Some(hit.clone());
+    }
+    // Build on demand (development / test runs where only the library
+    // graph was compiled). Failures fall through to None.
+    let cargo = option_env!("CARGO").unwrap_or("cargo");
+    let mut cmd = Command::new(cargo);
+    cmd.args(["build", "-p", "pdslin-shard", "--bin", WORKER_BIN_NAME])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    if cmd.status().map(|s| s.success()).unwrap_or(false) {
+        if let Some(hit) = near.iter().find(|p| p.is_file()) {
+            return Some(hit.clone());
+        }
+        let profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        let built = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(profile)
+            .join(WORKER_BIN_NAME);
+        if built.is_file() {
+            return Some(built);
+        }
+    }
+    None
+}
+
+enum Event {
+    Line { slot: usize, gen: u64, line: String },
+    Eof { slot: usize, gen: u64 },
+}
+
+struct Slot {
+    child: Child,
+    stdin: ChildStdin,
+    gen: u64,
+    alive: bool,
+    last_seen: Instant,
+    current: Option<usize>,
+}
+
+impl Slot {
+    fn kill(&mut self) {
+        if self.alive {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+            self.alive = false;
+        }
+    }
+}
+
+/// Kills every child on every exit path (including panics/`?`).
+struct Fleet {
+    slots: Vec<Slot>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for s in &mut self.slots {
+            s.kill();
+        }
+    }
+}
+
+fn spawn_worker(
+    bin: &Path,
+    hb_interval_ms: u64,
+    slot: usize,
+    gen: u64,
+    tx: &mpsc::Sender<Event>,
+) -> std::io::Result<Slot> {
+    let mut child = Command::new(bin)
+        .arg(hb_interval_ms.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(stdout);
+        for line in reader.lines() {
+            match line {
+                Ok(l) => {
+                    if tx.send(Event::Line { slot, gen, line: l }).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send(Event::Eof { slot, gen });
+    });
+    Ok(Slot {
+        child,
+        stdin,
+        gen,
+        alive: true,
+        last_seen: Instant::now(),
+        current: None,
+    })
+}
+
+/// Why a worker was declared lost (drives the report counters and the
+/// recovery log).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LossReason {
+    Eof,
+    Torn,
+    Stale,
+}
+
+impl LossReason {
+    fn describe(self) -> &'static str {
+        match self {
+            LossReason::Eof => "pipe EOF",
+            LossReason::Torn => "torn response frame",
+            LossReason::Stale => "heartbeat timeout",
+        }
+    }
+}
+
+struct LuDistribution {
+    factors: Vec<FactoredDomain>,
+    seconds: Vec<f64>,
+    events: Vec<RecoveryEvent>,
+    report: ShardReport,
+    reused: usize,
+}
+
+/// Runs `setup` with the `LU(D)` phase sharded across supervised worker
+/// processes. On success the returned [`Pdslin`] is *bit-identical* to
+/// what [`Pdslin::setup_budgeted`] would produce for the same input —
+/// subdomain blocks and factors cross the process boundary as exact
+/// IEEE-754 bit patterns, and the pipeline re-enters the in-process
+/// driver through [`Pdslin::prepare_system`]/[`Pdslin::complete_setup`].
+///
+/// Every failure mode of the worker fleet — kill, hang, torn frame,
+/// spawn failure, respawn exhaustion — is recovered (respawn,
+/// reassignment, in-process degradation) or surfaced as a typed
+/// [`PdslinError`]; the parent never hangs past the budget deadline plus
+/// the supervision tick.
+pub fn shard_setup(
+    a: &Csr,
+    cfg: PdslinConfig,
+    shard: &ShardConfig,
+    budget: &Budget,
+) -> Result<(Pdslin, ShardReport), SetupFailure> {
+    let (sys, mut stats, mut recovery) = Pdslin::prepare_system(a, &cfg, budget)?;
+    let k = sys.domains.len();
+
+    let dist = distribute_lu(&sys, &cfg, shard, budget).map_err(|e| fill_stats(e, &stats))?;
+    let LuDistribution {
+        factors,
+        seconds,
+        events,
+        mut report,
+        reused,
+    } = dist;
+
+    stats.times.lu_d = report.lu_d_wall_seconds;
+    stats.domain_costs.lu_d = seconds;
+    stats.factorizations = k - reused;
+    stats.factorizations_reused = reused;
+    report.factorizations_reused = reused;
+    recovery.events.extend(events);
+
+    let solver = Pdslin::complete_setup(sys, factors, stats, recovery, cfg, budget)?;
+    Ok((solver, report))
+}
+
+fn fill_stats(e: PdslinError, stats: &SetupStats) -> SetupFailure {
+    match e {
+        PdslinError::DeadlineExceeded { phase, elapsed, .. } => PdslinError::DeadlineExceeded {
+            phase,
+            elapsed,
+            partial: Box::new(stats.clone()),
+        }
+        .into(),
+        e => e.into(),
+    }
+}
+
+/// Factors one subdomain in-process — the degraded path, and the code
+/// the whole substrate must stay bit-identical to.
+fn factor_local(
+    sys_domain: &Csr,
+    l: usize,
+    cfg: &PdslinConfig,
+    budget: &Budget,
+) -> Result<(FactoredDomain, f64, Vec<RecoveryEvent>), PdslinError> {
+    let t0 = Instant::now();
+    factor_domain_robust(
+        sys_domain,
+        l,
+        cfg.pivot_threshold,
+        cfg.fault.singular_domain == Some(l),
+        budget,
+    )
+    .map(|(fd, ev)| (fd, t0.elapsed().as_secs_f64(), ev))
+}
+
+fn distribute_lu(
+    sys: &pdslin::DbbdSystem,
+    cfg: &PdslinConfig,
+    shard: &ShardConfig,
+    budget: &Budget,
+) -> Result<LuDistribution, PdslinError> {
+    let k = sys.domains.len();
+    let t_wall = Instant::now();
+    let mut report = ShardReport {
+        workers_requested: shard.workers,
+        ..Default::default()
+    };
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+
+    let mut pending: VecDeque<usize> = (0..k).collect();
+    let mut done: Vec<Option<FactorDone>> = (0..k).map(|_| None).collect();
+    let mut ledger: Vec<Option<Vec<u8>>> = (0..k).map(|_| None).collect();
+    let mut reused_mask = vec![false; k];
+
+    // Process faults fire on the *first dispatch* of the targeted
+    // subdomain only — the retry/reassignment path must then succeed,
+    // mirroring the first-attempt-only contract of `FaultPlan`.
+    let mut kill_pending = cfg.fault.worker_kill;
+    let mut torn_pending = cfg.fault.torn_frame;
+    let mut stall_pending = cfg.fault.heartbeat_stall;
+    let mut corrupt_pending = cfg.fault.corrupt_checkpoint;
+
+    let n_workers = shard.workers.max(1).min(k);
+    let bin = find_worker_binary(shard.worker_bin.as_deref());
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut fleet = Fleet { slots: Vec::new() };
+    if let Some(bin) = &bin {
+        for slot in 0..n_workers {
+            match spawn_worker(bin, shard.heartbeat_interval_ms, slot, 0, &tx) {
+                Ok(s) => {
+                    fleet.slots.push(s);
+                    report.workers_spawned += 1;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    let hb_timeout = Duration::from_millis(shard.heartbeat_timeout_ms);
+    let tick = Duration::from_millis(10);
+
+    // Local closure state is awkward with the borrow checker here, so
+    // the dispatch/loss handlers are expressed as small fns over the
+    // explicit state instead.
+    fn dispatch(
+        slot: &mut Slot,
+        pending: &mut VecDeque<usize>,
+        sys: &pdslin::DbbdSystem,
+        cfg: &PdslinConfig,
+        kill_pending: &mut Option<usize>,
+        torn_pending: &mut Option<usize>,
+        stall_pending: &mut Option<usize>,
+    ) -> bool {
+        let Some(l) = pending.pop_front() else {
+            return true;
+        };
+        let inject = if *kill_pending == Some(l) {
+            *kill_pending = None;
+            Inject::Kill
+        } else if *torn_pending == Some(l) {
+            *torn_pending = None;
+            Inject::Torn
+        } else if *stall_pending == Some(l) {
+            *stall_pending = None;
+            Inject::Stall
+        } else {
+            Inject::None
+        };
+        let req = FactorRequest {
+            domain: l,
+            pivot_threshold: cfg.pivot_threshold,
+            inject_singular: cfg.fault.singular_domain == Some(l),
+            d: sys.domains[l].d.clone(),
+        };
+        let line = wire::encode_factor_request(&req, inject);
+        slot.current = Some(l);
+        if writeln!(slot.stdin, "{line}")
+            .and_then(|_| slot.stdin.flush())
+            .is_err()
+        {
+            // The pipe is already broken; requeue and report the loss to
+            // the caller via the normal EOF path (the reader thread will
+            // observe it too, but the write failure is authoritative).
+            slot.current = None;
+            pending.push_front(l);
+            return false;
+        }
+        true
+    }
+
+    /// Validates one `done` payload and banks it in the checkpoint
+    /// ledger; anything malformed counts as a torn frame against the
+    /// sending worker. (Many arguments for the same borrow-checker
+    /// reason as `dispatch`.)
+    #[allow(clippy::too_many_arguments)]
+    fn accept_done(
+        hex: &str,
+        slot_idx: usize,
+        s: &mut Slot,
+        k: usize,
+        ledger: &mut [Option<Vec<u8>>],
+        done: &mut [Option<FactorDone>],
+        done_count: &mut usize,
+        report: &mut ShardReport,
+        corrupt_pending: &mut bool,
+        losses: &mut Vec<(usize, LossReason)>,
+    ) {
+        match wire::from_hex(hex)
+            .map_err(|d| PdslinError::CheckpointCorrupt { detail: d })
+            .and_then(|b| wire::decode_done_payload(&b).map(|d| (b, d)))
+        {
+            Err(_) => losses.push((slot_idx, LossReason::Torn)),
+            Ok((bytes, fd)) => {
+                let l = fd.domain;
+                if s.current != Some(l) || l >= k {
+                    losses.push((slot_idx, LossReason::Torn));
+                } else {
+                    let mut entry = bytes;
+                    if *corrupt_pending {
+                        // Flip one payload byte *in the ledger copy*:
+                        // recovery must reject it and recompute.
+                        let mid = entry.len() / 2;
+                        entry[mid] ^= 0x01;
+                        *corrupt_pending = false;
+                    }
+                    ledger[l] = Some(entry);
+                    done[l] = Some(fd);
+                    *done_count += 1;
+                    report.factorizations_remote += 1;
+                    s.current = None;
+                }
+            }
+        }
+    }
+
+    let mut done_count = 0usize;
+    while done_count < k {
+        // Budget first: the parent must never outlive its deadline by
+        // more than the supervision tick (+ cleanup).
+        if let Err(i) = budget.check() {
+            return Err(interrupt_error(i, "lu_d"));
+        }
+
+        // Degrade when no worker can make progress: nothing alive and
+        // nothing respawnable (or no binary at all). With no live
+        // worker there is nothing in flight (the loss handler requeues),
+        // so every unfinished domain is in `pending`.
+        let alive = fleet.slots.iter().filter(|s| s.alive).count();
+        let can_respawn = bin.is_some() && report.respawns < shard.respawn_limit;
+        if alive == 0 {
+            if !can_respawn {
+                report.degraded_to_in_process = true;
+                pending.clear();
+                for l in 0..k {
+                    if done[l].is_some() {
+                        continue;
+                    }
+                    if let Err(i) = budget.check() {
+                        return Err(interrupt_error(i, "lu_d"));
+                    }
+                    let (fd, secs, ev) = factor_local(&sys.domains[l].d, l, cfg, budget)?;
+                    events.extend(ev);
+                    done[l] = Some(FactorDone {
+                        domain: l,
+                        seconds: secs,
+                        factor: fd,
+                        events: Vec::new(),
+                    });
+                    report.factorizations_local += 1;
+                    done_count += 1;
+                }
+                continue;
+            }
+            let backoff = shard
+                .respawn_backoff_ms
+                .saturating_mul(1 << report.respawns.min(5))
+                .min(2_000);
+            std::thread::sleep(Duration::from_millis(backoff));
+            let slot_idx = fleet.slots.iter().position(|s| !s.alive).unwrap_or(0);
+            let gen = fleet.slots.get(slot_idx).map(|s| s.gen + 1).unwrap_or(0);
+            if let Ok(s) = spawn_worker(
+                bin.as_ref().unwrap(),
+                shard.heartbeat_interval_ms,
+                slot_idx,
+                gen,
+                &tx,
+            ) {
+                report.respawns += 1;
+                report.workers_spawned += 1;
+                if slot_idx < fleet.slots.len() {
+                    fleet.slots[slot_idx] = s;
+                } else {
+                    fleet.slots.push(s);
+                }
+            } else {
+                // Spawn failed outright: burn one respawn credit so a
+                // persistently failing exec cannot loop forever.
+                report.respawns += 1;
+            }
+            continue;
+        }
+
+        // Keep idle workers fed.
+        for slot in fleet.slots.iter_mut() {
+            if slot.alive && slot.current.is_none() && !pending.is_empty() {
+                dispatch(
+                    slot,
+                    &mut pending,
+                    sys,
+                    cfg,
+                    &mut kill_pending,
+                    &mut torn_pending,
+                    &mut stall_pending,
+                );
+            }
+        }
+
+        // Block briefly for the next event, then drain the backlog — a
+        // fleet of fast heartbeats must never outpace single-event
+        // consumption, or healthy workers would look stale.
+        let mut batch: Vec<Event> = Vec::new();
+        match rx.recv_timeout(tick) {
+            Ok(ev) => batch.push(ev),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx kept alive above"),
+        }
+        let mut losses: Vec<(usize, LossReason)> = Vec::new();
+        // Drain-and-process until the channel is momentarily empty:
+        // decoding a large done payload takes real time, and heartbeats
+        // that land during it must be credited before the staleness check
+        // below, or a healthy worker would be billed for the supervisor's
+        // own processing latency. This terminates: a drained round of
+        // heartbeats processes far faster than the heartbeat interval.
+        loop {
+            while let Ok(ev) = rx.try_recv() {
+                batch.push(ev);
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for event in batch.drain(..) {
+                match event {
+                    Event::Line { slot, gen, line } => {
+                        if let Some(s) = fleet.slots.get_mut(slot) {
+                            if s.gen == gen && s.alive {
+                                s.last_seen = Instant::now();
+                                // Done frames carry multi-megabyte
+                                // payloads; borrow the hex straight out of
+                                // the line instead of copying it through
+                                // the DOM parser, which is reserved for
+                                // the small control frames below.
+                                if let Some((_, hex)) = wire::parse_done_line(&line) {
+                                    accept_done(
+                                        hex,
+                                        slot,
+                                        s,
+                                        k,
+                                        &mut ledger,
+                                        &mut done,
+                                        &mut done_count,
+                                        &mut report,
+                                        &mut corrupt_pending,
+                                        &mut losses,
+                                    );
+                                    continue;
+                                }
+                                match Json::parse(&line) {
+                                    Err(_) => losses.push((slot, LossReason::Torn)),
+                                    Ok(json) => match json.get("op").and_then(|j| j.as_str()) {
+                                        Some("hb") => {}
+                                        Some("done") => {
+                                            let payload = json
+                                                .get("payload")
+                                                .and_then(|j| j.as_str())
+                                                .unwrap_or("");
+                                            accept_done(
+                                                payload,
+                                                slot,
+                                                s,
+                                                k,
+                                                &mut ledger,
+                                                &mut done,
+                                                &mut done_count,
+                                                &mut report,
+                                                &mut corrupt_pending,
+                                                &mut losses,
+                                            );
+                                        }
+                                        Some("fail") => {
+                                            let g = |key| {
+                                                json.get(key).and_then(|j| j.as_u64()).unwrap_or(0)
+                                                    as usize
+                                            };
+                                            let kind = json
+                                                .get("kind")
+                                                .and_then(|j| j.as_str())
+                                                .unwrap_or("singular");
+                                            return Err(wire::fail_to_error(
+                                                g("domain"),
+                                                g("attempts"),
+                                                kind,
+                                                g("step"),
+                                            ));
+                                        }
+                                        _ => losses.push((slot, LossReason::Torn)),
+                                    },
+                                }
+                            }
+                        }
+                    }
+                    Event::Eof { slot, gen } => {
+                        if let Some(s) = fleet.slots.get(slot) {
+                            if s.gen == gen && s.alive {
+                                losses.push((slot, LossReason::Eof));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Liveness: a silent worker is hung, not busy — its heartbeat
+        // thread beats through long factorizations, so only a stalled or
+        // dead child goes quiet. Checked after the drain so fresh beats
+        // count.
+        let now = Instant::now();
+        for (i, slot) in fleet.slots.iter().enumerate() {
+            if slot.alive && now.duration_since(slot.last_seen) > hb_timeout {
+                losses.push((i, LossReason::Stale));
+            }
+        }
+
+        for (slot_idx, reason) in losses {
+            let slot = &mut fleet.slots[slot_idx];
+            if !slot.alive {
+                continue;
+            }
+            slot.kill();
+            report.workers_lost += 1;
+            match reason {
+                LossReason::Torn => report.torn_frames += 1,
+                LossReason::Stale => report.heartbeat_timeouts += 1,
+                LossReason::Eof => {}
+            }
+            let in_flight = slot.current.take();
+            events.push(RecoveryEvent::WorkerProcessLost {
+                worker: slot_idx,
+                domain: in_flight,
+                reason: reason.describe().to_string(),
+            });
+            if let Some(l) = in_flight {
+                if done[l].is_none() {
+                    pending.push_front(l);
+                    report.reassigned_domains += 1;
+                }
+            }
+            // Recovery resumes from checkpointed *bytes*, not live
+            // objects: every completed factorization must still pass its
+            // checksum to be reused; a corrupt entry is recomputed.
+            for l in 0..k {
+                if reused_mask[l] {
+                    continue;
+                }
+                let Some(bytes) = ledger[l].as_deref() else {
+                    continue;
+                };
+                match wire::decode_done_payload(bytes) {
+                    Ok(_) => reused_mask[l] = true,
+                    Err(_) => {
+                        report.checkpoint_rejected += 1;
+                        ledger[l] = None;
+                        if done[l].take().is_some() {
+                            done_count -= 1;
+                        }
+                        report.factorizations_remote =
+                            report.factorizations_remote.saturating_sub(1);
+                        pending.push_back(l);
+                    }
+                }
+            }
+        }
+    }
+
+    // Graceful shutdown of the survivors.
+    for slot in fleet.slots.iter_mut() {
+        if slot.alive {
+            let _ = writeln!(slot.stdin, "{{\"op\":\"exit\"}}");
+            let _ = slot.stdin.flush();
+        }
+    }
+    drop(fleet);
+
+    report.lu_d_wall_seconds = t_wall.elapsed().as_secs_f64();
+    let reused = reused_mask.iter().filter(|&&r| r).count();
+
+    let mut factors = Vec::with_capacity(k);
+    let mut seconds = Vec::with_capacity(k);
+    for (l, d) in done.into_iter().enumerate() {
+        let d = d.expect("loop exits only when every domain is done");
+        debug_assert_eq!(d.domain, l);
+        factors.push(d.factor);
+        seconds.push(d.seconds);
+        events.extend(d.events);
+    }
+
+    Ok(LuDistribution {
+        factors,
+        seconds,
+        events,
+        report,
+        reused,
+    })
+}

@@ -1,0 +1,369 @@
+//! The parent↔worker wire protocol.
+//!
+//! One jsonl frame per line, reusing the daemon's framing conventions
+//! (`crates/service`): a tiny JSON envelope for control fields, with the
+//! numerical state carried as a hex-encoded [`pdslin::codec`] blob —
+//! magic, version, and FNV-1a checksum included — so every matrix and
+//! factor crosses the process boundary bit-exactly and any torn or
+//! corrupted frame is detected by construction.
+//!
+//! Frames
+//!
+//! - parent → worker: `{"op":"factor","inject":"none|kill|stall|torn","payload":"<hex>"}`
+//!   (payload: domain index, pivot threshold, singular-injection flag,
+//!   and the `D_ℓ` block), and `{"op":"exit"}`.
+//! - worker → parent: `{"op":"hb"}` heartbeats,
+//!   `{"op":"done","domain":N,"payload":"<hex>"}` (payload: factor,
+//!   per-domain seconds, recovery events), and
+//!   `{"op":"fail","domain":N,"attempts":N,"kind":"...","step":N}` for
+//!   numerical failures that exhausted the in-worker retry chain.
+
+use pdslin::codec::{self, ByteReader, ByteWriter};
+use pdslin::subdomain::FactoredDomain;
+use pdslin::{PdslinError, RecoveryEvent};
+use slu::LuError;
+use sparsekit::Csr;
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// `HEX_VALUES[b]` is the value of ASCII hex digit `b`, or 255.
+const HEX_VALUES: [u8; 256] = {
+    let mut t = [255u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = match b as u8 {
+            c @ b'0'..=b'9' => c - b'0',
+            c @ b'a'..=b'f' => c - b'a' + 10,
+            c @ b'A'..=b'F' => c - b'A' + 10,
+            _ => 255,
+        };
+        b += 1;
+    }
+    t
+};
+
+/// Encodes bytes as lowercase hex.
+///
+/// Table-driven on purpose: factor payloads run to tens of megabytes and
+/// this sits on the supervisor's *serial* path, so per-nibble
+/// `char::from_digit` arithmetic is measurable wall-clock.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX_DIGITS[(b >> 4) as usize]);
+        s.push(HEX_DIGITS[(b & 0xf) as usize]);
+    }
+    // The table only emits ASCII.
+    String::from_utf8(s).expect("hex output is ASCII")
+}
+
+/// Decodes a hex string produced by [`to_hex`].
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd hex length".to_string());
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = HEX_VALUES[pair[0] as usize];
+        let lo = HEX_VALUES[pair[1] as usize];
+        if hi == 255 || lo == 255 {
+            return Err("bad hex digit".to_string());
+        }
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Process-fault the parent asks the worker to act out on this request
+/// (deterministic fault injection; `None` in production).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inject {
+    /// No injected fault.
+    None,
+    /// Abort the process mid-factorization (sudden pipe EOF).
+    Kill,
+    /// Stop heartbeating and hang (liveness deadline must fire).
+    Stall,
+    /// Write a truncated response frame, then exit.
+    Torn,
+}
+
+impl Inject {
+    /// Wire label of the injection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Inject::None => "none",
+            Inject::Kill => "kill",
+            Inject::Stall => "stall",
+            Inject::Torn => "torn",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Inject> {
+        match s {
+            "none" => Some(Inject::None),
+            "kill" => Some(Inject::Kill),
+            "stall" => Some(Inject::Stall),
+            "torn" => Some(Inject::Torn),
+            _ => None,
+        }
+    }
+}
+
+/// A `factor` request: everything the worker needs to run the same
+/// `factor_domain_robust` call the in-process driver would.
+#[derive(Clone, Debug)]
+pub struct FactorRequest {
+    /// Subdomain index `ℓ`.
+    pub domain: usize,
+    /// Threshold-pivoting parameter (from `PdslinConfig`).
+    pub pivot_threshold: f64,
+    /// Inject a first-attempt singular pivot (`FaultPlan::singular_domain`).
+    pub inject_singular: bool,
+    /// The interior block `D_ℓ`.
+    pub d: Csr,
+}
+
+/// Serializes a `factor` request line (newline not included).
+pub fn encode_factor_request(req: &FactorRequest, inject: Inject) -> String {
+    let mut w = ByteWriter::new();
+    w.put_usize(req.domain);
+    w.put_f64(req.pivot_threshold);
+    w.put_bool(req.inject_singular);
+    codec::encode_csr(&mut w, &req.d);
+    let payload = to_hex(&codec::seal_envelope(&w.into_bytes()));
+    format!(
+        "{{\"op\":\"factor\",\"inject\":\"{}\",\"payload\":\"{payload}\"}}",
+        inject.label()
+    )
+}
+
+/// Deserializes the payload of a `factor` request.
+pub fn decode_factor_payload(hex: &str) -> Result<FactorRequest, PdslinError> {
+    let bytes = from_hex(hex).map_err(|detail| PdslinError::CheckpointCorrupt { detail })?;
+    let payload = codec::open_envelope(&bytes)?;
+    let mut r = ByteReader::new(payload);
+    Ok(FactorRequest {
+        domain: r.get_usize()?,
+        pivot_threshold: r.get_f64()?,
+        inject_singular: r.get_bool()?,
+        d: codec::decode_csr(&mut r)?,
+    })
+}
+
+/// A successful worker response.
+#[derive(Clone, Debug)]
+pub struct FactorDone {
+    /// Subdomain index `ℓ`.
+    pub domain: usize,
+    /// Worker-side seconds spent in the factorization.
+    pub seconds: f64,
+    /// The factors of `D_ℓ`.
+    pub factor: FactoredDomain,
+    /// In-worker recovery events (`SubdomainLuRetry` only — the only
+    /// event `factor_domain_robust` emits).
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Serializes the sealed binary payload of a `done` response — the same
+/// bytes the supervisor stores in its checkpoint ledger.
+pub fn encode_done_payload(done: &FactorDone) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(done.domain);
+    w.put_f64(done.seconds);
+    codec::encode_factored_domain(&mut w, &done.factor);
+    w.put_usize(done.events.len());
+    for ev in &done.events {
+        if let RecoveryEvent::SubdomainLuRetry {
+            domain,
+            attempt,
+            pivot_threshold,
+            perturbation,
+            perturbed_pivots,
+        } = ev
+        {
+            w.put_usize(*domain);
+            w.put_usize(*attempt);
+            w.put_f64(*pivot_threshold);
+            match perturbation {
+                None => w.put_u8(0),
+                Some(p) => {
+                    w.put_u8(1);
+                    w.put_f64(*p);
+                }
+            }
+            w.put_usize(*perturbed_pivots);
+        }
+    }
+    codec::seal_envelope(&w.into_bytes())
+}
+
+/// Serializes a full `done` response line (newline not included).
+pub fn encode_done_line(done: &FactorDone) -> String {
+    format!(
+        "{{\"op\":\"done\",\"domain\":{},\"payload\":\"{}\"}}",
+        done.domain,
+        to_hex(&encode_done_payload(done))
+    )
+}
+
+/// Borrowing fast path for the fixed-format frame [`encode_done_line`]
+/// emits (`{"op":"done","domain":N,"payload":"<hex>"}`).
+///
+/// The payload string runs to tens of megabytes and this sits on the
+/// supervisor's serial event loop; a DOM parse would copy the whole
+/// payload into a temporary before the hex decode copies it again.
+/// Returns `None` for anything that is not byte-for-byte a done frame —
+/// the caller then falls back to the general JSON parser, so hand-written
+/// (whitespace-bearing) frames still work.
+pub fn parse_done_line(line: &str) -> Option<(usize, &str)> {
+    let rest = line
+        .trim_end()
+        .strip_prefix("{\"op\":\"done\",\"domain\":")?;
+    let comma = rest.find(',')?;
+    let domain: usize = rest[..comma].parse().ok()?;
+    let payload = rest[comma..]
+        .strip_prefix(",\"payload\":\"")?
+        .strip_suffix("\"}")?;
+    Some((domain, payload))
+}
+
+/// Deserializes sealed `done` bytes written by [`encode_done_payload`].
+pub fn decode_done_payload(bytes: &[u8]) -> Result<FactorDone, PdslinError> {
+    let payload = codec::open_envelope(bytes)?;
+    let mut r = ByteReader::new(payload);
+    let domain = r.get_usize()?;
+    let seconds = r.get_f64()?;
+    let factor = codec::decode_factored_domain(&mut r)?;
+    let nev = r.get_usize()?;
+    let mut events = Vec::with_capacity(nev.min(64));
+    for _ in 0..nev {
+        let domain = r.get_usize()?;
+        let attempt = r.get_usize()?;
+        let pivot_threshold = r.get_f64()?;
+        let perturbation = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f64()?),
+            b => {
+                return Err(PdslinError::CheckpointCorrupt {
+                    detail: format!("invalid option tag {b}"),
+                })
+            }
+        };
+        let perturbed_pivots = r.get_usize()?;
+        events.push(RecoveryEvent::SubdomainLuRetry {
+            domain,
+            attempt,
+            pivot_threshold,
+            perturbation,
+            perturbed_pivots,
+        });
+    }
+    Ok(FactorDone {
+        domain,
+        seconds,
+        factor,
+        events,
+    })
+}
+
+/// Serializes a `fail` response line for a numerical error that
+/// exhausted the in-worker retry chain.
+pub fn encode_fail_line(domain: usize, attempts: usize, source: &LuError) -> String {
+    let (kind, step) = match source {
+        LuError::Singular { step } => ("singular", *step),
+        LuError::NonFinite { step } => ("nonfinite", *step),
+        LuError::Interrupted { step, .. } => ("interrupted", *step),
+    };
+    format!(
+        "{{\"op\":\"fail\",\"domain\":{domain},\"attempts\":{attempts},\"kind\":\"{kind}\",\"step\":{step}}}"
+    )
+}
+
+/// Reconstructs the typed error a `fail` frame describes — the same
+/// `SubdomainFactorization` the in-process driver would surface.
+pub fn fail_to_error(domain: usize, attempts: usize, kind: &str, step: usize) -> PdslinError {
+    let source = match kind {
+        "nonfinite" => LuError::NonFinite { step },
+        // Unreachable from a worker (they run with an unlimited budget),
+        // but keep the mapping total; the precise interrupt is not on
+        // the wire.
+        "interrupted" => LuError::Interrupted {
+            step,
+            interrupt: sparsekit::budget::BudgetInterrupt::Cancelled,
+        },
+        _ => LuError::Singular { step },
+    };
+    PdslinError::SubdomainFactorization {
+        domain,
+        attempts,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn factor_request_round_trip_is_bit_exact() {
+        let d = matgen::stencil::laplace2d(5, 5);
+        let req = FactorRequest {
+            domain: 3,
+            pivot_threshold: 0.1,
+            inject_singular: true,
+            d: d.clone(),
+        };
+        let line = encode_factor_request(&req, Inject::Kill);
+        let json = pdslin_service::json::Json::parse(&line).unwrap();
+        assert_eq!(json.get("op").and_then(|j| j.as_str()), Some("factor"));
+        assert_eq!(json.get("inject").and_then(|j| j.as_str()), Some("kill"));
+        let payload = json.get("payload").and_then(|j| j.as_str()).unwrap();
+        let got = decode_factor_payload(payload).unwrap();
+        assert_eq!(got.domain, 3);
+        assert!(got.inject_singular);
+        assert_eq!(got.d.indptr(), d.indptr());
+        assert!(got
+            .d
+            .values()
+            .iter()
+            .zip(d.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn truncated_done_payload_is_rejected() {
+        let d = matgen::stencil::laplace2d(4, 4);
+        let (factor, events) = pdslin::subdomain::factor_domain_robust(
+            &d,
+            0,
+            0.1,
+            false,
+            &pdslin::Budget::unlimited(),
+        )
+        .unwrap();
+        let done = FactorDone {
+            domain: 0,
+            seconds: 0.5,
+            factor,
+            events,
+        };
+        let bytes = encode_done_payload(&done);
+        let back = decode_done_payload(&bytes).unwrap();
+        assert_eq!(back.domain, 0);
+        assert_eq!(back.factor.lu.n(), done.factor.lu.n());
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(decode_done_payload(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

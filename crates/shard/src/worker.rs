@@ -1,0 +1,146 @@
+//! The worker-process side of the shard protocol.
+//!
+//! A worker is a thin, stateless loop: read one `factor` request from
+//! stdin, run the *same* `factor_domain_robust` call the in-process
+//! driver would (same retry escalation, same recovery events), write one
+//! `done`/`fail` frame to stdout. A dedicated thread emits heartbeat
+//! frames under the same stdout lock so the parent can distinguish a
+//! busy child from a dead one. All injected process faults
+//! ([`crate::wire::Inject`]) are acted out here, where a real crash
+//! would happen.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pdslin::subdomain::factor_domain_robust;
+use pdslin::{Budget, PdslinError};
+use pdslin_service::json::Json;
+
+use crate::wire::{self, FactorDone, Inject};
+
+fn write_line(out: &Mutex<std::io::Stdout>, line: &str) {
+    let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
+    // A worker whose parent is gone has nothing left to report to; exit
+    // quietly instead of panicking on the broken pipe.
+    if writeln!(out, "{line}").and_then(|_| out.flush()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+/// Runs the worker loop until stdin closes or an `exit` frame arrives.
+///
+/// `hb_interval` is the heartbeat period; the parent's liveness deadline
+/// should be a comfortable multiple of it.
+pub fn run_worker(hb_interval: Duration) {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let stalled = Arc::new(AtomicBool::new(false));
+
+    {
+        let stdout = Arc::clone(&stdout);
+        let stalled = Arc::clone(&stalled);
+        std::thread::spawn(move || loop {
+            if !stalled.load(Ordering::Relaxed) {
+                write_line(&stdout, "{\"op\":\"hb\"}");
+            }
+            std::thread::sleep(hb_interval);
+        });
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => std::process::exit(0),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = match Json::parse(&line) {
+            Ok(j) => j,
+            Err(_) => std::process::exit(2),
+        };
+        match json.get("op").and_then(|j| j.as_str()) {
+            Some("exit") => return,
+            Some("factor") => {
+                let inject = json
+                    .get("inject")
+                    .and_then(|j| j.as_str())
+                    .and_then(Inject::parse)
+                    .unwrap_or(Inject::None);
+                let payload = json.get("payload").and_then(|j| j.as_str()).unwrap_or("");
+                let req = match wire::decode_factor_payload(payload) {
+                    Ok(r) => r,
+                    Err(_) => std::process::exit(2),
+                };
+                match inject {
+                    Inject::Kill => {
+                        // Simulates an external SIGKILL mid-factorization:
+                        // no unwinding, no flush, sudden pipe EOF.
+                        std::process::abort();
+                    }
+                    Inject::Stall => {
+                        // The computation hangs and the heartbeat stops:
+                        // only the parent's liveness deadline can end
+                        // this. Bounded so an unsupervised worker still
+                        // dies eventually.
+                        stalled.store(true, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_secs(30));
+                        std::process::exit(0);
+                    }
+                    Inject::Torn => {
+                        // A response torn mid-write (as if the process
+                        // died after a partial flush): unterminated JSON,
+                        // then EOF.
+                        let torn = format!(
+                            "{{\"op\":\"done\",\"domain\":{},\"payload\":\"ab12",
+                            req.domain
+                        );
+                        write_line(&stdout, &torn);
+                        std::process::exit(0);
+                    }
+                    Inject::None => {}
+                }
+                let t0 = std::time::Instant::now();
+                match factor_domain_robust(
+                    &req.d,
+                    req.domain,
+                    req.pivot_threshold,
+                    req.inject_singular,
+                    &Budget::unlimited(),
+                ) {
+                    Ok((factor, events)) => {
+                        let done = FactorDone {
+                            domain: req.domain,
+                            seconds: t0.elapsed().as_secs_f64(),
+                            factor,
+                            events,
+                        };
+                        write_line(&stdout, &wire::encode_done_line(&done));
+                    }
+                    Err(PdslinError::SubdomainFactorization {
+                        domain,
+                        attempts,
+                        source,
+                    }) => {
+                        write_line(&stdout, &wire::encode_fail_line(domain, attempts, &source));
+                    }
+                    Err(_) => {
+                        // Unreachable with an unlimited budget, but keep
+                        // the contract: every request gets a response.
+                        write_line(
+                            &stdout,
+                            &wire::encode_fail_line(
+                                req.domain,
+                                0,
+                                &slu::LuError::Singular { step: 0 },
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => std::process::exit(2),
+        }
+    }
+}

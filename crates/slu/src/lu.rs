@@ -302,6 +302,44 @@ impl LuFactors {
         })
     }
 
+    /// Reassembles a factorisation from its transported parts — the use
+    /// case is factors computed in another *process* (`crates/shard`)
+    /// and shipped over a wire that preserves every `f64` bit.
+    ///
+    /// The private level-scheduled [`SolvePlan`] is rebuilt here from
+    /// the factor patterns; the plan only schedules the same fixed
+    /// left-to-right dependency sweeps, so solves through a
+    /// reconstructed factorisation are bit-identical to solves through
+    /// the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree on the matrix order (`L`/`U` not
+    /// square and equal-sized, permutations of a different length).
+    pub fn from_parts(
+        l: Csc,
+        u: Csc,
+        row_perm: Perm,
+        col_perm: Perm,
+        perturbed: Vec<usize>,
+    ) -> LuFactors {
+        let n = l.ncols();
+        assert_eq!(l.nrows(), n, "L must be square");
+        assert_eq!(u.nrows(), n, "U must match L");
+        assert_eq!(u.ncols(), n, "U must match L");
+        assert_eq!(row_perm.len(), n, "row permutation length mismatch");
+        assert_eq!(col_perm.len(), n, "column permutation length mismatch");
+        let plan = SolvePlan::build(&l, &u, &row_perm, &col_perm);
+        LuFactors {
+            l,
+            u,
+            row_perm,
+            col_perm,
+            perturbed,
+            plan,
+        }
+    }
+
     /// Order of the factored matrix.
     pub fn n(&self) -> usize {
         self.l.ncols()
@@ -583,5 +621,25 @@ mod tests {
                 "U has entry below diagonal in col {j}"
             );
         }
+    }
+
+    #[test]
+    fn from_parts_round_trip_solves_bit_identically() {
+        let a = laplace2d(9);
+        let n = a.nrows();
+        let f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let g = LuFactors::from_parts(
+            f.l.clone(),
+            f.u.clone(),
+            f.row_perm.clone(),
+            f.col_perm.clone(),
+            f.perturbed.clone(),
+        );
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        assert_eq!(f.solve(&b), g.solve(&b));
+        assert_eq!(
+            f.solve_plan().forward_levels(),
+            g.solve_plan().forward_levels()
+        );
     }
 }

@@ -16,12 +16,19 @@ request — then a metrics probe and a shutdown. Asserts:
 Also checks the CLI's input-validation contract: an unknown --flag must
 exit with the input error code (2), not 1 and not success.
 
+Finally, a crash-consistency case: SIGKILL the daemon while a request is
+in flight. The client must observe either a typed response (the solve
+raced ahead of the kill) or a clean EOF on stdout — never a hang — within
+a bounded wait.
+
 Usage: python3 scripts/service_smoke.py [path/to/pdslin]
 """
 import json
+import signal
 import subprocess
 import sys
 import threading
+import time
 
 BIN = sys.argv[1] if len(sys.argv) > 1 else "target/release/pdslin"
 
@@ -47,6 +54,60 @@ REQUESTS = [
 
 def fail(msg):
     sys.exit(f"service_smoke: FAIL: {msg}")
+
+
+def sigkill_mid_request():
+    """SIGKILL the daemon mid-request; the client must never hang.
+
+    The acceptable outcomes are a typed response (the solve finished
+    before the signal landed) or a clean EOF from the dying process.
+    What is *not* acceptable is a blocked read past the slack window —
+    that is the hang this repo's robustness story exists to rule out.
+    """
+    proc = subprocess.Popen(
+        [BIN, "serve", "--workers", "1", "--drain-ms", "1000"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    # Bench-scale g3_circuit takes seconds to set up cold, so the signal
+    # lands mid-solve (the fast-solve race is also accepted).
+    req = {
+        "id": "doomed",
+        "op": "solve",
+        "generate": "g3_circuit",
+        "scale": "bench",
+        "k": 8,
+        "deadline_ms": 60000,
+    }
+    try:
+        proc.stdin.write(json.dumps(req) + "\n")
+        proc.stdin.flush()
+        time.sleep(0.3)  # let the request reach a worker mid-solve
+        proc.send_signal(signal.SIGKILL)
+        result = {}
+        reader = threading.Thread(
+            target=lambda: result.update(line=proc.stdout.readline()), daemon=True
+        )
+        reader.start()
+        reader.join(timeout=10)
+        if reader.is_alive():
+            fail("client hung >10s waiting on a SIGKILL'd daemon")
+        line = result.get("line", "")
+        if line:
+            try:
+                resp = json.loads(line)
+            except json.JSONDecodeError:
+                fail(f"SIGKILL'd daemon emitted a torn line: {line!r}")
+            if "id" not in resp or "status" not in resp:
+                fail(f"pre-kill response lacks id/status: {line!r}")
+            print("ok: solve raced ahead of SIGKILL with a typed response")
+        else:
+            print("ok: SIGKILL mid-request yields clean EOF, no hang")
+        proc.wait(timeout=10)
+    finally:
+        proc.kill()
 
 
 def main():
@@ -171,6 +232,10 @@ def main():
     if shutdown.get("cancelled", -1) != 0:
         fail(f"drained shutdown cancelled work: {shutdown}")
     print(f"ok: {len(by_id)} typed responses, faults exercised, clean shutdown")
+
+    # 3. Crash consistency: a SIGKILL mid-request must never hang the
+    # client.
+    sigkill_mid_request()
     print("service_smoke: PASS")
 
 

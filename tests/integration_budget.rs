@@ -304,3 +304,61 @@ fn memory_limit_without_fault_is_respected() {
     }
     assert!(failure.checkpoint.is_some());
 }
+
+#[test]
+fn checkpoint_bytes_round_trip_resumes_bit_identically() {
+    let a = test_matrix();
+    let mut solver = Pdslin::setup(&a, test_config()).expect("setup");
+    let bytes = solver.checkpoint().to_bytes();
+
+    let restored = pdslin::SetupCheckpoint::from_bytes(&bytes).expect("decode");
+    assert_eq!(restored.domains(), 4);
+    let mut resumed = Pdslin::resume(restored, &Budget::unlimited()).expect("resume");
+    assert_eq!(resumed.stats.factorizations, 0);
+    assert_eq!(resumed.stats.factorizations_reused, 4);
+
+    // The serialized factors are IEEE-754 bit patterns, so the resumed
+    // solver must produce the *bit-identical* answer, not merely a close
+    // one.
+    let b = rhs(a.nrows());
+    let x0 = solver.solve(&b).expect("solve original").x;
+    let x1 = resumed.solve(&b).expect("solve resumed").x;
+    assert_eq!(x0.len(), x1.len());
+    for (i, (u, v)) in x0.iter().zip(&x1).enumerate() {
+        assert_eq!(u.to_bits(), v.to_bits(), "x[{i}] differs: {u} vs {v}");
+    }
+}
+
+#[test]
+fn torn_checkpoint_bytes_are_rejected_with_typed_error() {
+    let a = test_matrix();
+    let solver = Pdslin::setup(&a, test_config()).expect("setup");
+    let bytes = solver.checkpoint().to_bytes();
+
+    // Truncation at many prefixes — including mid-header and mid-payload
+    // — must yield the typed input error, never a panic or a hang.
+    let mut cuts: Vec<usize> = (0..16.min(bytes.len())).collect();
+    cuts.extend((16..bytes.len()).step_by(bytes.len() / 64 + 1));
+    for cut in cuts {
+        match pdslin::SetupCheckpoint::from_bytes(&bytes[..cut]) {
+            Err(e @ PdslinError::CheckpointCorrupt { .. }) => {
+                assert_eq!(e.category(), pdslin::ErrorCategory::Input);
+            }
+            other => panic!("truncation at {cut} must be CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    // A single flipped byte anywhere fails the checksum (or the magic).
+    let stride = bytes.len() / 97 + 1;
+    for i in (0..bytes.len()).step_by(stride) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x20;
+        assert!(
+            matches!(
+                pdslin::SetupCheckpoint::from_bytes(&bad),
+                Err(PdslinError::CheckpointCorrupt { .. })
+            ),
+            "flip at byte {i} must be rejected"
+        );
+    }
+}
