@@ -7,7 +7,7 @@ use matgen::MatrixKind;
 use pdslin::interface::ehat_columns_pivot;
 use pdslin::rhs_order::{column_reaches, order_columns_precomputed};
 use pdslin::RhsOrdering;
-use slu::supernodes::{detect_supernodes, supernodal_blocked_solve};
+use slu::supernodes::{supernodal_blocked_solve, SupernodePlan};
 use slu::trisolve::{SolveWorkspace, SparseVec};
 
 pdslin_bench::json_record! {
@@ -36,7 +36,8 @@ fn main() {
     );
     for (dom, fd) in sys.domains.iter().zip(&factors).take(2) {
         let n = fd.lu.n();
-        let sn = detect_supernodes(&fd.lu.l, 0);
+        let plan = SupernodePlan::build(&fd.lu.l, 0);
+        let sn = plan.supernodes();
         let mut ws = SolveWorkspace::new(n);
         let mut bws = slu::BlockWorkspace::new(n);
         let cols = ehat_columns_pivot(fd, dom);
@@ -52,7 +53,7 @@ fn main() {
                         slu::blocked_lower_solve(&fd.lu.l, true, chunk, &mut bws);
                     col_stats.merge(&st);
                     let (_p2, _panel2, st2) =
-                        supernodal_blocked_solve(&fd.lu.l, &sn, chunk, &mut ws);
+                        supernodal_blocked_solve(&fd.lu.l, &plan, chunk, &mut ws);
                     sn_stats.merge(&st2);
                 }
                 println!(

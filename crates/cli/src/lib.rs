@@ -78,7 +78,7 @@ impl Args {
 /// be silently ignored and leave the user running with defaults.
 pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
     const SOURCE: [&str; 3] = ["matrix", "generate", "scale"];
-    const SOLVE: [&str; 22] = [
+    const SOLVE: [&str; 23] = [
         "matrix",
         "generate",
         "scale",
@@ -95,6 +95,7 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "rgb-min-part",
         "block-size",
         "krylov",
+        "trisolve-schedule",
         "tol",
         "interface-drop",
         "schur-drop",
@@ -274,6 +275,13 @@ pub fn krylov_kind(args: &Args) -> Result<pdslin::KrylovKind, String> {
     }
 }
 
+/// Resolves the triangular-solve schedule (`--trisolve-schedule`).
+pub fn trisolve_schedule(args: &Args) -> Result<pdslin::TrisolveSchedule, String> {
+    let v = args.get_or("trisolve-schedule", "level");
+    pdslin::TrisolveSchedule::parse(v)
+        .ok_or_else(|| format!("unknown trisolve schedule '{v}' (level|hbmc)"))
+}
+
 /// Resolves the RHS ordering options.
 pub fn rhs_ordering(args: &Args) -> Result<RhsOrdering, String> {
     match args.get_or("ordering", "postorder") {
@@ -362,6 +370,7 @@ USAGE:
                    [--ordering natural|postorder|hypergraph|rgb [--tau T]
                     [--rgb-iters N] [--rgb-depth N] [--rgb-min-part N]]
                    [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
+                   [--trisolve-schedule level|hbmc]
                    [--deadline SECS] [--mem-budget-mb MB] [--shard-workers N]
   pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
                    [--k K] [--partitioner ...] [--weights unit|value]

@@ -31,13 +31,13 @@ use graphpart::{DbbdPartition, RgbConfig, WeightScheme};
 use hypergraph::rhb::StructuralFactor;
 use hypergraph::{ConstraintMode, CutMetric, RhbConfig};
 use krylov::GmresConfig;
-use slu::LuFactors;
+use slu::{LuFactors, TrisolveSchedule};
 use sparsekit::{Csc, Csr, Fnv64, Perm};
 
 /// Magic prefix of every serialized blob produced by this module.
 pub const MAGIC: [u8; 4] = *b"PDLK";
 /// Format version; bumped on any layout change.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 fn corrupt(detail: impl Into<String>) -> PdslinError {
     PdslinError::CheckpointCorrupt {
@@ -497,6 +497,10 @@ pub fn encode_config(w: &mut ByteWriter, cfg: &PdslinConfig) {
     w.put_usize(cfg.gmres.max_iters);
     w.put_f64(cfg.gmres.tol);
     w.put_bool(cfg.parallel);
+    w.put_u8(match cfg.trisolve_schedule {
+        TrisolveSchedule::Level => 0,
+        TrisolveSchedule::Hbmc => 1,
+    });
     encode_fault(w, &cfg.fault);
 }
 
@@ -581,6 +585,11 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<PdslinConfig, PdslinError
         tol: r.get_f64()?,
     };
     let parallel = r.get_bool()?;
+    let trisolve_schedule = match r.get_u8()? {
+        0 => TrisolveSchedule::Level,
+        1 => TrisolveSchedule::Hbmc,
+        b => return Err(corrupt(format!("invalid trisolve schedule tag {b}"))),
+    };
     let fault = decode_fault(r)?;
     Ok(PdslinConfig {
         k,
@@ -594,6 +603,7 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<PdslinConfig, PdslinError
         krylov,
         gmres,
         parallel,
+        trisolve_schedule,
         fault,
     })
 }

@@ -37,7 +37,7 @@ use krylov::{
     bicgstab_with_workspace, gmres_with_workspace, BicgstabConfig, BicgstabWorkspace, GmresConfig,
     GmresWorkspace, LinearOperator,
 };
-use slu::{LuFactors, TriScratch};
+use slu::{LuFactors, TriScratch, TrisolveSchedule};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, norm2};
 use sparsekit::Csr;
@@ -94,6 +94,13 @@ pub struct PdslinConfig {
     pub gmres: GmresConfig,
     /// Run the subdomain phases in parallel (scoped threads).
     pub parallel: bool,
+    /// Execution schedule of the triangular solves. The default
+    /// [`TrisolveSchedule::Level`] is byte-identical to the serial
+    /// sweeps; the opt-in HBMC schedule trades a tolerance-gated
+    /// float-sum reordering for fewer, wider parallel sweeps (see
+    /// `docs/kernels.md`). A factorisation that fails the equivalence
+    /// probe rejects setup with [`PdslinError::ScheduleRejected`].
+    pub trisolve_schedule: TrisolveSchedule,
     /// Deterministic fault injection (testing; defaults to none).
     pub fault: FaultPlan,
 }
@@ -116,6 +123,7 @@ impl Default for PdslinConfig {
                 tol: 1e-10,
             },
             parallel: true,
+            trisolve_schedule: TrisolveSchedule::Level,
             fault: FaultPlan::default(),
         }
     }
@@ -515,7 +523,7 @@ impl Pdslin {
     /// point carries a checkpoint of the incoming factors.
     fn complete_from_factors(
         sys: DbbdSystem,
-        factors: Vec<FactoredDomain>,
+        mut factors: Vec<FactoredDomain>,
         mut stats: SetupStats,
         mut recovery: RecoveryReport,
         cfg: PdslinConfig,
@@ -684,7 +692,7 @@ impl Pdslin {
         // caught here: the factorisation reports `NonFinite` and setup
         // fails with a typed error instead of propagating NaNs.
         let t = Instant::now();
-        let (s_tilde, schur_lu, schur_events) =
+        let (s_tilde, mut schur_lu, schur_events) =
             match factor_schur_robust(&s_hat, cfg.schur_drop_tol, cfg.pivot_threshold, budget) {
                 Ok(r) => r,
                 Err(e) => return Err(fail(fill_partial(e, &stats), &sys, &factors)),
@@ -692,6 +700,34 @@ impl Pdslin {
         recovery.events.extend(schur_events);
         stats.times.lu_s = t.elapsed().as_secs_f64();
         stats.nnz_schur = s_tilde.nnz();
+
+        // Opt-in HBMC trisolve scheduling, applied to every
+        // factorisation the solve phase sweeps through. Each switch is
+        // gated by the per-factorisation equivalence probe; a rejection
+        // fails setup (the checkpoint still carries the level-scheduled
+        // factors, so a resume with the default schedule loses nothing).
+        if cfg.trisolve_schedule == TrisolveSchedule::Hbmc {
+            for l in 0..factors.len() {
+                if let Err(e) = factors[l].lu.set_schedule(TrisolveSchedule::Hbmc) {
+                    let err = PdslinError::ScheduleRejected {
+                        target: "subdomain",
+                        domain: l,
+                        rel_err: e.rel_err,
+                        tol: e.tol,
+                    };
+                    return Err(fail(err, &sys, &factors));
+                }
+            }
+            if let Err(e) = schur_lu.set_schedule(TrisolveSchedule::Hbmc) {
+                let err = PdslinError::ScheduleRejected {
+                    target: "schur",
+                    domain: 0,
+                    rel_err: e.rel_err,
+                    tol: e.tol,
+                };
+                return Err(fail(err, &sys, &factors));
+            }
+        }
         stats.recovery = recovery;
 
         Ok(Pdslin {

@@ -60,5 +60,6 @@ pub use partition::{
 pub use precond::{ImplicitSchur, SchurApplyScratch, SchurPrecond};
 pub use recovery::{RecoveryEvent, RecoveryReport};
 pub use rhs_order::RhsOrdering;
+pub use slu::{ScheduleError, TrisolveSchedule};
 pub use stats::{PhaseTimes, SetupStats};
 pub use strategy::{sample_features, select_strategy, MatrixFeatures, Strategy};

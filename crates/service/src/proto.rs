@@ -42,7 +42,7 @@ use crate::json::{escape, num, Json};
 use crate::metrics::MetricsSnapshot;
 use pdslin::{
     ErrorCategory, FaultPlan, KrylovKind, PartitionerKind, PdslinError, RgbConfig, RhsOrdering,
-    WeightScheme,
+    TrisolveSchedule, WeightScheme,
 };
 use sparsekit::Fnv64;
 
@@ -99,6 +99,8 @@ pub struct SolveRequest {
     pub schur_drop_tol: f64,
     /// Outer Krylov method.
     pub krylov: KrylovKind,
+    /// Triangular-solve schedule (`"level"` default, `"hbmc"` opt-in).
+    pub trisolve_schedule: TrisolveSchedule,
     /// DBBD partitioner.
     pub partitioner: PartitionerKind,
     /// Edge/net weighting of the partitioner.
@@ -232,6 +234,13 @@ impl SolveRequest {
             KrylovKind::Gmres => 0,
             KrylovKind::Bicgstab => 1,
         });
+        // The schedule lives inside the cached factorization's solve
+        // plan (set at setup time), so a Level and an Hbmc request must
+        // never alias one cache entry.
+        h.write_u8(match self.trisolve_schedule {
+            TrisolveSchedule::Level => 0,
+            TrisolveSchedule::Hbmc => 1,
+        });
         // Partitioner, weighting and ordering all shape the
         // factorization; two requests differing in any of them must not
         // share a cache entry. `auto_strategy` resolves deterministically
@@ -358,6 +367,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "bicgstab" => KrylovKind::Bicgstab,
                 other => return Err(format!("unknown krylov '{other}'")),
             };
+            let trisolve_schedule = {
+                let v = j
+                    .get("trisolve_schedule")
+                    .and_then(Json::as_str)
+                    .unwrap_or("level");
+                TrisolveSchedule::parse(v)
+                    .ok_or_else(|| format!("unknown trisolve_schedule '{v}' (level|hbmc)"))?
+            };
             let mut explicit_fields = 0u8;
             let partitioner = match j.get("partitioner").and_then(Json::as_str) {
                 None => PartitionerKind::Ngd,
@@ -434,6 +451,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 interface_drop_tol: field_f64(&j, "interface_drop_tol", 1e-8)?,
                 schur_drop_tol: field_f64(&j, "schur_drop_tol", 1e-8)?,
                 krylov,
+                trisolve_schedule,
                 partitioner,
                 weights,
                 ordering,

@@ -142,9 +142,7 @@ fn solve_block(
             let cix = l.col_indices(j);
             let d = cix.binary_search(&j).expect("missing diagonal");
             let dv = l.col_values(j)[d];
-            for c in 0..bsize {
-                ws.panel[t * bsize + c] /= dv;
-            }
+            sparsekit::lanes::scale_div(&mut ws.panel[t * bsize..(t + 1) * bsize], dv);
             flops += bsize as u64;
         }
         let (head, tail) = ws.panel.split_at_mut((t + 1) * bsize);
@@ -155,10 +153,9 @@ fn solve_block(
             }
             let pr = ws.pos[r];
             debug_assert!(pr != usize::MAX && pr > t, "union pattern must be closed");
-            let dst = &mut tail[(pr - t - 1) * bsize..(pr - t) * bsize];
-            for c in 0..bsize {
-                dst[c] -= v * xrow[c];
-            }
+            // Lane-vectorized panel update, bit-identical to the scalar
+            // per-entry loop (independent destinations).
+            sparsekit::lanes::axpy_neg(&mut tail[(pr - t - 1) * bsize..(pr - t) * bsize], xrow, v);
             flops += 2 * bsize as u64;
         }
     }

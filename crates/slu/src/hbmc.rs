@@ -1,0 +1,348 @@
+//! Hierarchical block multi-color (HBMC) trisolve scheduling.
+//!
+//! Level scheduling (the default, [`crate::levels`]) groups rows by
+//! longest dependency chain. That is optimal in sweep count over *rows*,
+//! but on narrow-level factors it leaves little parallelism per barrier.
+//! Iwashita et al.'s hierarchical block multi-color ordering trades
+//! exactness for parallelism: rows are grouped into contiguous *blocks*
+//! (the hierarchy level — a block stays on one core and is solved
+//! sequentially, preserving cache locality), and the block quotient DAG
+//! is colored by longest chain into *stages*. All blocks of a stage run
+//! concurrently, so the sweep count drops from row-chain length to
+//! block-chain length — fewer, wider barriers.
+//!
+//! The price: each row's dependency list is re-sorted into execution
+//! order (earlier stages first), which **reorders the floating-point
+//! sums** relative to the level schedule's fixed column order. HBMC is
+//! therefore opt-in ([`TrisolveSchedule::Hbmc`]) and gated behind a
+//! relative-tolerance equivalence probe
+//! ([`crate::LuFactors::set_schedule`]): if a probe solve through the
+//! HBMC plan deviates from the level-scheduled solve by more than the
+//! tolerance, the schedule is rejected with a typed [`ScheduleError`]
+//! and the factors keep their level plan. Given its fixed dependency
+//! lists, an accepted HBMC plan is still byte-identical across worker
+//! counts — worker splits land on block boundaries.
+
+use crate::levels::{LevelPlan, SolvePlan};
+
+/// Which execution schedule the triangular-solve plan uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TrisolveSchedule {
+    /// Level scheduling: byte-identical to the serial sweep, the
+    /// default.
+    #[default]
+    Level,
+    /// Hierarchical block multi-color: fewer and wider sweeps, float
+    /// sums reordered, tolerance-gated.
+    Hbmc,
+}
+
+impl TrisolveSchedule {
+    /// Stable lowercase label (CLI flag values, service requests, cache
+    /// keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrisolveSchedule::Level => "level",
+            TrisolveSchedule::Hbmc => "hbmc",
+        }
+    }
+
+    /// Parses a [`TrisolveSchedule::label`] value.
+    pub fn parse(s: &str) -> Option<TrisolveSchedule> {
+        match s {
+            "level" => Some(TrisolveSchedule::Level),
+            "hbmc" => Some(TrisolveSchedule::Hbmc),
+            _ => None,
+        }
+    }
+}
+
+/// Rows per HBMC block. Small enough that block chains compress row
+/// chains on mesh-like factors, large enough that a block amortizes its
+/// scheduling overhead; see docs/kernels.md for the trade-off.
+pub const HBMC_BLOCK: usize = 8;
+
+/// Default relative tolerance of the HBMC equivalence probe.
+pub const HBMC_EQUIV_TOL: f64 = 1e-8;
+
+/// The HBMC equivalence probe failed: a probe solve through the
+/// reordered plan deviated from the level-scheduled solve by more than
+/// the tolerance. The factorisation keeps its level plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleError {
+    /// Measured relative deviation (∞-norm) of the probe solve.
+    pub rel_err: f64,
+    /// The tolerance it exceeded.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hbmc schedule rejected: probe deviation {:.3e} exceeds tolerance {:.3e}",
+            self.rel_err, self.tol
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl SolvePlan {
+    /// Reschedules both sweeps with HBMC blocks of `block` rows.
+    ///
+    /// The result computes the same triangular solves up to
+    /// floating-point reassociation of each row's dependency sum;
+    /// callers gate it behind the equivalence probe
+    /// ([`crate::LuFactors::set_schedule`]).
+    pub fn to_hbmc(&self, block: usize) -> SolvePlan {
+        let fwd = transform_sweep(&self.fwd, block, false);
+        let mut bwd = transform_sweep(&self.bwd, block, true);
+        // The backward sweep's input is the forward sweep's output in
+        // *position* order; re-point the seeds at the new forward
+        // positions.
+        for p in 0..bwd.rhs_src.len() {
+            bwd.rhs_src[p] = fwd.pos[bwd.order[p]];
+        }
+        let out_dst = bwd
+            .order
+            .iter()
+            .map(|&j| self.out_dst[self.bwd.pos[j]])
+            .collect();
+        SolvePlan { fwd, bwd, out_dst }
+    }
+}
+
+/// Reschedules one level-ordered sweep into HBMC stage order.
+///
+/// Blocks are contiguous `block`-row ranges of the sweep's row space;
+/// the block quotient DAG is staged by longest chain (a valid greedy
+/// multi-coloring of that DAG: same-stage blocks are independent by
+/// construction). Positions are laid out stage by stage, blocks in
+/// sweep order within a stage, rows in sweep order within a block, and
+/// each row's dependency list is re-sorted into execution-position
+/// order — the floating-point reordering the tolerance gate exists for.
+fn transform_sweep(plan: &LevelPlan, block: usize, descending: bool) -> LevelPlan {
+    assert!(block >= 1);
+    let n = plan.rhs_src.len();
+    let nblocks = n.div_ceil(block);
+    let blk_of = |r: usize| r / block;
+    // --- Stage = longest chain over the block quotient DAG. ---
+    // Sweep order over blocks is topological: forward dependencies point
+    // to smaller rows, backward to larger.
+    let mut stage = vec![0usize; nblocks];
+    let block_ids: Vec<usize> = if descending {
+        (0..nblocks).rev().collect()
+    } else {
+        (0..nblocks).collect()
+    };
+    for &b in &block_ids {
+        let mut s = 0usize;
+        for r in b * block..((b + 1) * block).min(n) {
+            let p = plan.pos[r];
+            for k in plan.dep_ptr[p]..plan.dep_ptr[p + 1] {
+                let db = blk_of(plan.order[plan.dep_pos[k]]);
+                if db != b {
+                    s = s.max(stage[db] + 1);
+                }
+            }
+        }
+        stage[b] = s;
+    }
+    let nstages = stage.iter().map(|&s| s + 1).max().unwrap_or(0);
+    // --- Lay out positions: stage → block (sweep order) → row. ---
+    let mut blocks_sorted = block_ids;
+    blocks_sorted.sort_by_key(|&b| stage[b]); // stable: keeps sweep order per stage
+    let mut level_ptr = vec![0usize; nstages + 1];
+    let mut level_task = vec![0usize; nstages + 1];
+    let mut task_ptr = Vec::with_capacity(nblocks + 1);
+    task_ptr.push(0usize);
+    let mut order = Vec::with_capacity(n);
+    for &b in &blocks_sorted {
+        let (r0, r1) = (b * block, ((b + 1) * block).min(n));
+        if descending {
+            order.extend((r0..r1).rev());
+        } else {
+            order.extend(r0..r1);
+        }
+        task_ptr.push(order.len());
+        // Blocks arrive grouped by stage, so the last block of each
+        // stage leaves the boundary behind (every stage is nonempty).
+        level_ptr[stage[b] + 1] = order.len();
+        level_task[stage[b] + 1] = task_ptr.len() - 1;
+    }
+    let mut pos = vec![0usize; n];
+    for (p, &r) in order.iter().enumerate() {
+        pos[r] = p;
+    }
+    // --- Remap dependencies, sorted into execution-position order. ---
+    let mut dep_ptr = vec![0usize; n + 1];
+    for p in 0..n {
+        let po = plan.pos[order[p]];
+        dep_ptr[p + 1] = dep_ptr[p] + (plan.dep_ptr[po + 1] - plan.dep_ptr[po]);
+    }
+    let mut dep_pos = vec![0usize; dep_ptr[n]];
+    let mut dep_val = vec![0f64; dep_ptr[n]];
+    let mut pairs: Vec<(usize, f64)> = Vec::new();
+    for p in 0..n {
+        let po = plan.pos[order[p]];
+        pairs.clear();
+        for k in plan.dep_ptr[po]..plan.dep_ptr[po + 1] {
+            pairs.push((pos[plan.order[plan.dep_pos[k]]], plan.dep_val[k]));
+        }
+        pairs.sort_unstable_by_key(|&(dp, _)| dp);
+        for (d, &(dp, dv)) in (dep_ptr[p]..dep_ptr[p + 1]).zip(&pairs) {
+            dep_pos[d] = dp;
+            dep_val[d] = dv;
+        }
+    }
+    let rhs_src = order.iter().map(|&r| plan.rhs_src[plan.pos[r]]).collect();
+    let diag = if plan.diag.is_empty() {
+        Vec::new()
+    } else {
+        order.iter().map(|&r| plan.diag[plan.pos[r]]).collect()
+    };
+    LevelPlan {
+        level_ptr,
+        rhs_src,
+        dep_ptr,
+        dep_pos,
+        dep_val,
+        diag,
+        order,
+        pos,
+        tasks: Some((task_ptr, level_task)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{LuConfig, LuFactors};
+    use crate::TriScratch;
+    use sparsekit::{Coo, Csr, Perm};
+
+    fn laplace2d(nx: usize) -> Csr {
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut c = Coo::new(nx * nx, nx * nx);
+        for i in 0..nx {
+            for j in 0..nx {
+                c.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < nx {
+                    c.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    fn factor(nx: usize) -> LuFactors {
+        let a = laplace2d(nx);
+        let n = a.nrows();
+        LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn hbmc_plan_is_topologically_valid() {
+        let f = factor(8);
+        let plan = f.solve_plan().to_hbmc(HBMC_BLOCK);
+        for sweep in [&plan.fwd, &plan.bwd] {
+            let n = sweep.rhs_src.len();
+            let (task_ptr, level_task) = sweep.tasks.as_ref().expect("hbmc plan carries tasks");
+            assert_eq!(*task_ptr.last().unwrap(), n);
+            assert_eq!(*level_task.last().unwrap(), task_ptr.len() - 1);
+            // Task id per position.
+            let mut task_of = vec![0usize; n];
+            for t in 0..task_ptr.len() - 1 {
+                for p in task_ptr[t]..task_ptr[t + 1] {
+                    task_of[p] = t;
+                }
+            }
+            let mut level_of = vec![0usize; n];
+            for l in 0..sweep.level_ptr.len() - 1 {
+                for p in sweep.level_ptr[l]..sweep.level_ptr[l + 1] {
+                    level_of[p] = l;
+                }
+            }
+            for p in 0..n {
+                for k in sweep.dep_ptr[p]..sweep.dep_ptr[p + 1] {
+                    let dp = sweep.dep_pos[k];
+                    assert!(dp < p, "dependency not resolved before use");
+                    assert!(
+                        level_of[dp] < level_of[p] || task_of[dp] == task_of[p],
+                        "same-stage dependency must stay inside one task"
+                    );
+                    if k > sweep.dep_ptr[p] {
+                        assert!(sweep.dep_pos[k - 1] < dp, "dep list sorted by position");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hbmc_has_fewer_sweeps_and_wider_levels_on_laplacian() {
+        let f = factor(16);
+        let level = f.solve_plan();
+        let hbmc = level.to_hbmc(HBMC_BLOCK);
+        let (ls, lw) = level.forward_levels();
+        let (hs, hw) = hbmc.forward_levels();
+        assert!(hs < ls, "sweeps: hbmc {hs} vs level {ls}");
+        assert!(hw > lw, "width: hbmc {hw} vs level {lw}");
+    }
+
+    #[test]
+    fn hbmc_parallel_matches_hbmc_serial_bitwise() {
+        let a = laplace2d(20); // 400 rows — exercises the threaded path
+        let n = a.nrows();
+        let mut f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        f.set_schedule(TrisolveSchedule::Hbmc)
+            .expect("probe passes");
+        let b: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) - 6.0).collect();
+        let mut scratch = TriScratch::new();
+        let mut serial = vec![0.0; n];
+        f.solve_into(&b, &mut serial, &mut scratch, 1);
+        for w in [2usize, 3, 4, 7] {
+            let mut par = vec![f64::NAN; n];
+            f.solve_into(&b, &mut par, &mut scratch, w);
+            assert_eq!(par, serial, "workers {w}");
+        }
+    }
+
+    #[test]
+    fn hbmc_solution_close_to_level_solution() {
+        let a = laplace2d(12);
+        let n = a.nrows();
+        let mut f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let level_x = f.solve(&b);
+        f.set_schedule(TrisolveSchedule::Hbmc)
+            .expect("probe passes");
+        assert_eq!(f.schedule(), TrisolveSchedule::Hbmc);
+        let hbmc_x = f.solve(&b);
+        let denom = level_x.iter().fold(0f64, |m, v| m.max(v.abs()));
+        let err = level_x
+            .iter()
+            .zip(&hbmc_x)
+            .fold(0f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(err / denom < 1e-10, "rel err {}", err / denom);
+        // And back to the byte-identical level schedule.
+        f.set_schedule(TrisolveSchedule::Level).unwrap();
+        assert_eq!(f.solve(&b), level_x);
+    }
+
+    #[test]
+    fn impossible_tolerance_yields_typed_rejection() {
+        let mut f = factor(10);
+        let err = f
+            .set_schedule_with_tol(TrisolveSchedule::Hbmc, -1.0)
+            .expect_err("negative tolerance rejects every deviation");
+        assert!(err.rel_err >= 0.0 && err.tol == -1.0);
+        assert_eq!(f.schedule(), TrisolveSchedule::Level, "plan unchanged");
+        let msg = err.to_string();
+        assert!(msg.contains("hbmc schedule rejected"), "{msg}");
+    }
+}

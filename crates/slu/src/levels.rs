@@ -35,23 +35,34 @@ const PAR_MIN_ROWS: usize = 256;
 #[derive(Clone, Debug)]
 pub struct LevelPlan {
     /// `level_ptr[l]..level_ptr[l + 1]` are the positions of level `l`.
-    level_ptr: Vec<usize>,
+    pub(crate) level_ptr: Vec<usize>,
     /// Index in the sweep's *input* vector that seeds each position's
     /// accumulation.
-    rhs_src: Vec<usize>,
+    pub(crate) rhs_src: Vec<usize>,
     /// Dependency lists, CSR-like: position `p` reads the already-solved
     /// positions `dep_pos[dep_ptr[p]..dep_ptr[p + 1]]` scaled by
-    /// `dep_val[..]`, all at strictly earlier levels.
-    dep_ptr: Vec<usize>,
-    dep_pos: Vec<usize>,
-    dep_val: Vec<f64>,
+    /// `dep_val[..]`. Level scheduling keeps every dependency at a
+    /// strictly earlier level; the HBMC schedule additionally allows
+    /// same-level dependencies at earlier positions *within the same
+    /// task* (see `tasks`).
+    pub(crate) dep_ptr: Vec<usize>,
+    pub(crate) dep_pos: Vec<usize>,
+    pub(crate) dep_val: Vec<f64>,
     /// Diagonal divisor per position; empty for the unit-diagonal
     /// forward sweep.
-    diag: Vec<f64>,
+    pub(crate) diag: Vec<f64>,
     /// Position → pivot row (the level order itself).
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Pivot row → position (inverse of `order`).
-    pos: Vec<usize>,
+    pub(crate) pos: Vec<usize>,
+    /// Worker-split granularity. `None` (level scheduling): any position
+    /// split is safe, dependencies never share a level. `Some((task_ptr,
+    /// level_task))` (HBMC): positions of one task (a row block) carry
+    /// intra-task dependencies and must stay on one worker, so splits
+    /// land on task boundaries — `task_ptr` holds the position
+    /// boundaries, `level_task[l]..level_task[l + 1]` the tasks of level
+    /// `l`.
+    pub(crate) tasks: Option<(Vec<usize>, Vec<usize>)>,
 }
 
 impl LevelPlan {
@@ -76,18 +87,60 @@ impl LevelPlan {
 
     /// Runs positions `a..b` of the sweep. All dependencies live at
     /// positions `< a` or were produced by this same call.
+    ///
+    /// The accumulation loop is lane-structured: products are computed
+    /// in fixed-width [`LANES`](sparsekit::lanes::LANES) batches (the
+    /// multiplies vectorize, the gathers pipeline) and folded into the
+    /// accumulator strictly left-to-right — the exact op sequence of the
+    /// plain scalar loop, so results stay byte-identical.
     #[inline]
     fn run_range(&self, a: usize, b: usize, input: &[f64], out: &[AtomicU64]) {
+        use sparsekit::lanes::LANES;
         for p in a..b {
             let mut acc = input[self.rhs_src[p]];
-            for k in self.dep_ptr[p]..self.dep_ptr[p + 1] {
-                acc -=
-                    self.dep_val[k] * f64::from_bits(out[self.dep_pos[k]].load(Ordering::Relaxed));
+            let deps = self.dep_ptr[p]..self.dep_ptr[p + 1];
+            let dep_pos = &self.dep_pos[deps.clone()];
+            let dep_val = &self.dep_val[deps];
+            let mut cp = dep_pos.chunks_exact(LANES);
+            let mut cv = dep_val.chunks_exact(LANES);
+            for (pp, vv) in (&mut cp).zip(&mut cv) {
+                let mut prod = [0f64; LANES];
+                for l in 0..LANES {
+                    prod[l] = vv[l] * f64::from_bits(out[pp[l]].load(Ordering::Relaxed));
+                }
+                for pr in prod {
+                    acc -= pr;
+                }
+            }
+            for (&dp, &dv) in cp.remainder().iter().zip(cv.remainder()) {
+                acc -= dv * f64::from_bits(out[dp].load(Ordering::Relaxed));
             }
             if !self.diag.is_empty() {
                 acc /= self.diag[p];
             }
             out[p].store(acc.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Position range of level `l` assigned to worker `t` of `workers`:
+    /// an even position split for level plans, an even *task* split
+    /// (aligned to row-block boundaries) for HBMC plans.
+    #[inline]
+    fn worker_range(&self, l: usize, t: usize, workers: usize) -> (usize, usize) {
+        match &self.tasks {
+            None => {
+                let (s, e) = (self.level_ptr[l], self.level_ptr[l + 1]);
+                let len = e - s;
+                (s + len * t / workers, s + len * (t + 1) / workers)
+            }
+            Some((task_ptr, level_task)) => {
+                let (ta, tb) = (level_task[l], level_task[l + 1]);
+                let len = tb - ta;
+                (
+                    task_ptr[ta + len * t / workers],
+                    task_ptr[ta + len * (t + 1) / workers],
+                )
+            }
         }
     }
 
@@ -111,10 +164,7 @@ impl LevelPlan {
                 let barrier = &barrier;
                 sc.spawn(move || {
                     for l in 0..nlevels {
-                        let (s, e) = (self.level_ptr[l], self.level_ptr[l + 1]);
-                        let len = e - s;
-                        let a = s + len * t / workers;
-                        let b = s + len * (t + 1) / workers;
+                        let (a, b) = self.worker_range(l, t, workers);
                         self.run_range(a, b, input, out);
                         barrier.wait();
                     }
@@ -128,10 +178,10 @@ impl LevelPlan {
 /// with the row/column permutations folded into the index maps.
 #[derive(Clone, Debug)]
 pub struct SolvePlan {
-    fwd: LevelPlan,
-    bwd: LevelPlan,
+    pub(crate) fwd: LevelPlan,
+    pub(crate) bwd: LevelPlan,
     /// Backward-sweep position → index in the caller's `x`.
-    out_dst: Vec<usize>,
+    pub(crate) out_dst: Vec<usize>,
 }
 
 impl SolvePlan {
@@ -341,6 +391,7 @@ fn build_sweep(
         diag: Vec::new(),
         order,
         pos,
+        tasks: None,
     }
 }
 

@@ -30,8 +30,10 @@
 
 pub mod blocked;
 pub mod etree;
+pub mod hbmc;
 pub mod levels;
 pub mod lu;
+pub mod microkernel;
 pub mod refine;
 pub mod supernodes;
 pub mod trisolve;
@@ -40,8 +42,12 @@ pub use blocked::{
     blocked_lower_solve, solve_in_blocks, solve_in_blocks_ordered, BlockSolveStats, BlockWorkspace,
 };
 pub use etree::{etree, first_nonzero_postorder_key, postorder};
+pub use hbmc::{ScheduleError, TrisolveSchedule, HBMC_BLOCK, HBMC_EQUIV_TOL};
 pub use levels::{LevelPlan, SolvePlan, TriScratch};
 pub use lu::{LuConfig, LuError, LuFactors};
 pub use refine::{condest_1, solve_refined, RefinedSolve};
-pub use supernodes::{detect_supernodes, supernodal_blocked_solve, Supernodes};
+pub use supernodes::{
+    detect_supernodes, supernodal_blocked_solve, supernodal_blocked_solve_precomputed,
+    supernodal_blocked_solve_reference, SupernodePlan, Supernodes,
+};
 pub use trisolve::{solution_pattern, sparse_lower_solve, SparseVec};

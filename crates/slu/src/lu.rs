@@ -1,6 +1,7 @@
 //! Gilbert–Peierls left-looking sparse LU with threshold partial
 //! pivoting (the algorithm family behind SuperLU).
 
+use crate::hbmc::{ScheduleError, TrisolveSchedule, HBMC_BLOCK, HBMC_EQUIV_TOL};
 use crate::levels::{SolvePlan, TriScratch};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::{Csc, Csr, Perm};
@@ -97,10 +98,13 @@ pub struct LuFactors {
     /// (empty unless [`LuConfig::diag_perturb`] was enabled *and* the
     /// matrix was singular or near-singular at those steps).
     pub perturbed: Vec<usize>,
-    /// Level-scheduled execution plan for the triangular solves, built
-    /// once here so every subsequent solve — serial or parallel — reuses
-    /// it (see [`crate::levels`]).
+    /// Execution plan for the triangular solves, built once here so
+    /// every subsequent solve — serial or parallel — reuses it (see
+    /// [`crate::levels`]). Level-scheduled by default; an accepted
+    /// [`LuFactors::set_schedule`] call swaps in the HBMC reordering.
     plan: SolvePlan,
+    /// Which schedule `plan` currently encodes.
+    schedule: TrisolveSchedule,
 }
 
 impl LuFactors {
@@ -299,6 +303,7 @@ impl LuFactors {
             col_perm: col_perm.clone(),
             perturbed,
             plan,
+            schedule: TrisolveSchedule::Level,
         })
     }
 
@@ -337,6 +342,7 @@ impl LuFactors {
             col_perm,
             perturbed,
             plan,
+            schedule: TrisolveSchedule::Level,
         }
     }
 
@@ -369,9 +375,82 @@ impl LuFactors {
         self.plan.solve_into(b, x, scratch, workers);
     }
 
-    /// The level-scheduled triangular-solve plan built at factorisation.
+    /// The triangular-solve plan built at factorisation (level-scheduled
+    /// unless an HBMC schedule was accepted).
     pub fn solve_plan(&self) -> &SolvePlan {
         &self.plan
+    }
+
+    /// The schedule the current plan encodes.
+    pub fn schedule(&self) -> TrisolveSchedule {
+        self.schedule
+    }
+
+    /// Switches the triangular-solve schedule with the default
+    /// equivalence tolerance [`HBMC_EQUIV_TOL`]; see
+    /// [`LuFactors::set_schedule_with_tol`].
+    pub fn set_schedule(&mut self, schedule: TrisolveSchedule) -> Result<(), ScheduleError> {
+        self.set_schedule_with_tol(schedule, HBMC_EQUIV_TOL)
+    }
+
+    /// Switches the triangular-solve schedule.
+    ///
+    /// Switching to [`TrisolveSchedule::Level`] always succeeds and
+    /// restores solves byte-identical to the freshly-factorised state.
+    /// Switching to [`TrisolveSchedule::Hbmc`] reorders each row's
+    /// dependency sum, so it is gated behind an equivalence probe: a
+    /// deterministic right-hand side is solved through both plans and the
+    /// HBMC plan is accepted only when the relative ∞-norm deviation is
+    /// within `tol`. On rejection (deviation above `tol`, or a
+    /// non-finite probe) the factors keep their current plan and the
+    /// typed [`ScheduleError`] reports the measured deviation.
+    pub fn set_schedule_with_tol(
+        &mut self,
+        schedule: TrisolveSchedule,
+        tol: f64,
+    ) -> Result<(), ScheduleError> {
+        if schedule == self.schedule {
+            return Ok(());
+        }
+        match schedule {
+            TrisolveSchedule::Level => {
+                self.plan = SolvePlan::build(&self.l, &self.u, &self.row_perm, &self.col_perm);
+                self.schedule = TrisolveSchedule::Level;
+                Ok(())
+            }
+            TrisolveSchedule::Hbmc => {
+                // `self.schedule` is Level here, so `self.plan` is the
+                // level plan the probe compares against.
+                let hbmc = self.plan.to_hbmc(HBMC_BLOCK);
+                let n = self.n();
+                let b: Vec<f64> = (0..n)
+                    .map(|i| ((i * 37 % 19) as f64) * 0.25 - 2.0)
+                    .collect();
+                let mut scratch = TriScratch::new();
+                let mut x_level = vec![0f64; n];
+                let mut x_hbmc = vec![0f64; n];
+                self.plan.solve_into(&b, &mut x_level, &mut scratch, 1);
+                hbmc.solve_into(&b, &mut x_hbmc, &mut scratch, 1);
+                let denom = x_level
+                    .iter()
+                    .fold(0f64, |m, v| m.max(v.abs()))
+                    .max(f64::MIN_POSITIVE);
+                let rel_err = x_level
+                    .iter()
+                    .zip(&x_hbmc)
+                    .fold(0f64, |m, (a, b)| m.max((a - b).abs()))
+                    / denom;
+                // `!(x <= tol)` also rejects NaN deviations; the
+                // clippy-preferred `rel_err > tol` would accept them.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(rel_err <= tol) {
+                    return Err(ScheduleError { rel_err, tol });
+                }
+                self.plan = hbmc;
+                self.schedule = TrisolveSchedule::Hbmc;
+                Ok(())
+            }
+        }
     }
 }
 

@@ -1,0 +1,138 @@
+//! In-tree dense microkernels for the supernodal panel solves.
+//!
+//! These are the BLAS-3 building blocks the supernodal trisolve
+//! ([`crate::supernodes`]) runs instead of per-entry sparse updates: a
+//! small `dtrsm`-like unit-lower panel solve over a supernode's diagonal
+//! block, and a register-tiled `dgemm`-like rank-`w` update of the rows
+//! below it. Both operate on the blocked solver's row-major
+//! `rows × bsize` panels and on supernode blocks packed at plan-build
+//! time ([`crate::supernodes::SupernodePlan`]).
+//!
+//! **Bit-identity contract.** Every kernel performs, per destination
+//! cell, exactly the same sequence of individually-rounded IEEE-754
+//! operations as the scalar reference loop (ascending source column
+//! within the supernode, one multiply and one subtract per entry, no
+//! FMA contraction — stable Rust never contracts `a - b * c`). Lanes
+//! only batch *independent* cells, so the results are bit-identical to
+//! the scalar path; the property tests in `tests/prop_microkernels.rs`
+//! pin this on the full `matgen` zoo. See `docs/kernels.md`.
+
+pub use sparsekit::lanes::LANES;
+
+use sparsekit::lanes::axpy_neg;
+
+/// Solves the supernode's diagonal block in place: `panel` holds the
+/// `w` supernode rows (row-major, `bsize` columns each), already seeded
+/// with the right-hand sides; `diag` is the packed `w × w` column-major
+/// unit-lower diagonal block (strict upper triangle unused, unit
+/// diagonal not read).
+///
+/// Column order is ascending, matching the scalar reference: row `kk`
+/// receives the updates from columns `jj < kk` in ascending `jj`.
+#[inline]
+pub fn trsm_unit_lower(diag: &[f64], w: usize, panel: &mut [f64], bsize: usize) {
+    debug_assert!(diag.len() >= w * w);
+    debug_assert!(panel.len() >= w * bsize);
+    for jj in 0..w {
+        let (head, tail) = panel.split_at_mut((jj + 1) * bsize);
+        let xrow = &head[jj * bsize..];
+        for (kk, row) in tail.chunks_exact_mut(bsize).take(w - jj - 1).enumerate() {
+            axpy_neg(row, xrow, diag[jj * w + (jj + 1 + kk)]);
+        }
+    }
+}
+
+/// Rank-`w` update of one below-the-block panel row:
+/// `dst[c] -= Σ_jj coeffs[jj] · xs[jj·bsize + c]`.
+///
+/// `xs` is the supernode's solved `w × bsize` panel (row-major,
+/// contiguous because supernode rows are adjacent in the union
+/// pattern); `coeffs` holds the `w` factor entries of this destination
+/// row, packed row-major at plan-build time. The `c` loop is tiled into
+/// [`LANES`]-wide register accumulators; per cell the subtractions run
+/// in ascending `jj` — the scalar reference order.
+#[inline]
+pub fn rank_update_row(dst: &mut [f64], xs: &[f64], coeffs: &[f64], bsize: usize) {
+    let w = coeffs.len();
+    debug_assert!(xs.len() >= w * bsize);
+    debug_assert_eq!(dst.len(), bsize);
+    let mut tiles = dst.chunks_exact_mut(LANES);
+    let mut c = 0usize;
+    for tile in &mut tiles {
+        let mut acc = [0f64; LANES];
+        acc.copy_from_slice(tile);
+        for (jj, &v) in coeffs.iter().enumerate() {
+            let x = &xs[jj * bsize + c..jj * bsize + c + LANES];
+            for l in 0..LANES {
+                acc[l] -= v * x[l];
+            }
+        }
+        tile.copy_from_slice(&acc);
+        c += LANES;
+    }
+    for (l, d) in tiles.into_remainder().iter_mut().enumerate() {
+        let mut acc = *d;
+        for (jj, &v) in coeffs.iter().enumerate() {
+            acc -= v * xs[jj * bsize + c + l];
+        }
+        *d = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: entry-at-a-time, ascending source column, the
+    /// exact loop the pre-microkernel solver ran.
+    fn trsm_reference(diag: &[f64], w: usize, panel: &mut [f64], bsize: usize) {
+        for jj in 0..w {
+            for kk in jj + 1..w {
+                let v = diag[jj * w + kk];
+                for cc in 0..bsize {
+                    panel[kk * bsize + cc] -= v * panel[jj * bsize + cc];
+                }
+            }
+        }
+    }
+
+    fn update_reference(dst: &mut [f64], xs: &[f64], coeffs: &[f64], bsize: usize) {
+        for (jj, &v) in coeffs.iter().enumerate() {
+            for cc in 0..bsize {
+                dst[cc] -= v * xs[jj * bsize + cc];
+            }
+        }
+    }
+
+    fn pseudo(seed: usize, k: usize) -> f64 {
+        // Deterministic, sign-mixed, exponent-spread values: any
+        // reassociation or contraction shows up in the low bits.
+        let t = ((seed * 2654435761 + k * 40503) % 1013) as f64 - 506.0;
+        t * (10f64).powi(((seed + k) % 7) as i32 - 3)
+    }
+
+    #[test]
+    fn trsm_bit_identical_to_reference() {
+        for (w, bsize) in [(2usize, 1usize), (3, 4), (5, 7), (8, 32), (13, 60)] {
+            let diag: Vec<f64> = (0..w * w).map(|k| pseudo(1, k)).collect();
+            let mut a: Vec<f64> = (0..w * bsize).map(|k| pseudo(2, k)).collect();
+            let mut b = a.clone();
+            trsm_unit_lower(&diag, w, &mut a, bsize);
+            trsm_reference(&diag, w, &mut b, bsize);
+            assert_eq!(a, b, "w = {w}, bsize = {bsize}");
+        }
+    }
+
+    #[test]
+    fn rank_update_bit_identical_to_reference() {
+        for (w, bsize) in [(1usize, 1usize), (2, 3), (4, 4), (6, 17), (9, 64)] {
+            let xs: Vec<f64> = (0..w * bsize).map(|k| pseudo(3, k)).collect();
+            let coeffs: Vec<f64> = (0..w).map(|k| pseudo(4, k)).collect();
+            let mut a: Vec<f64> = (0..bsize).map(|k| pseudo(5, k)).collect();
+            let mut b = a.clone();
+            rank_update_row(&mut a, &xs, &coeffs, bsize);
+            update_reference(&mut b, &xs, &coeffs, bsize);
+            assert_eq!(a, b, "w = {w}, bsize = {bsize}");
+        }
+    }
+}

@@ -363,16 +363,14 @@ impl Csr {
         y
     }
 
-    /// `y = A x` into a caller-provided buffer.
+    /// `y = A x` into a caller-provided buffer. The per-row dot product
+    /// runs through the lane kernel ([`crate::lanes::row_dot`]), which
+    /// is bit-identical to the plain left-to-right loop.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         for r in 0..self.nrows {
-            let mut acc = 0f64;
-            for (c, v) in self.row_iter(r) {
-                acc += v * x[c];
-            }
-            y[r] = acc;
+            y[r] = crate::lanes::row_dot(self.row_indices(r), self.row_values(r), x);
         }
     }
 
@@ -381,10 +379,7 @@ impl Csr {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         for r in 0..self.nrows {
-            let mut acc = 0f64;
-            for (c, v) in self.row_iter(r) {
-                acc += v * x[c];
-            }
+            let acc = crate::lanes::row_dot(self.row_indices(r), self.row_values(r), x);
             y[r] += alpha * acc;
         }
     }
@@ -483,11 +478,7 @@ impl Csr {
             for (range, out) in tasks {
                 sc.spawn(move || {
                     for (k, r) in range.enumerate() {
-                        let mut acc = 0f64;
-                        for (c, v) in self.row_iter(r) {
-                            acc += v * x[c];
-                        }
-                        out[k] = acc;
+                        out[k] = crate::lanes::row_dot(self.row_indices(r), self.row_values(r), x);
                     }
                 });
             }

@@ -17,6 +17,26 @@ def load(name):
     return json.loads(p.read_text())
 
 
+def check_schema(fname, i, row, schema):
+    """Hard-fails (sys.exit) unless `row` matches `schema` exactly in
+    field names and types. int is accepted where float is expected;
+    bool is never accepted for a numeric field."""
+    for field, ty in schema.items():
+        if field not in row:
+            sys.exit(f"{fname} row {i}: missing field '{field}'")
+        v = row[field]
+        if ty is bool:
+            ok = isinstance(v, bool)
+        else:
+            ok = (isinstance(v, ty) or (ty is float and isinstance(v, int))) and not isinstance(
+                v, bool
+            )
+        if not ok:
+            sys.exit(
+                f"{fname} row {i}: field '{field}' is {type(v).__name__}, expected {ty.__name__}"
+            )
+
+
 def fig1():
     rows = load("fig1_scaling")
     if not rows:
@@ -183,25 +203,110 @@ def supernodal():
         )
 
 
+BENCH_SOLVE_SCHEMA = {
+    "problem": str,
+    "kernel": str,
+    "workers": int,
+    "batch": int,
+    "seconds": float,
+    "serial_seconds": float,
+    "speedup": float,
+    "matches_serial": bool,
+    "iterations": int,
+    "sweeps": int,
+    "max_width": int,
+}
+
+
 def bench_solve():
     rows = load("BENCH_solve")
-    if not rows:
+    if rows is None:
         return
+    # Hard validation, like BENCH_partition: CI gates on this file.
+    if not isinstance(rows, list) or not rows:
+        sys.exit("BENCH_solve.json: expected a non-empty list of rows")
+    kernels = set()
+    for i, r in enumerate(rows):
+        check_schema("BENCH_solve.json", i, r, BENCH_SOLVE_SCHEMA)
+        if not r["matches_serial"]:
+            sys.exit(f"BENCH_solve.json row {i}: divergent parallel result")
+        kernels.add(r["kernel"])
+    need = {"matvec", "trisolve", "solve", "solve_many", "trisolve_level", "trisolve_hbmc"}
+    if not need <= kernels:
+        sys.exit(f"BENCH_solve.json: missing kernels {need - kernels}")
+    # The HBMC parallelism gate: on every problem with schedule rows,
+    # HBMC must report fewer sweeps and wider levels than level
+    # scheduling. This is a deterministic structural property of the
+    # schedules (unlike the timings, which are never gated).
+    sched = {}
+    for r in rows:
+        if r["kernel"] in ("trisolve_level", "trisolve_hbmc"):
+            sched.setdefault(r["problem"], {})[r["kernel"]] = (r["sweeps"], r["max_width"])
+    if not sched:
+        sys.exit("BENCH_solve.json: no trisolve schedule rows")
+    for prob, d in sched.items():
+        if "trisolve_level" not in d or "trisolve_hbmc" not in d:
+            sys.exit(f"BENCH_solve.json: {prob} is missing one of the schedule rows")
+        (ls, lw), (hs, hw) = d["trisolve_level"], d["trisolve_hbmc"]
+        if not (0 < hs < ls):
+            sys.exit(f"BENCH_solve.json: {prob}: hbmc sweeps {hs} not < level sweeps {ls}")
+        if not (hw > lw > 0):
+            sys.exit(f"BENCH_solve.json: {prob}: hbmc width {hw} not > level width {lw}")
     print("\n## BENCH_solve (solve-phase kernels; exact-match asserted, speedups informational)\n")
-    print("| problem | kernel | workers | batch | seconds | speedup | match | iters |")
-    print("|---|---|---|---|---|---|---|---|")
+    print("| problem | kernel | workers | batch | seconds | speedup | match | iters | sweeps | width |")
+    print("|---|---|---|---|---|---|---|---|---|---|")
     for r in rows:
         print(
             f"| {r['problem']} | {r['kernel']} | {r['workers']} | {r['batch']} | "
-            f"{r['seconds']:.4f} | {r['speedup']:.2f}x | {r['matches_serial']} | {r['iterations']} |"
+            f"{r['seconds']:.4f} | {r['speedup']:.2f}x | {r['matches_serial']} | "
+            f"{r['iterations']} | {r['sweeps']} | {r['max_width']} |"
         )
+
+
+BENCH_KERNELS_SCHEMA = {
+    "problem": str,
+    "kernel": str,
+    "workers": int,
+    "seconds": float,
+    "serial_seconds": float,
+    "speedup": float,
+    "matches_serial": bool,
+    "nnz": int,
+    "padded_zeros": int,
+}
+
+# The one speedup this repo *does* gate on: the supernodal microkernel
+# tier vs the scalar reference is a same-thread algorithmic ratio over
+# identical inputs, stable across CI runners.
+SUPERNODAL_MIN_SPEEDUP = 1.5
 
 
 def bench_kernels():
     rows = load("BENCH_kernels")
-    if not rows:
+    if rows is None:
         return
-    print("\n## BENCH_kernels (setup-phase kernels; exact-match asserted, speedups informational)\n")
+    # Hard validation, like BENCH_partition: CI gates on this file.
+    if not isinstance(rows, list) or not rows:
+        sys.exit("BENCH_kernels.json: expected a non-empty list of rows")
+    kernels = set()
+    supernodal = []
+    for i, r in enumerate(rows):
+        check_schema("BENCH_kernels.json", i, r, BENCH_KERNELS_SCHEMA)
+        if not r["matches_serial"]:
+            sys.exit(f"BENCH_kernels.json row {i}: divergent result")
+        kernels.add(r["kernel"])
+        if r["kernel"] == "supernodal":
+            supernodal.append(r)
+    need = {"spgemm", "interface", "setup", "supernodal", "supernodal_ref"}
+    if not need <= kernels:
+        sys.exit(f"BENCH_kernels.json: missing kernels {need - kernels}")
+    for r in supernodal:
+        if r["speedup"] < SUPERNODAL_MIN_SPEEDUP:
+            sys.exit(
+                f"BENCH_kernels.json: supernodal microkernel speedup {r['speedup']:.2f}x "
+                f"on {r['problem']} below the {SUPERNODAL_MIN_SPEEDUP}x gate"
+            )
+    print("\n## BENCH_kernels (setup-phase kernels; exact-match asserted, supernodal speedup gated)\n")
     print("| problem | kernel | workers | seconds | speedup | match |")
     print("|---|---|---|---|---|---|")
     for r in rows:

@@ -95,7 +95,7 @@ fn supernodal_solve_agrees_with_lu_solve_via_scatter() {
     let d = one_subdomain();
     let n = d.nrows();
     let fd = factor_domain(&d, 0.1).expect("LU");
-    let sn = slu::detect_supernodes(&fd.lu.l, 0);
+    let plan = slu::SupernodePlan::build(&fd.lu.l, 0);
     let mut ws = slu::trisolve::SolveWorkspace::new(n);
     // Dense b scattered as one sparse column; the supernodal lower solve
     // must match the L-solve stage of the full solve.
@@ -104,7 +104,7 @@ fn supernodal_solve_agrees_with_lu_solve_via_scatter() {
         seed_rows.clone(),
         vec![1.0; seed_rows.len()],
     )];
-    let (pat, panel, _stats) = slu::supernodal_blocked_solve(&fd.lu.l, &sn, &cols, &mut ws);
+    let (pat, panel, _stats) = slu::supernodal_blocked_solve(&fd.lu.l, &plan, &cols, &mut ws);
     let ref_x = slu::sparse_lower_solve(
         &fd.lu.l,
         true,
