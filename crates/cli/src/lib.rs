@@ -5,6 +5,9 @@
 //!
 //! * `solve` — run the full hybrid solver on a Matrix Market file or a
 //!   generated analogue;
+//! * `solve-seq` — solve a drifting sequence of same-pattern matrices,
+//!   reusing the symbolic setup and replaying only the numerics
+//!   (`Pdslin::solve_sequence`);
 //! * `partition` — compute and report a DBBD partition (NGD or RHB);
 //! * `genmat` — write a Table-I analogue as a Matrix Market file;
 //! * `info` — print basic statistics of a matrix.
@@ -114,6 +117,33 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         "weights",
         "strategy",
     ];
+    const SOLVE_SEQ: [&str; 25] = [
+        "matrix",
+        "generate",
+        "scale",
+        "steps",
+        "drift",
+        "k",
+        "partitioner",
+        "metric",
+        "constraint",
+        "weights",
+        "strategy",
+        "ordering",
+        "tau",
+        "rgb-iters",
+        "rgb-depth",
+        "rgb-min-part",
+        "block-size",
+        "krylov",
+        "trisolve-schedule",
+        "tol",
+        "interface-drop",
+        "schur-drop",
+        "max-iter-growth",
+        "max-residual-growth",
+        "min-baseline-iters",
+    ];
     const GENMAT: [&str; 3] = ["generate", "scale", "out"];
     const SERVE: [&str; 8] = [
         "socket",
@@ -128,6 +158,7 @@ pub fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
     const HELP_OPTS: [&str; 0] = [];
     match command {
         "solve" => Some(&SOLVE),
+        "solve-seq" => Some(&SOLVE_SEQ),
         "partition" => Some(&PARTITION),
         "genmat" => Some(&GENMAT),
         "info" => Some(&SOURCE),
@@ -372,6 +403,10 @@ USAGE:
                    [--block-size B] [--krylov gmres|bicgstab] [--tol TOL]
                    [--trisolve-schedule level|hbmc]
                    [--deadline SECS] [--mem-budget-mb MB] [--shard-workers N]
+  pdslin solve-seq (--matrix F.mtx | --generate KIND [--scale test|bench])
+                   [--steps N] [--drift D] [--k K] [--tol TOL]
+                   [--max-iter-growth G] [--max-residual-growth G]
+                   [--min-baseline-iters N] [solver knobs as for `solve`]
   pdslin partition (--matrix F.mtx | --generate KIND [--scale ...])
                    [--k K] [--partitioner ...] [--weights unit|value]
                    [--strategy auto]
@@ -389,6 +424,14 @@ USAGE:
   {\"id\":\"m\",\"op\":\"metrics\"}    {\"id\":\"bye\",\"op\":\"shutdown\"}
 Factorizations are cached by matrix content; compatible concurrent
 requests coalesce into one batched solve. See docs/robustness.md.
+
+`solve-seq` models a time-stepping/continuation workload: it derives a
+sequence of N matrices with the base matrix's exact sparsity pattern and
+deterministically drifting values, pays one full setup on step 0, then
+updates only the numerics per step (`update_values`: pivot-replay
+refactorization with full symbolic reuse). A step whose solve degrades
+past the staleness policy (--max-iter-growth / --max-residual-growth)
+is rebuilt from a fresh setup and reported. See docs/performance.md.
 
 `--shard-workers N` runs the LU(D) phase across N supervised worker
 *processes* (crash-tolerant: heartbeats, respawn, reassignment, and
@@ -590,6 +633,22 @@ mod tests {
         // Unknown subcommands are the dispatcher's problem, not ours.
         let other = parse_args(argv("dance --k 4")).unwrap();
         assert!(validate_options(&other).is_ok());
+    }
+
+    #[test]
+    fn solve_seq_options_are_scoped() {
+        let ok = parse_args(argv(
+            "solve-seq --generate g3_circuit --steps 4 --drift 0.05 --max-iter-growth 2",
+        ))
+        .unwrap();
+        assert!(validate_options(&ok).is_ok());
+        // Sequence knobs belong to solve-seq alone…
+        let wrong = parse_args(argv("solve --generate g3_circuit --steps 4")).unwrap();
+        assert!(validate_options(&wrong).is_err());
+        // …and solve-only knobs (deadline, sharding) are not sequence options.
+        let not_seq =
+            parse_args(argv("solve-seq --generate g3_circuit --shard-workers 2")).unwrap();
+        assert!(validate_options(&not_seq).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
     }
     let result = match args.command.as_str() {
         "solve" => cmd_solve(&args),
+        "solve-seq" => cmd_solve_seq(&args),
         "partition" => cmd_partition(&args).map_err(CmdError::from),
         "genmat" => cmd_genmat(&args).map_err(CmdError::from),
         "info" => cmd_info(&args).map_err(CmdError::from),
@@ -83,30 +84,7 @@ fn report_recovery(stage: &str, recovery: &RecoveryReport) {
 fn cmd_solve(args: &Args) -> Result<(), CmdError> {
     let a = load_matrix(args)?;
     println!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
-    let mut cfg = PdslinConfig {
-        k: args.parse_or("k", 8usize)?,
-        partitioner: partitioner(args)?,
-        weights: weight_scheme(args)?,
-        rhs_ordering: rhs_ordering(args)?,
-        block_size: args.parse_or("block-size", 60usize)?,
-        krylov: pdslin_cli::krylov_kind(args)?,
-        trisolve_schedule: pdslin_cli::trisolve_schedule(args)?,
-        interface_drop_tol: args.parse_or("interface-drop", 1e-8)?,
-        schur_drop_tol: args.parse_or("schur-drop", 1e-8)?,
-        ..Default::default()
-    };
-    cfg.gmres.tol = args.parse_or("tol", cfg.gmres.tol)?;
-    if strategy_mode(args)? {
-        let s = apply_auto_strategy(args, &a, &mut cfg);
-        eprintln!(
-            "strategy: {} + {} weights + {} ordering, B = {} ({})",
-            cfg.partitioner.label(),
-            cfg.weights.label(),
-            cfg.rhs_ordering.label(),
-            cfg.block_size,
-            s.rationale
-        );
-    }
+    let cfg = solver_config(args, &a)?;
     let budget = build_budget(args)?;
     let shard_workers: usize = args.parse_or("shard-workers", 0usize)?;
     let mut solver = if shard_workers > 0 {
@@ -181,6 +159,107 @@ fn cmd_solve(args: &Args) -> Result<(), CmdError> {
         solver.stats.factorizations_reused,
         solver.stats.recovery.len(),
         out.recovery.len()
+    );
+    Ok(())
+}
+
+/// Builds the solver config shared by `solve` and `solve-seq` from the
+/// command-line options (auto strategy applied when requested).
+fn solver_config(args: &Args, a: &sparsekit::Csr) -> Result<PdslinConfig, CmdError> {
+    let mut cfg = PdslinConfig {
+        k: args.parse_or("k", 8usize)?,
+        partitioner: partitioner(args)?,
+        weights: weight_scheme(args)?,
+        rhs_ordering: rhs_ordering(args)?,
+        block_size: args.parse_or("block-size", 60usize)?,
+        krylov: pdslin_cli::krylov_kind(args)?,
+        trisolve_schedule: pdslin_cli::trisolve_schedule(args)?,
+        interface_drop_tol: args.parse_or("interface-drop", 1e-8)?,
+        schur_drop_tol: args.parse_or("schur-drop", 1e-8)?,
+        ..Default::default()
+    };
+    cfg.gmres.tol = args.parse_or("tol", cfg.gmres.tol)?;
+    if strategy_mode(args)? {
+        let s = apply_auto_strategy(args, a, &mut cfg);
+        eprintln!(
+            "strategy: {} + {} weights + {} ordering, B = {} ({})",
+            cfg.partitioner.label(),
+            cfg.weights.label(),
+            cfg.rhs_ordering.label(),
+            cfg.block_size,
+            s.rationale
+        );
+    }
+    Ok(cfg)
+}
+
+/// `solve-seq`: derive a same-pattern value-drifting sequence from the
+/// input matrix, pay one full setup, then advance through the steps
+/// with incremental numeric refactorization (`Pdslin::solve_sequence`).
+fn cmd_solve_seq(args: &Args) -> Result<(), CmdError> {
+    let a = load_matrix(args)?;
+    let steps: usize = args.parse_or("steps", 8usize)?;
+    if steps == 0 {
+        return Err(CmdError::from("--steps must be at least 1".to_string()));
+    }
+    let drift: f64 = args.parse_or("drift", 0.01f64)?;
+    println!(
+        "matrix: n = {}, nnz = {} | sequence: {steps} step(s), drift {drift}",
+        a.nrows(),
+        a.nnz()
+    );
+    let cfg = solver_config(args, &a)?;
+    let d = pdslin::SequencePolicy::default();
+    let policy = pdslin::SequencePolicy {
+        max_iteration_growth: args.parse_or("max-iter-growth", d.max_iteration_growth)?,
+        max_residual_growth: args.parse_or("max-residual-growth", d.max_residual_growth)?,
+        min_baseline_iters: args.parse_or("min-baseline-iters", d.min_baseline_iters)?,
+    };
+    let mats = matgen::sequence(&a, steps, drift);
+    let t0 = std::time::Instant::now();
+    let mut solver = Pdslin::setup(&mats[0], cfg)?;
+    let setup_secs = t0.elapsed().as_secs_f64();
+    report_recovery("setup", &solver.stats.recovery);
+    println!(
+        "setup: {:.2}s once | sep = {}, nnz(S̃) = {}",
+        setup_secs, solver.stats.separator_size, solver.stats.nnz_schur
+    );
+    let rhs: Vec<Vec<f64>> = vec![vec![1.0; a.nrows()]; mats.len()];
+    let seq = solver.solve_sequence(&mats, &rhs, &policy)?;
+    let mut update_total = 0.0;
+    let mut stale = 0usize;
+    for (t, s) in seq.iter().enumerate() {
+        let how = if s.stale_fallback {
+            stale += 1;
+            "rebuilt (stale)"
+        } else if s.refactorized {
+            "refactorized"
+        } else {
+            "partially rebuilt"
+        };
+        update_total += s.update_seconds;
+        println!(
+            "step {t}: {how:<16} | update {:.3}s, solve {:.3}s, {} iteration(s), residual {:.2e}{}",
+            s.update_seconds,
+            s.outcome.seconds,
+            s.outcome.iterations,
+            s.outcome.schur_residual,
+            if s.outcome.converged {
+                ""
+            } else {
+                " (not converged)"
+            }
+        );
+    }
+    println!(
+        "sequence: {} step(s), {} numeric refactorization(s), {} replay fallback(s), {stale} stale rebuild(s)",
+        seq.len(),
+        solver.stats.refactorizations,
+        solver.stats.refactorization_fallbacks
+    );
+    println!(
+        "amortization: full setup {setup_secs:.3}s vs mean update {:.3}s/step",
+        update_total / seq.len() as f64
     );
     Ok(())
 }

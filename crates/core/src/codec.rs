@@ -37,7 +37,14 @@ use sparsekit::{Csc, Csr, Fnv64, Perm};
 /// Magic prefix of every serialized blob produced by this module.
 pub const MAGIC: [u8; 4] = *b"PDLK";
 /// Format version; bumped on any layout change.
-pub const VERSION: u32 = 2;
+///
+/// v3 appended the refactorization counters to the stats record. The
+/// per-factor symbolic replay record (`slu`'s private elimination
+/// trace) is deliberately *not* serialized: decoded factors solve
+/// bit-identically but cannot be numerically refactorized in place, so
+/// `Pdslin::update_values` on a resumed solver rebuilds those factors
+/// from scratch and logs a typed recovery event.
+pub const VERSION: u32 = 3;
 
 fn corrupt(detail: impl Into<String>) -> PdslinError {
     PdslinError::CheckpointCorrupt {
@@ -679,6 +686,8 @@ pub fn encode_stats(w: &mut ByteWriter, s: &SetupStats) {
     w.put_usize_slice(&s.nnz_t);
     w.put_usize(s.factorizations);
     w.put_usize(s.factorizations_reused);
+    w.put_usize(s.refactorizations);
+    w.put_usize(s.refactorization_fallbacks);
 }
 
 /// Decodes setup statistics written by [`encode_stats`].
@@ -718,6 +727,8 @@ pub fn decode_stats(r: &mut ByteReader<'_>) -> Result<SetupStats, PdslinError> {
         nnz_t: r.get_usize_slice()?,
         factorizations: r.get_usize()?,
         factorizations_reused: r.get_usize()?,
+        refactorizations: r.get_usize()?,
+        refactorization_fallbacks: r.get_usize()?,
         recovery: Default::default(),
     })
 }

@@ -40,14 +40,16 @@ use krylov::{
 use slu::{LuFactors, TriScratch, TrisolveSchedule};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::ops::{axpy, norm2};
-use sparsekit::Csr;
+use sparsekit::{csr_pattern_fingerprint, Csr};
 
 use crate::budget::interrupt_error;
 use crate::checkpoint::SetupCheckpoint;
 use crate::error::PdslinError;
 use crate::extract::{extract_dbbd, DbbdSystem, LocalDomain};
 use crate::fault::FaultPlan;
-use crate::interface::{compute_interface, compute_interface_workers, InterfaceConfig};
+use crate::interface::{
+    compute_interface, compute_interface_planned, InterfaceConfig, InterfacePlan,
+};
 use crate::par::{
     inner_worker_count, outer_worker_count, panic_message, par_map_isolated, seq_map_isolated,
 };
@@ -141,6 +143,21 @@ pub struct Pdslin {
     /// recovery log).
     pub stats: SetupStats,
     cfg: PdslinConfig,
+    /// Pattern fingerprint of the setup matrix; `None` when the solver
+    /// was assembled from a checkpoint or externally produced factors
+    /// ([`Pdslin::update_values`] then guards structurally instead).
+    pattern_fp: Option<u64>,
+    /// The dropped approximate Schur complement `S̃` whose factorisation
+    /// is `schur_lu`; kept so [`Pdslin::update_values`] can rebuild its
+    /// numerics into the same sparsity.
+    s_tilde: Csr,
+    /// Per-subdomain interface scaffolding captured during `Comp(S)`:
+    /// blocked-solve plans, column orders, and the `Uᵀ` structure.
+    /// [`Pdslin::update_values`] replays these so sequence steps skip
+    /// the interface symbolic work entirely; entry `l` is dropped (and
+    /// lazily rebuilt) whenever domain `l`'s factor is rebuilt from
+    /// scratch, since a fresh pivot order voids the cached reaches.
+    iface_plans: Vec<Option<InterfacePlan>>,
     /// Persistent solve-phase arenas: one lane per concurrent RHS, grown
     /// on first use and reused forever after — the N-th solve performs
     /// no heap allocation in the Krylov or triangular-solve hot loops.
@@ -210,6 +227,97 @@ impl From<PdslinError> for SetupFailure {
     }
 }
 
+/// Outcome of one [`Pdslin::update_values`] call.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Factors whose numerics were rebuilt in place by replaying the
+    /// stored pivot sequence (subdomains plus `S̃`).
+    pub refactorized: usize,
+    /// Factors rebuilt from scratch because the replay was rejected.
+    pub rebuilt: usize,
+    /// Recovery events recorded during this update (also appended to
+    /// the solver's `stats.recovery`).
+    pub recovery: RecoveryReport,
+    /// Wall-clock seconds of the whole update.
+    pub seconds: f64,
+}
+
+/// Staleness thresholds of [`Pdslin::solve_sequence`]: when a step's
+/// solve degrades past them, the reused preconditioner is declared
+/// stale and that step reruns on a full fresh setup.
+#[derive(Clone, Copy, Debug)]
+pub struct SequencePolicy {
+    /// A converged step is stale when its Krylov iteration count
+    /// exceeds `baseline iterations × max_iteration_growth`.
+    pub max_iteration_growth: f64,
+    /// A step is stale when its final Schur residual exceeds both the
+    /// solve tolerance and `baseline residual × max_residual_growth`.
+    pub max_residual_growth: f64,
+    /// Iteration counts at or below this never trip the growth test
+    /// (keeps a tiny baseline from flagging normal jitter).
+    pub min_baseline_iters: usize,
+}
+
+impl Default for SequencePolicy {
+    fn default() -> Self {
+        SequencePolicy {
+            max_iteration_growth: 3.0,
+            max_residual_growth: 100.0,
+            min_baseline_iters: 10,
+        }
+    }
+}
+
+/// One step of [`Pdslin::solve_sequence`].
+#[derive(Clone, Debug)]
+pub struct SequenceStep {
+    /// The solve outcome for this step (after any stale rebuild).
+    pub outcome: SolveOutcome,
+    /// True when every factor of this step was updated in place by
+    /// pivot replay (no from-scratch rebuilds, no stale fallback).
+    pub refactorized: bool,
+    /// True when the staleness policy fired and this step's answer came
+    /// from a full fresh setup.
+    pub stale_fallback: bool,
+    /// Wall-clock seconds spent updating (or rebuilding) the
+    /// preconditioner for this step, excluding the solve itself.
+    pub update_seconds: f64,
+}
+
+/// Why a sequence step is stale under `policy`, or `None` when the
+/// reused preconditioner is still acceptable. `baseline` is the
+/// (iterations, residual) pair of the step that set the baseline.
+fn stale_reason(
+    policy: &SequencePolicy,
+    baseline: Option<(usize, f64)>,
+    out: &SolveOutcome,
+    tol: f64,
+) -> Option<String> {
+    if !out.converged {
+        return Some(format!(
+            "solve did not converge (residual {:.1e})",
+            out.schur_residual
+        ));
+    }
+    let (base_iters, base_res) = baseline?;
+    let cap = (((base_iters as f64) * policy.max_iteration_growth).ceil() as usize)
+        .max(policy.min_baseline_iters);
+    if out.iterations > cap {
+        return Some(format!(
+            "iterations grew to {} (baseline {base_iters}, cap {cap})",
+            out.iterations
+        ));
+    }
+    let res_cap = base_res * policy.max_residual_growth;
+    if out.schur_residual > tol && out.schur_residual > res_cap {
+        return Some(format!(
+            "residual grew to {:.1e} (baseline {base_res:.1e}, cap {res_cap:.1e})",
+            out.schur_residual
+        ));
+    }
+    None
+}
+
 /// Residual level beyond which a rescued solve is reported as a failure
 /// rather than a degraded success (relative to the requested tolerance).
 fn acceptance_floor(tol: f64) -> f64 {
@@ -265,6 +373,54 @@ fn first_nonfinite_row(a: &Csr) -> Option<usize> {
 
 fn csr_is_finite(m: &Csr) -> bool {
     m.values().iter().all(|v| v.is_finite())
+}
+
+/// True when two extracted systems share every sparsity pattern — the
+/// update guard used when no setup fingerprint survived (checkpointed
+/// or externally assembled solvers).
+fn same_dbbd_pattern(a: &DbbdSystem, b: &DbbdSystem) -> bool {
+    fn same(x: &Csr, y: &Csr) -> bool {
+        x.indptr() == y.indptr() && x.indices() == y.indices()
+    }
+    a.domains.len() == b.domains.len()
+        && a.sep_rows == b.sep_rows
+        && same(&a.c, &b.c)
+        && a.domains.iter().zip(&b.domains).all(|(x, y)| {
+            x.rows == y.rows
+                && same(&x.d, &y.d)
+                && x.e_cols == y.e_cols
+                && same(&x.e_hat, &y.e_hat)
+                && x.f_rows == y.f_rows
+                && same(&x.f_hat, &y.f_hat)
+        })
+}
+
+/// Scatters the values of `src` into the sparsity pattern of `pattern`:
+/// entries of `src` outside the pattern are dropped, pattern entries
+/// absent from `src` become zero. Both matrices must have the same
+/// shape.
+fn scatter_into_pattern(pattern: &Csr, src: &Csr) -> Csr {
+    let ip = pattern.indptr();
+    let ix = pattern.indices();
+    let sp = src.indptr();
+    let sx = src.indices();
+    let sv = src.values();
+    let mut values = vec![0.0; ix.len()];
+    for i in 0..pattern.nrows() {
+        let row = &ix[ip[i]..ip[i + 1]];
+        for t in sp[i]..sp[i + 1] {
+            if let Ok(pos) = row.binary_search(&sx[t]) {
+                values[ip[i] + pos] = sv[t];
+            }
+        }
+    }
+    Csr::from_parts(
+        pattern.nrows(),
+        pattern.ncols(),
+        ip.to_vec(),
+        ix.to_vec(),
+        values,
+    )
 }
 
 impl Pdslin {
@@ -435,7 +591,7 @@ impl Pdslin {
             }
             .into());
         }
-        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget)
+        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget, None)
     }
 
     /// One full setup pass. `force_natural_block` skips the configured
@@ -514,13 +670,24 @@ impl Pdslin {
         stats.domain_costs.lu_d = lu_times;
         stats.factorizations = factors.len();
 
-        Self::complete_from_factors(sys, factors, stats, recovery, *cfg, budget)
+        Self::complete_from_factors(
+            sys,
+            factors,
+            stats,
+            recovery,
+            *cfg,
+            budget,
+            Some(csr_pattern_fingerprint(a)),
+        )
     }
 
     /// Phases `Comp(S)` → memory admission → Schur assembly → `LU(S̃)`,
     /// shared by [`Pdslin::setup_budgeted`] (after `LU(D)`) and
     /// [`Pdslin::resume`] (from a checkpoint). Every error past this
     /// point carries a checkpoint of the incoming factors.
+    /// `pattern_fp` is the setup matrix's pattern fingerprint when the
+    /// caller still holds the matrix (`None` on resume/external paths).
+    #[allow(clippy::too_many_arguments)]
     fn complete_from_factors(
         sys: DbbdSystem,
         mut factors: Vec<FactoredDomain>,
@@ -528,6 +695,7 @@ impl Pdslin {
         mut recovery: RecoveryReport,
         cfg: PdslinConfig,
         budget: &Budget,
+        pattern_fp: Option<u64>,
     ) -> Result<Pdslin, SetupFailure> {
         // Snapshot for error paths: the factors as they arrived, with
         // whatever recovery happened up to (and including) LU(D).
@@ -560,8 +728,8 @@ impl Pdslin {
         let inner = inner_worker_count(outer, cfg.parallel);
         let timed_interface = |(dom, fd): &(&LocalDomain, &FactoredDomain)| {
             let t0 = Instant::now();
-            compute_interface_workers(fd, dom, &icfg, budget, inner)
-                .map(|out| (out, t0.elapsed().as_secs_f64()))
+            compute_interface_planned(fd, dom, &icfg, budget, inner, None)
+                .map(|(out, plan)| (out, plan, t0.elapsed().as_secs_f64()))
         };
         let isolated = if cfg.parallel {
             par_map_isolated(&pairs, |_, p| timed_interface(p))
@@ -571,6 +739,7 @@ impl Pdslin {
         let mut t_tildes = Vec::with_capacity(isolated.len());
         let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(isolated.len());
         let mut comp_times = Vec::with_capacity(isolated.len());
+        let mut iface_plans: Vec<Option<InterfacePlan>> = Vec::with_capacity(isolated.len());
         for (l, item) in isolated.into_iter().enumerate() {
             let inner = match item {
                 Ok(r) => r,
@@ -597,9 +766,10 @@ impl Pdslin {
                 }
             };
             match inner {
-                Ok((out, secs)) => {
+                Ok((out, plan, secs)) => {
                     t_tildes.push(out.t_tilde);
                     iface_stats.push(out.stats);
+                    iface_plans.push(plan);
                     comp_times.push(secs);
                 }
                 Err(interrupt) => {
@@ -736,6 +906,9 @@ impl Pdslin {
             schur_lu,
             stats,
             cfg,
+            pattern_fp,
+            s_tilde,
+            iface_plans,
             scratch: SolveScratch::default(),
         })
     }
@@ -762,7 +935,322 @@ impl Pdslin {
         stats.factorizations = 0;
         stats.factorizations_reused = factors.len();
         let recovery = std::mem::take(&mut stats.recovery);
-        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget)
+        Self::complete_from_factors(sys, factors, stats, recovery, cfg, budget, None)
+    }
+
+    /// Incrementally rebuilds this solver's numerics for a matrix with
+    /// the *same sparsity pattern* but new values — the sequence-solve
+    /// fast path. The partition, the DBBD extraction structure, every
+    /// subdomain column ordering, and the `S̃` sparsity pattern are all
+    /// reused; only numbers are recomputed:
+    ///
+    /// 1. the DBBD blocks are re-extracted with the stored partition;
+    /// 2. every subdomain LU replays its stored pivot sequence in place
+    ///    (a factor that refuses the replay — decoded from a
+    ///    checkpoint, or pivot-perturbed — is rebuilt from scratch and
+    ///    logged as [`RecoveryEvent::RefactorizationFallback`]);
+    /// 3. `Comp(S)` reruns over the updated factors and the new `Ŝ` is
+    ///    scattered into the stored `S̃` pattern (entries outside it
+    ///    are dropped, preserving the preconditioner's sparsity);
+    /// 4. `LU(S̃)` replays its stored pivots (same fallback).
+    ///
+    /// With values bit-identical to the setup matrix the resulting
+    /// solver is bit-identical to a fresh [`Pdslin::setup`] (under
+    /// pattern-only partition weights, the default); with drifted
+    /// values the reused preconditioner degrades gradually —
+    /// [`Pdslin::solve_sequence`] watches for that and rebuilds.
+    ///
+    /// A matrix whose pattern differs from the setup matrix is rejected
+    /// with [`PdslinError::InvalidInput`]. On any other error the
+    /// solver may hold a mix of old and new numerics; rebuild it with a
+    /// fresh setup before further use.
+    pub fn update_values(&mut self, a: &Csr) -> Result<UpdateOutcome, PdslinError> {
+        self.update_values_budgeted(a, &Budget::unlimited())
+    }
+
+    /// [`Pdslin::update_values`] under an execution [`Budget`].
+    pub fn update_values_budgeted(
+        &mut self,
+        a: &Csr,
+        budget: &Budget,
+    ) -> Result<UpdateOutcome, PdslinError> {
+        let t_all = Instant::now();
+        Self::validate_input(a, &self.cfg)?;
+        let pattern_error = || PdslinError::InvalidInput {
+            message: "matrix sparsity pattern differs from the setup matrix; \
+                      sequence updates need a full setup"
+                .to_string(),
+        };
+        if let Some(fp) = self.pattern_fp {
+            if csr_pattern_fingerprint(a) != fp {
+                return Err(pattern_error());
+            }
+        }
+        let mut recovery = RecoveryReport::default();
+        let mut refactorized = 0usize;
+        let mut rebuilt = 0usize;
+
+        // Re-extract the DBBD blocks with the stored partition: cheap,
+        // and the only structural work the update performs.
+        phase_check(budget, "extract", &self.stats)?;
+        let t = Instant::now();
+        let sys = extract_dbbd(a, self.sys.part.clone());
+        if self.pattern_fp.is_none() {
+            // No fingerprint survived (checkpoint/external factors):
+            // guard structurally instead, then adopt the fingerprint.
+            if !same_dbbd_pattern(&sys, &self.sys) {
+                return Err(pattern_error());
+            }
+            self.pattern_fp = Some(csr_pattern_fingerprint(a));
+        }
+        self.sys = sys;
+        self.stats.times.extract += t.elapsed().as_secs_f64();
+
+        // LU(D): replay the stored pivot sequences in place.
+        phase_check(budget, "lu_d", &self.stats)?;
+        let t = Instant::now();
+        for (l, (fd, dom)) in self.factors.iter_mut().zip(&self.sys.domains).enumerate() {
+            match fd.lu.refactorize(&dom.d) {
+                Ok(()) => refactorized += 1,
+                Err(err) => {
+                    recovery.push(RecoveryEvent::RefactorizationFallback {
+                        target: "subdomain",
+                        domain: l,
+                        reason: err.to_string(),
+                    });
+                    let (mut nfd, events) =
+                        factor_domain_robust(&dom.d, l, self.cfg.pivot_threshold, false, budget)
+                            .map_err(|e| fill_partial(e, &self.stats))?;
+                    recovery.events.extend(events);
+                    if self.cfg.trisolve_schedule == TrisolveSchedule::Hbmc {
+                        nfd.lu.set_schedule(TrisolveSchedule::Hbmc).map_err(|e| {
+                            PdslinError::ScheduleRejected {
+                                target: "subdomain",
+                                domain: l,
+                                rel_err: e.rel_err,
+                                tol: e.tol,
+                            }
+                        })?;
+                    }
+                    *fd = nfd;
+                    // A from-scratch factorisation chooses its own pivot
+                    // order, voiding this domain's cached interface
+                    // scaffolding — Comp(S) below rebuilds it.
+                    self.iface_plans[l] = None;
+                    rebuilt += 1;
+                }
+            }
+        }
+        self.stats.times.lu_d += t.elapsed().as_secs_f64();
+
+        // Comp(S): rerun numerically over the updated factors, replaying
+        // each domain's cached interface scaffolding (blocked-solve
+        // plans, column orders, `Uᵀ` structure) so no reach DFS, column
+        // ordering, or transpose construction runs — the dominant cost
+        // of a from-scratch interface phase. Domains whose factor was
+        // rebuilt above have no plan and rebuild one here.
+        phase_check(budget, "comp_s", &self.stats)?;
+        let t = Instant::now();
+        let icfg = InterfaceConfig {
+            block_size: self.cfg.block_size,
+            ordering: self.cfg.rhs_ordering,
+            drop_tol: self.cfg.interface_drop_tol,
+        };
+        let pairs: Vec<(&LocalDomain, &FactoredDomain)> =
+            self.sys.domains.iter().zip(self.factors.iter()).collect();
+        let outer = outer_worker_count(pairs.len(), self.cfg.parallel);
+        let inner = inner_worker_count(outer, self.cfg.parallel);
+        let plans = &self.iface_plans;
+        let run = |l: usize, p: &(&LocalDomain, &FactoredDomain)| {
+            let t0 = Instant::now();
+            compute_interface_planned(p.1, p.0, &icfg, budget, inner, plans[l].as_ref())
+                .map(|(out, built)| (out, built, t0.elapsed().as_secs_f64()))
+        };
+        let isolated = if self.cfg.parallel {
+            par_map_isolated(&pairs, |l, p| run(l, p))
+        } else {
+            seq_map_isolated(&pairs, |l, p| run(l, p))
+        };
+        let mut t_tildes = Vec::with_capacity(isolated.len());
+        let mut iface_stats: Vec<InterfaceStats> = Vec::with_capacity(isolated.len());
+        let mut comp_times = Vec::with_capacity(isolated.len());
+        let mut built_plans: Vec<(usize, InterfacePlan)> = Vec::new();
+        for (l, item) in isolated.into_iter().enumerate() {
+            let inner_res = match item {
+                Ok(r) => r,
+                Err(message) => {
+                    // Same one-retry panic containment as setup.
+                    recovery.push(RecoveryEvent::WorkerPanicRetried {
+                        phase: "comp_s",
+                        domain: l,
+                        message,
+                    });
+                    match catch_unwind(AssertUnwindSafe(|| run(l, &pairs[l]))) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            return Err(PdslinError::WorkerPanic {
+                                phase: "comp_s",
+                                domain: l,
+                                message: panic_message(payload),
+                            });
+                        }
+                    }
+                }
+            };
+            let (out, built, secs) =
+                inner_res.map_err(|i| fill_partial(interrupt_error(i, "comp_s"), &self.stats))?;
+            t_tildes.push(out.t_tilde);
+            iface_stats.push(out.stats);
+            if let Some(plan) = built {
+                built_plans.push((l, plan));
+            }
+            comp_times.push(secs);
+        }
+        drop(pairs);
+        for (l, plan) in built_plans {
+            self.iface_plans[l] = Some(plan);
+        }
+        self.stats.times.comp_s += t.elapsed().as_secs_f64();
+        self.stats.domain_costs.comp_s = comp_times;
+        self.stats.interface = iface_stats;
+        self.stats.nnz_t = t_tildes.iter().map(|t| t.nnz()).collect();
+
+        // LU(S̃): scatter Ŝ into the stored S̃ pattern, then replay.
+        phase_check(budget, "schur", &self.stats)?;
+        let s_hat = assemble_schur_workers(
+            &self.sys,
+            &t_tildes,
+            outer_worker_count(self.sys.nsep(), self.cfg.parallel),
+        );
+        let t = Instant::now();
+        let st = scatter_into_pattern(&self.s_tilde, &s_hat);
+        match self.schur_lu.refactorize(&st) {
+            Ok(()) => {
+                self.s_tilde = st;
+                refactorized += 1;
+            }
+            Err(err) => {
+                recovery.push(RecoveryEvent::RefactorizationFallback {
+                    target: "schur",
+                    domain: 0,
+                    reason: err.to_string(),
+                });
+                rebuilt += 1;
+                let (s_tilde, mut schur_lu, events) = factor_schur_robust(
+                    &s_hat,
+                    self.cfg.schur_drop_tol,
+                    self.cfg.pivot_threshold,
+                    budget,
+                )
+                .map_err(|e| fill_partial(e, &self.stats))?;
+                recovery.events.extend(events);
+                if self.cfg.trisolve_schedule == TrisolveSchedule::Hbmc {
+                    schur_lu.set_schedule(TrisolveSchedule::Hbmc).map_err(|e| {
+                        PdslinError::ScheduleRejected {
+                            target: "schur",
+                            domain: 0,
+                            rel_err: e.rel_err,
+                            tol: e.tol,
+                        }
+                    })?;
+                }
+                self.s_tilde = s_tilde;
+                self.schur_lu = schur_lu;
+            }
+        }
+        self.stats.times.lu_s += t.elapsed().as_secs_f64();
+        self.stats.nnz_schur = self.s_tilde.nnz();
+        self.stats.refactorizations += refactorized;
+        self.stats.refactorization_fallbacks += rebuilt;
+        self.stats
+            .recovery
+            .events
+            .extend(recovery.events.iter().cloned());
+        Ok(UpdateOutcome {
+            refactorized,
+            rebuilt,
+            recovery,
+            seconds: t_all.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Solves a sequence of systems `A_t x_t = b_t` whose matrices all
+    /// share the setup matrix's sparsity pattern, updating the
+    /// preconditioner incrementally ([`Pdslin::update_values`]) instead
+    /// of rebuilding it per step.
+    ///
+    /// After each step's solve the outcome is checked against `policy`;
+    /// a stale step (non-convergence, iteration growth, or residual
+    /// growth past the thresholds) triggers a full fresh setup on that
+    /// step's matrix, a re-solve, a typed
+    /// [`RecoveryEvent::SequenceStale`] in the recovery log, and a
+    /// baseline reset. The first solved step (and each post-rebuild
+    /// step) sets the baseline.
+    pub fn solve_sequence(
+        &mut self,
+        mats: &[Csr],
+        rhs: &[Vec<f64>],
+        policy: &SequencePolicy,
+    ) -> Result<Vec<SequenceStep>, PdslinError> {
+        if mats.len() != rhs.len() {
+            return Err(PdslinError::InvalidInput {
+                message: format!("{} matrices for {} right-hand sides", mats.len(), rhs.len()),
+            });
+        }
+        let tol = self.cfg.gmres.tol;
+        let mut out = Vec::with_capacity(mats.len());
+        // (iterations, residual) of the step that set the baseline.
+        let mut baseline: Option<(usize, f64)> = None;
+        for (step, (a, b)) in mats.iter().zip(rhs).enumerate() {
+            let upd = self.update_values(a)?;
+            let mut update_seconds = upd.seconds;
+            let mut refactorized = upd.rebuilt == 0;
+            let mut outcome = self.solve(b)?;
+            let mut stale_fallback = false;
+            if let Some(reason) = stale_reason(policy, baseline, &outcome, tol) {
+                stale_fallback = true;
+                refactorized = false;
+                let t = Instant::now();
+                self.rebuild_for_sequence(a, step, reason)?;
+                update_seconds += t.elapsed().as_secs_f64();
+                outcome = self.solve(b)?;
+                baseline = None;
+            }
+            if baseline.is_none() {
+                baseline = Some((outcome.iterations, outcome.schur_residual));
+            }
+            out.push(SequenceStep {
+                outcome,
+                refactorized,
+                stale_fallback,
+                update_seconds,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Replaces this solver with a full fresh setup on `a` after the
+    /// sequence staleness policy fired at `step`, carrying the recovery
+    /// log and cumulative counters forward.
+    fn rebuild_for_sequence(
+        &mut self,
+        a: &Csr,
+        step: usize,
+        reason: String,
+    ) -> Result<(), PdslinError> {
+        let mut events = std::mem::take(&mut self.stats.recovery.events);
+        events.push(RecoveryEvent::SequenceStale { step, reason });
+        let refactorizations = self.stats.refactorizations;
+        let fallbacks = self.stats.refactorization_fallbacks;
+        let solve_seconds = self.stats.times.solve;
+        let mut fresh = Pdslin::setup(a, self.cfg)?;
+        fresh.stats.refactorizations = refactorizations;
+        fresh.stats.refactorization_fallbacks = fallbacks;
+        fresh.stats.times.solve += solve_seconds;
+        events.append(&mut fresh.stats.recovery.events);
+        fresh.stats.recovery.events = events;
+        *self = fresh;
+        Ok(())
     }
 
     /// Solves `A x = b` via the Schur complement method (equations
@@ -1673,6 +2161,157 @@ mod tests {
             "the starved primary cannot have produced the answer"
         );
         assert!(residual_inf_norm(&a, &out.x, &b) < 1e-6);
+    }
+
+    // ----- sequence solves / incremental refactorization -----
+
+    fn drift(a: &Csr, scale: f64) -> Csr {
+        let mut b = a.clone();
+        for (t, v) in b.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + scale * ((t % 13) as f64 - 6.0) / 6.0;
+        }
+        b
+    }
+
+    #[test]
+    fn update_values_with_identical_values_is_bit_identical() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 4,
+            ..Default::default()
+        };
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let mut fresh = Pdslin::setup(&a, cfg).unwrap();
+        let mut upd = Pdslin::setup(&a, cfg).unwrap();
+        let out = upd.update_values(&a).unwrap();
+        assert_eq!(out.rebuilt, 0, "{}", out.recovery.summary());
+        assert_eq!(out.refactorized, upd.factors.len() + 1);
+        for (f, u) in fresh.factors.iter().zip(&upd.factors) {
+            assert_eq!(f.lu.l.values(), u.lu.l.values());
+            assert_eq!(f.lu.u.values(), u.lu.u.values());
+        }
+        assert_eq!(fresh.schur_lu.l.values(), upd.schur_lu.l.values());
+        assert_eq!(fresh.schur_lu.u.values(), upd.schur_lu.u.values());
+        let xf = fresh.solve(&b).unwrap();
+        let xu = upd.solve(&b).unwrap();
+        assert_eq!(xf.iterations, xu.iterations);
+        for (p, q) in xf.x.iter().zip(&xu.x) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn update_values_tracks_drifting_values() {
+        let a = laplace2d(16, 16);
+        let cfg = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).unwrap();
+        let a2 = drift(&a, 0.05);
+        let out = s.update_values(&a2).unwrap();
+        assert_eq!(out.rebuilt, 0, "{}", out.recovery.summary());
+        let b = vec![1.0; a.nrows()];
+        let sol = s.solve(&b).unwrap();
+        assert!(sol.converged);
+        let res = residual_inf_norm(&a2, &sol.x, &b);
+        assert!(res < 1e-6, "residual {res} against the *updated* matrix");
+    }
+
+    #[test]
+    fn update_values_rejects_a_different_pattern() {
+        let a = laplace2d(12, 12);
+        let cfg = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let mut s = Pdslin::setup(&a, cfg).unwrap();
+        let other = laplace2d(13, 12);
+        assert!(matches!(
+            s.update_values(&other),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+        let b = laplace3d(6, 6, 4);
+        assert_eq!(b.nrows(), a.nrows());
+        assert!(matches!(
+            s.update_values(&b),
+            Err(PdslinError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn update_values_after_resume_falls_back_per_factor() {
+        let a = laplace2d(14, 14);
+        let cfg = PdslinConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let s = Pdslin::setup(&a, cfg).unwrap();
+        let bytes = s.checkpoint().to_bytes();
+        let ckpt = SetupCheckpoint::from_bytes(&bytes).unwrap();
+        let mut r = Pdslin::resume(ckpt, &Budget::unlimited())
+            .map_err(|f| f.error)
+            .unwrap();
+        // Decoded factors carry no replay record: every subdomain must
+        // fall back (typed), yet the update still succeeds.
+        let out = r.update_values(&drift(&a, 0.01)).unwrap();
+        assert_eq!(out.rebuilt, 2, "{}", out.recovery.summary());
+        assert!(out.recovery.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::RefactorizationFallback {
+                target: "subdomain",
+                ..
+            }
+        )));
+        assert_eq!(r.stats.refactorization_fallbacks, 2);
+        let b = vec![1.0; a.nrows()];
+        let sol = r.solve(&b).unwrap();
+        assert!(sol.converged);
+    }
+
+    #[test]
+    fn solve_sequence_runs_and_flags_stale_steps() {
+        let a = laplace2d(16, 16);
+        // Aggressive dropping makes the preconditioner genuinely
+        // value-sensitive, so walking the values far from the setup
+        // matrix degrades the reused preconditioner measurably.
+        let cfg = PdslinConfig {
+            k: 2,
+            interface_drop_tol: 5e-2,
+            schur_drop_tol: 5e-2,
+            ..Default::default()
+        };
+        let base = drift(&a, 500.0);
+        let mut s = Pdslin::setup(&base, cfg).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        // Walk the values from the setup matrix back to the plain
+        // Laplacian: the last step needs ~2x the baseline iterations
+        // under the stale preconditioner, past the policy's 1.5x cap.
+        let mats = vec![base.clone(), drift(&a, 5.0), a.clone()];
+        let rhs = vec![b.clone(); mats.len()];
+        let policy = SequencePolicy {
+            max_iteration_growth: 1.5,
+            min_baseline_iters: 4,
+            ..Default::default()
+        };
+        let steps = s.solve_sequence(&mats, &rhs, &policy).unwrap();
+        assert_eq!(steps.len(), 3);
+        for (t, step) in steps.iter().take(2).enumerate() {
+            assert!(step.refactorized, "step {t} should be incremental");
+            assert!(!step.stale_fallback, "step {t} should not be stale");
+            assert!(step.outcome.converged);
+        }
+        let last = &steps[2];
+        assert!(last.stale_fallback, "the far step must trigger a rebuild");
+        assert!(last.outcome.converged);
+        let res = residual_inf_norm(&mats[2], &last.outcome.x, &b);
+        assert!(res < 1e-6, "post-rebuild residual {res}");
+        assert!(s
+            .stats
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SequenceStale { step: 2, .. })));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 
 use std::time::Instant;
 
-use slu::blocked::{solve_in_blocks_ordered, BlockSolveStats};
-use slu::trisolve::{lower_from_upper_transpose, SolveWorkspace, SparseVec};
+use slu::blocked::{
+    solve_in_blocks_ordered, solve_in_blocks_planned, BlockSolveStats, BlockedSolvePlan,
+};
+use slu::trisolve::{transpose_with_sources, SolveWorkspace, SparseVec};
 use sparsekit::budget::{Budget, BudgetInterrupt};
 use sparsekit::spgemm::{spgemm_checked_workers, SpgemmError};
-use sparsekit::Csr;
+use sparsekit::{Csc, Csr};
 
 use crate::extract::LocalDomain;
 use crate::rhs_order::{order_columns, RhsOrdering};
@@ -225,25 +227,102 @@ pub fn compute_interface_workers(
     budget: &Budget,
     workers: usize,
 ) -> Result<InterfaceOutcome, BudgetInterrupt> {
+    compute_interface_planned(fd, dom, cfg, budget, workers, None).map(|(out, _)| out)
+}
+
+/// Value-independent scaffolding of the interface computation for one
+/// subdomain: the column orderings, the blocked-solve plans of the `G`
+/// and `W` solves (per-block union reaches — the dominant symbolic
+/// cost), and the structure of `Uᵀ` with its value-refresh permutation.
+///
+/// Everything here depends only on *patterns*: of the subdomain factor
+/// (frozen across [`crate::Pdslin::update_values`] by pivot replay) and
+/// of `Ê`/`F̂` (frozen by the shared DBBD partition). A sequence solve
+/// captures the plan on the first interface computation and replays
+/// numerics only on every later step.
+#[derive(Clone, Debug)]
+pub struct InterfacePlan {
+    g_order: Vec<usize>,
+    g_plan: BlockedSolvePlan,
+    w_order: Vec<usize>,
+    w_plan: BlockedSolvePlan,
+    /// Cached `Uᵀ` (structure valid across replays; values stale).
+    ut: Csc,
+    /// `ut.values()[i] = u.values()[ut_src[i]]` refresh permutation.
+    ut_src: Vec<usize>,
+}
+
+impl InterfacePlan {
+    /// Heap bytes held by the cached scaffolding.
+    pub fn memory_bytes(&self) -> usize {
+        let usz = std::mem::size_of::<usize>();
+        (self.g_order.capacity() + self.w_order.capacity() + self.ut_src.capacity()) * usz
+            + self.g_plan.memory_bytes()
+            + self.w_plan.memory_bytes()
+            + self.ut.nnz() * (2 * usz + std::mem::size_of::<f64>())
+    }
+}
+
+/// [`compute_interface_workers`] with plan capture/reuse: pass `None` to
+/// build the scaffolding (returned as the second tuple element for the
+/// caller to keep), or `Some(plan)` from an earlier call against factors
+/// refreshed in place — the reach DFS, column ordering, and transpose
+/// construction are then all skipped. Outputs are byte-identical either
+/// way.
+pub fn compute_interface_planned(
+    fd: &FactoredDomain,
+    dom: &LocalDomain,
+    cfg: &InterfaceConfig,
+    budget: &Budget,
+    workers: usize,
+    plan: Option<&InterfacePlan>,
+) -> Result<(InterfaceOutcome, Option<InterfacePlan>), BudgetInterrupt> {
     budget.check()?;
     let n = fd.lu.n();
     let ne = dom.e_cols.len();
     let nf = dom.f_rows.len();
-    let mut ws = SolveWorkspace::new(n);
+
+    let e_cols_piv = ehat_columns_pivot(fd, dom);
+    let f_rows_elim = fhat_rows_elim(fd, dom);
+    // Build the scaffolding when no plan was supplied; `built` is handed
+    // back to the caller so the next call can skip this entirely.
+    let built: Option<InterfacePlan> = match plan {
+        Some(_) => None,
+        None => {
+            let mut ws = SolveWorkspace::new(n);
+            let g_order =
+                order_columns(&e_cols_piv, &fd.lu.l, cfg.block_size, cfg.ordering, &mut ws);
+            let g_plan = BlockedSolvePlan::build(&fd.lu.l, &e_cols_piv, &g_order, cfg.block_size);
+            let (ut, ut_src) = transpose_with_sources(&fd.lu.u);
+            let w_order = order_columns(&f_rows_elim, &ut, cfg.block_size, cfg.ordering, &mut ws);
+            let w_plan = BlockedSolvePlan::build(&ut, &f_rows_elim, &w_order, cfg.block_size);
+            Some(InterfacePlan {
+                g_order,
+                g_plan,
+                w_order,
+                w_plan,
+                ut,
+                ut_src,
+            })
+        }
+    };
+    let p = plan.unwrap_or_else(|| built.as_ref().expect("built when no plan supplied"));
+    // The cached `Uᵀ` structure is current; its values are refreshed
+    // through the recorded permutation (a freshly built plan already
+    // holds current values, but the copy is cheap and keeps one path).
+    let mut ut = p.ut.clone();
+    {
+        let uv = fd.lu.u.values();
+        let utv = ut.values_mut();
+        for (dst, &s) in p.ut_src.iter().enumerate() {
+            utv[dst] = uv[s];
+        }
+    }
 
     // --- G = L⁻¹ P Ê ---
-    let e_cols_piv = ehat_columns_pivot(fd, dom);
-    let order = order_columns(&e_cols_piv, &fd.lu.l, cfg.block_size, cfg.ordering, &mut ws);
     let t_g = Instant::now();
-    let (mut g_sols, g_block) = solve_in_blocks_ordered(
-        &fd.lu.l,
-        true,
-        &e_cols_piv,
-        &order,
-        cfg.block_size,
-        workers,
-        budget,
-    )?;
+    let (mut g_sols, g_block) =
+        solve_in_blocks_planned(&fd.lu.l, true, &e_cols_piv, &p.g_plan, workers, budget)?;
     let g_seconds = t_g.elapsed().as_secs_f64();
     // Row coverage before dropping = union of reaches.
     let mut row_touched = vec![false; n];
@@ -258,30 +337,20 @@ pub fn compute_interface_workers(
     for s in &mut g_sols {
         s.drop_small(cfg.drop_tol);
     }
-    let g_tilde = csr_from_column_solutions(n, ne, &order, &g_sols);
+    let g_tilde = csr_from_column_solutions(n, ne, &p.g_order, &g_sols);
     drop(g_sols);
 
     // --- Wᵀ = U⁻ᵀ Qᵀ F̂ᵀ ---
     budget.check()?;
-    let ut = lower_from_upper_transpose(&fd.lu.u);
-    let f_rows_elim = fhat_rows_elim(fd, dom);
-    let w_order = order_columns(&f_rows_elim, &ut, cfg.block_size, cfg.ordering, &mut ws);
     let t_w = Instant::now();
-    let (mut w_sols, w_block) = solve_in_blocks_ordered(
-        &ut,
-        false,
-        &f_rows_elim,
-        &w_order,
-        cfg.block_size,
-        workers,
-        budget,
-    )?;
+    let (mut w_sols, w_block) =
+        solve_in_blocks_planned(&ut, false, &f_rows_elim, &p.w_plan, workers, budget)?;
     let w_seconds = t_w.elapsed().as_secs_f64();
     // W̃ as CSR (rows = f_rows order, columns = elimination coords).
     for s in &mut w_sols {
         s.drop_small(cfg.drop_tol);
     }
-    let w_tilde = csr_from_row_solutions(nf, n, &w_order, &w_sols);
+    let w_tilde = csr_from_row_solutions(nf, n, &p.w_order, &w_sols);
     drop(w_sols);
 
     // --- T̃ = W̃ G̃ ---
@@ -305,12 +374,15 @@ pub fn compute_interface_workers(
         padding_fraction: g_block.padding_fraction(),
         solve_seconds: g_seconds + w_seconds,
     };
-    Ok(InterfaceOutcome {
-        t_tilde,
-        stats,
-        g_block,
-        w_block,
-    })
+    Ok((
+        InterfaceOutcome {
+            t_tilde,
+            stats,
+            g_block,
+            w_block,
+        },
+        built,
+    ))
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ pub mod subdomain;
 
 pub use budget::{Budget, BudgetInterrupt, CancelToken};
 pub use checkpoint::SetupCheckpoint;
-pub use driver::{KrylovKind, Pdslin, PdslinConfig, ScratchStats, SetupFailure, SolveOutcome};
+pub use driver::{
+    KrylovKind, Pdslin, PdslinConfig, ScratchStats, SequencePolicy, SequenceStep, SetupFailure,
+    SolveOutcome, UpdateOutcome,
+};
 pub use error::{ErrorCategory, PdslinError};
 pub use extract::{extract_dbbd, DbbdSystem, LocalDomain};
 pub use fault::FaultPlan;

@@ -101,6 +101,26 @@ pub enum RecoveryEvent {
         /// The tightened drop threshold applied to the `T̃` blocks.
         drop_tol: f64,
     },
+    /// An incremental numeric refactorization (`Pdslin::update_values`)
+    /// could not replay the stored pivot sequence for one factor, so
+    /// that factor was rebuilt from scratch (symbolic phase included).
+    RefactorizationFallback {
+        /// What was refactorized: `"subdomain"` or `"schur"`.
+        target: &'static str,
+        /// Index of the subdomain (0 for the Schur factor).
+        domain: usize,
+        /// Why the replay was rejected.
+        reason: String,
+    },
+    /// A sequence solve detected that the reused preconditioner had
+    /// degraded past the [`crate::driver::SequencePolicy`] thresholds
+    /// and fell back to a full setup for that step.
+    SequenceStale {
+        /// Zero-based step of the sequence at which staleness fired.
+        step: usize,
+        /// Which threshold tripped.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -175,6 +195,17 @@ impl fmt::Display for RecoveryEvent {
                 "Schur assembly predicted {predicted_bytes} bytes > budget {budget_bytes}; \
                  preconditioner degraded with drop tolerance {drop_tol:.1e}"
             ),
+            RecoveryEvent::RefactorizationFallback {
+                target,
+                domain,
+                reason,
+            } => write!(
+                f,
+                "refactorization of {target} {domain} fell back to full factorization ({reason})"
+            ),
+            RecoveryEvent::SequenceStale { step, reason } => {
+                write!(f, "sequence stale at step {step}: full setup rebuilt ({reason})")
+            }
         }
     }
 }

@@ -121,6 +121,12 @@ pub struct SetupStats {
     /// Subdomain factorisations reused from a checkpoint instead of
     /// being recomputed (see `Pdslin::resume`).
     pub factorizations_reused: usize,
+    /// Incremental numeric refactorizations performed by
+    /// `Pdslin::update_values` (subdomain and Schur factors combined).
+    pub refactorizations: usize,
+    /// Refactorizations that could not replay the stored pivot sequence
+    /// and fell back to a full factorization of that factor.
+    pub refactorization_fallbacks: usize,
     /// Every recovery action taken during setup (empty on a clean run).
     pub recovery: RecoveryReport,
 }

@@ -22,7 +22,10 @@
 
 pub mod circuit;
 pub mod fusion;
+pub mod sequence;
 pub mod stencil;
 pub mod suite;
 
+pub use sequence::sequence;
+pub use stencil::{laplace2d, laplace3d};
 pub use suite::{generate, MatrixKind, Scale};

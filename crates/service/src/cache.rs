@@ -3,10 +3,14 @@
 //! The expensive part of every request is `Pdslin::setup` (partition,
 //! extract, `LU(D)`, `Comp(S)`, `LU(S̃)`); the solve phase reuses the
 //! factors allocation-free. The cache keys finished setups by the matrix
-//! *content* fingerprint plus the config fields that shape the
+//! *pattern* fingerprint plus the config fields that shape the
 //! factorization (see `SolveRequest::cache_key`), so repeat traffic —
 //! the whole premise of running the solver as a service — pays setup
-//! once.
+//! once. Each entry additionally remembers the *value* fingerprint of
+//! the matrix its factors currently represent: a request whose pattern
+//! matches but whose values drifted reuses the entry's entire symbolic
+//! layer through `Pdslin::update_values` (a "symbolic hit") instead of
+//! paying a full setup.
 //!
 //! Admission control reuses the workspace's byte-estimate machinery:
 //! each entry is costed with [`solver_bytes_estimate`] (the same
@@ -47,10 +51,18 @@ pub fn solver_bytes_estimate(solver: &Pdslin) -> usize {
 
 /// One cached factorization.
 pub struct CacheEntry {
-    /// The content cache key this entry answers for.
+    /// The pattern cache key this entry answers for.
     pub key: u64,
     /// Estimated resident bytes (fixed at insert).
     pub bytes: usize,
+    /// Value fingerprint of the matrix the cached factors currently
+    /// represent. The cache key covers only the *pattern*, so a request
+    /// for the same pattern with drifted values reuses this entry
+    /// through `Pdslin::update_values` and then stores the new
+    /// fingerprint here. Written only while holding `solver`'s lock;
+    /// readers may peek without it (a stale read just causes a
+    /// re-check under the lock).
+    pub value_fp: AtomicU64,
     /// The solver. Locked for the duration of each solve that uses it;
     /// concurrent requests for the same entry serialize here (or ride
     /// the same coalesced batch and share one lock acquisition).
@@ -116,10 +128,11 @@ impl FactorCache {
     /// the estimated total fits the byte budget again. Returns the new
     /// entry; if the budget cannot fit even this entry alone, it is
     /// returned usable but already unlinked.
-    pub fn insert(&self, key: u64, solver: Pdslin) -> Arc<CacheEntry> {
+    pub fn insert(&self, key: u64, value_fp: u64, solver: Pdslin) -> Arc<CacheEntry> {
         let entry = Arc::new(CacheEntry {
             key,
             bytes: solver_bytes_estimate(&solver),
+            value_fp: AtomicU64::new(value_fp),
             solver: Mutex::new(solver),
             last_used: AtomicU64::new(self.tick()),
         });
@@ -221,7 +234,7 @@ mod tests {
     fn hit_miss_and_recency() {
         let cache = FactorCache::new(1 << 30);
         assert!(cache.lookup(1).is_none());
-        cache.insert(1, small_solver());
+        cache.insert(1, 0, small_solver());
         assert!(cache.lookup(1).is_some());
         let (h, m, e) = cache.counters();
         assert_eq!((h, m, e), (1, 1, 0));
@@ -233,12 +246,12 @@ mod tests {
         let one = solver_bytes_estimate(&small_solver());
         // Room for two entries, not three.
         let cache = FactorCache::new(one * 2 + one / 2);
-        cache.insert(1, small_solver());
-        cache.insert(2, small_solver());
+        cache.insert(1, 0, small_solver());
+        cache.insert(2, 0, small_solver());
         assert_eq!(cache.usage().0, 2);
         // Touch 1 so 2 becomes the LRU victim.
         assert!(cache.lookup(1).is_some());
-        cache.insert(3, small_solver());
+        cache.insert(3, 0, small_solver());
         assert_eq!(cache.usage().0, 2);
         assert!(cache.lookup(1).is_some(), "recently used must survive");
         assert!(cache.lookup(2).is_none(), "LRU entry must be evicted");
@@ -249,7 +262,7 @@ mod tests {
     #[test]
     fn oversized_entry_is_served_but_not_retained() {
         let cache = FactorCache::new(16);
-        let entry = cache.insert(7, small_solver());
+        let entry = cache.insert(7, 0, small_solver());
         assert!(entry.solver.lock().is_ok());
         assert_eq!(cache.usage(), (0, 0));
         assert!(cache.lookup(7).is_none());
@@ -259,8 +272,8 @@ mod tests {
     fn evicted_entry_keeps_working_for_in_flight_holders() {
         let one = solver_bytes_estimate(&small_solver());
         let cache = FactorCache::new(one + one / 2);
-        let held = cache.insert(1, small_solver());
-        cache.insert(2, small_solver()); // evicts 1
+        let held = cache.insert(1, 0, small_solver());
+        cache.insert(2, 0, small_solver()); // evicts 1
         assert!(cache.lookup(1).is_none());
         let mut solver = held.solver.lock().unwrap();
         let n = solver.sys.part.part_of.len();
@@ -273,7 +286,7 @@ mod tests {
     #[test]
     fn poisoned_entry_does_not_take_down_the_cache() {
         let cache = FactorCache::new(1 << 30);
-        let e = cache.insert(1, small_solver());
+        let e = cache.insert(1, 0, small_solver());
         // A panicking request poisons the entry's solver lock…
         let poisoner = Arc::clone(&e);
         let _ = std::thread::spawn(move || {
@@ -295,14 +308,14 @@ mod tests {
             "poisoned-but-free entry is counted, not skipped"
         );
         assert!(solves >= 1);
-        cache.insert(2, small_solver());
+        cache.insert(2, 0, small_solver());
         assert_eq!(cache.usage().0, 2);
     }
 
     #[test]
     fn scratch_totals_skip_locked_entries() {
         let cache = FactorCache::new(1 << 30);
-        let e = cache.insert(1, small_solver());
+        let e = cache.insert(1, 0, small_solver());
         let _guard = e.solver.lock().unwrap();
         let (lanes, _, _) = cache.scratch_totals();
         assert_eq!(lanes, 0, "busy entries are skipped, not awaited");

@@ -40,6 +40,13 @@ pub struct Metrics {
     pub factorizations: AtomicU64,
     /// Factorizations reused from checkpoints during budget resume.
     pub factorizations_reused: AtomicU64,
+    /// Cache hits where pattern *and* values matched: the cached
+    /// factors were reused untouched.
+    pub full_hits: AtomicU64,
+    /// Cache hits where only the values differed: the entry's symbolic
+    /// structure was kept and the numerics replayed with
+    /// `Pdslin::update_values`.
+    pub symbolic_hits: AtomicU64,
     /// Recovery events recorded across all setups and solves.
     pub recovery_events: AtomicU64,
 }
@@ -85,6 +92,10 @@ pub struct MetricsSnapshot {
     pub factorizations: u64,
     /// See [`Metrics::factorizations_reused`].
     pub factorizations_reused: u64,
+    /// See [`Metrics::full_hits`].
+    pub full_hits: u64,
+    /// See [`Metrics::symbolic_hits`].
+    pub symbolic_hits: u64,
     /// See [`Metrics::recovery_events`].
     pub recovery_events: u64,
     /// Requests queued right now.
@@ -127,6 +138,8 @@ impl Metrics {
             degraded_setups: get(&self.degraded_setups),
             factorizations: get(&self.factorizations),
             factorizations_reused: get(&self.factorizations_reused),
+            full_hits: get(&self.full_hits),
+            symbolic_hits: get(&self.symbolic_hits),
             recovery_events: get(&self.recovery_events),
             queue_depth: 0,
             cache_hits: 0,
@@ -151,6 +164,7 @@ impl MetricsSnapshot {
              \"expired_in_queue\":{},\"cancelled_shutdown\":{},\"retries\":{},\
              \"injected_failures\":{},\"batches\":{},\"coalesced\":{},\"setups\":{},\
              \"degraded_setups\":{},\"factorizations\":{},\"factorizations_reused\":{},\
+             \"full_hits\":{},\"symbolic_hits\":{},\
              \"recovery_events\":{},\"queue_depth\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"cache_evictions\":{},\"cache_entries\":{},\"cache_bytes\":{},\
              \"scratch_lanes\":{},\"scratch_allocations\":{},\"scratch_solves\":{},\
@@ -169,6 +183,8 @@ impl MetricsSnapshot {
             self.degraded_setups,
             self.factorizations,
             self.factorizations_reused,
+            self.full_hits,
+            self.symbolic_hits,
             self.recovery_events,
             self.queue_depth,
             self.cache_hits,
@@ -195,6 +211,8 @@ mod tests {
         add(&m.received, 3);
         add(&m.completed_ok, 2);
         add(&m.retries, 1);
+        add(&m.full_hits, 4);
+        add(&m.symbolic_hits, 2);
         let mut s = m.snapshot();
         s.queue_depth = 5;
         s.cache_bytes = 1024;
@@ -204,6 +222,8 @@ mod tests {
         assert_eq!(j.get("received").unwrap().as_u64(), Some(3));
         assert_eq!(j.get("completed_ok").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("retries").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("full_hits").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("symbolic_hits").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("cache_bytes").unwrap().as_u64(), Some(1024));
         assert_eq!(j.get("ema_solve_ms").unwrap().as_f64(), Some(12.5));

@@ -215,9 +215,12 @@ impl SolveRequest {
         h.finish()
     }
 
-    /// Hash of the matrix *content* fingerprint plus the config fields —
-    /// the factorization-cache key. Two specs naming byte-identical
-    /// matrices share one entry.
+    /// Hash of the matrix *pattern* fingerprint plus the config fields —
+    /// the factorization-cache key. Two specs naming pattern-identical
+    /// matrices share one entry; value drift within a shared entry is
+    /// settled separately against the entry's value fingerprint (a
+    /// "symbolic hit" replays the numerics via `Pdslin::update_values`
+    /// instead of re-running setup).
     pub fn cache_key(&self, matrix_fingerprint: u64) -> u64 {
         let mut h = Fnv64::new();
         h.write_u64(matrix_fingerprint);
@@ -475,7 +478,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// The successful-solve payload of a response.
 #[derive(Clone, Debug)]
 pub struct SolveReply {
-    /// `"hit"` or `"miss"` — whether the factorization came from cache.
+    /// `"hit"`, `"symbolic"` (pattern hit, values replayed with
+    /// `update_values`) or `"miss"` — how the factorization was found.
     pub cache: &'static str,
     /// How many requests rode in the same `solve_many` batch (1 = solo).
     pub batched: usize,

@@ -38,7 +38,7 @@ use pdslin::{
     Budget, CancelToken, ErrorCategory, Pdslin, PdslinConfig, PdslinError, RecoveryEvent,
     SetupCheckpoint, SetupStats,
 };
-use sparsekit::csr_fingerprint;
+use sparsekit::{csr_pattern_fingerprint, csr_value_fingerprint, Csr};
 
 use crate::cache::{CacheEntry, FactorCache};
 use crate::metrics::{add, Metrics, MetricsSnapshot};
@@ -111,9 +111,11 @@ struct Inner {
     queue: Mutex<QueueState>,
     cond: Condvar,
     cache: FactorCache,
-    /// spec key → content cache key, so repeat traffic skips matrix
-    /// loading and fingerprinting entirely.
-    memo: Mutex<HashMap<u64, u64>>,
+    /// spec key → (pattern cache key, value fingerprint), so repeat
+    /// traffic skips matrix loading and fingerprinting entirely — as
+    /// long as the cached entry still holds *this* spec's values (a
+    /// same-pattern sibling spec may have value-updated it since).
+    memo: Mutex<HashMap<u64, (u64, u64)>>,
     /// Checkpoints stranded by deadline-interrupted setups, keyed by
     /// cache key; the next miss resumes instead of refactorizing.
     stash: Mutex<HashMap<u64, Box<SetupCheckpoint>>>,
@@ -508,31 +510,100 @@ fn process(inner: &Arc<Inner>, mut jobs: Vec<Job>) {
     if jobs.is_empty() {
         return;
     }
-    let (entry, cache_label, setup_ms) = match resolve_entry(inner, &jobs) {
+    let (entry, cache_label, setup_ms, check) = match resolve_entry(inner, &jobs) {
         Some(t) => t,
         None => return, // every job was already answered
     };
     if jobs.len() > 1 {
-        process_coalesced(inner, jobs, &entry, cache_label, setup_ms);
+        process_coalesced(inner, jobs, &entry, cache_label, setup_ms, &check);
     } else {
         let job = jobs.pop().unwrap();
-        process_solo(inner, &job, &entry, cache_label, setup_ms);
+        process_solo(inner, &job, &entry, cache_label, setup_ms, &check);
     }
+}
+
+/// The matrix values a request expects the cache entry to hold at solve
+/// time. The entry is shared by every same-pattern spec, so between
+/// `resolve_entry` and the solve's own lock acquisition a sibling spec
+/// may have replayed different values into it; [`ensure_values`]
+/// re-checks under the lock and replays ours back if so.
+struct ValueCheck {
+    /// Value fingerprint of this request's matrix.
+    fp: u64,
+    /// The loaded matrix, kept when `resolve_entry` had to load it.
+    /// `None` on the memo fast path (the spec reloads it on demand in
+    /// the rare event the entry was updated away underneath us).
+    matrix: Option<Arc<Csr>>,
+}
+
+/// Under the entry's (held) solver lock: if the entry's values are not
+/// `check.fp`, replay this request's values into it. Counted as a
+/// symbolic hit — the entry's whole symbolic layer is reused either way.
+fn ensure_values(
+    inner: &Inner,
+    entry: &CacheEntry,
+    solver: &mut Pdslin,
+    check: &ValueCheck,
+    spec: &SolveRequest,
+) -> Result<(), PdslinError> {
+    if entry.value_fp.load(Ordering::Acquire) == check.fp {
+        return Ok(());
+    }
+    let loaded;
+    let a = match &check.matrix {
+        Some(a) => a.as_ref(),
+        None => {
+            loaded = spec
+                .matrix
+                .load()
+                .map_err(|message| PdslinError::InvalidInput { message })?;
+            &loaded
+        }
+    };
+    let out = solver.update_values(a)?;
+    entry.value_fp.store(check.fp, Ordering::Release);
+    add(&inner.metrics.symbolic_hits, 1);
+    add(&inner.metrics.recovery_events, out.recovery.len() as u64);
+    Ok(())
 }
 
 /// Finds or builds the factorization for a batch (all jobs share one
 /// spec key). `None` means every job has already received a response.
-fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &'static str, f64)> {
+///
+/// Lookups are keyed by the matrix *pattern*: a request whose pattern
+/// matches a resident entry but whose values drifted is a *symbolic
+/// hit* — the entry's partition, orderings and factor structure are all
+/// kept and only the numerics are replayed with
+/// [`Pdslin::update_values`] (label `"symbolic"`). If the replay itself
+/// fails, the request falls through to a full setup that replaces the
+/// entry.
+fn resolve_entry(
+    inner: &Arc<Inner>,
+    jobs: &[Job],
+) -> Option<(Arc<CacheEntry>, &'static str, f64, ValueCheck)> {
     let spec = &jobs[0].solve;
     let spec_key = jobs[0].spec_key;
-    if let Some(&ck) = lock_recover(&inner.memo).get(&spec_key) {
+    if let Some(&(ck, vfp)) = lock_recover(&inner.memo).get(&spec_key) {
         if let Some(entry) = inner.cache.lookup(ck) {
-            return Some((entry, "hit", 0.0));
+            if entry.value_fp.load(Ordering::Acquire) == vfp {
+                add(&inner.metrics.full_hits, 1);
+                return Some((
+                    entry,
+                    "hit",
+                    0.0,
+                    ValueCheck {
+                        fp: vfp,
+                        matrix: None,
+                    },
+                ));
+            }
+            // A same-pattern sibling spec value-updated the entry since
+            // we memoized; reload the matrix and settle below.
         }
     }
     let t0 = Instant::now();
     let a = match spec.matrix.load() {
-        Ok(a) => a,
+        Ok(a) => Arc::new(a),
         Err(msg) => {
             for job in jobs {
                 reply_input_error(inner, job, msg.clone());
@@ -540,10 +611,33 @@ fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &
             return None;
         }
     };
-    let cache_key = spec.cache_key(csr_fingerprint(&a));
-    lock_recover(&inner.memo).insert(spec_key, cache_key);
+    let cache_key = spec.cache_key(csr_pattern_fingerprint(&a));
+    let value_fp = csr_value_fingerprint(&a);
+    lock_recover(&inner.memo).insert(spec_key, (cache_key, value_fp));
+    let check = ValueCheck {
+        fp: value_fp,
+        matrix: Some(Arc::clone(&a)),
+    };
     if let Some(entry) = inner.cache.lookup(cache_key) {
-        return Some((entry, "hit", ms_since(t0)));
+        let mut solver = lock_recover(&entry.solver);
+        if entry.value_fp.load(Ordering::Acquire) == value_fp {
+            add(&inner.metrics.full_hits, 1);
+            drop(solver);
+            return Some((entry, "hit", ms_since(t0), check));
+        }
+        match solver.update_values(&a) {
+            Ok(out) => {
+                entry.value_fp.store(value_fp, Ordering::Release);
+                add(&inner.metrics.symbolic_hits, 1);
+                add(&inner.metrics.recovery_events, out.recovery.len() as u64);
+                drop(solver);
+                return Some((entry, "symbolic", ms_since(t0), check));
+            }
+            // The replay rejected the matrix (pattern deviation, hard
+            // numeric failure mid-update, …): fall through to a full
+            // setup, whose insert replaces this entry.
+            Err(_) => drop(solver),
+        }
     }
     // Setup under the *loosest* deadline in the batch: tighter jobs that
     // cannot wait for it will surface their own deadline at solve time.
@@ -599,8 +693,8 @@ fn resolve_entry(inner: &Arc<Inner>, jobs: &[Job]) -> Option<(Arc<CacheEntry>, &
             {
                 add(&inner.metrics.degraded_setups, 1);
             }
-            let entry = inner.cache.insert(cache_key, solver);
-            Some((entry, "miss", ms_since(t0)))
+            let entry = inner.cache.insert(cache_key, value_fp, solver);
+            Some((entry, "miss", ms_since(t0), check))
         }
         Err(failure) => {
             if let Some(ckpt) = failure.checkpoint {
@@ -629,6 +723,7 @@ fn process_coalesced(
     entry: &Arc<CacheEntry>,
     cache_label: &'static str,
     setup_ms: f64,
+    check: &ValueCheck,
 ) {
     let deadline = jobs.iter().filter_map(|j| j.deadline).min();
     let t0 = Instant::now();
@@ -636,6 +731,15 @@ fn process_coalesced(
         Err(_) => None, // tightest deadline already passed; solo paths sort it out
         Ok(budget) => {
             let mut solver = lock_recover(&entry.solver);
+            if ensure_values(inner, entry, &mut solver, check, &jobs[0].solve).is_err() {
+                // Couldn't settle the values here; each solo fallback
+                // retries and answers with its own typed error.
+                drop(solver);
+                for job in &jobs {
+                    process_solo(inner, job, entry, cache_label, setup_ms, check);
+                }
+                return;
+            }
             let n = solver.sys.part.part_of.len();
             let mut rhs = Vec::with_capacity(jobs.len());
             let mut bad_len = false;
@@ -694,7 +798,7 @@ fn process_coalesced(
             // cancellation, bad RHS, numerical failure). Re-run each job
             // solo under its own budget for a per-request typed answer.
             for job in &jobs {
-                process_solo(inner, job, entry, cache_label, setup_ms);
+                process_solo(inner, job, entry, cache_label, setup_ms, check);
             }
         }
     }
@@ -719,6 +823,7 @@ fn process_solo(
     entry: &Arc<CacheEntry>,
     cache_label: &'static str,
     setup_ms: f64,
+    check: &ValueCheck,
 ) {
     let t0 = Instant::now();
     let mut retries: u32 = 0;
@@ -735,45 +840,55 @@ fn process_solo(
                 Err(e) => Err(e),
                 Ok(budget) => {
                     let mut solver = lock_recover(&entry.solver);
-                    let n = solver.sys.part.part_of.len();
-                    let b = job.solve.rhs.build(n);
-                    if b.len() != n {
-                        reply_input_error(
-                            inner,
-                            job,
-                            format!("rhs has {} entries, matrix dimension is {n}", b.len()),
-                        );
-                        return;
-                    }
-                    let out = solver.solve_budgeted(&b, &budget);
-                    let setup_recovery = solver.stats.recovery.len();
-                    let degraded = setup_degraded(&solver);
-                    drop(solver);
-                    match out {
-                        Ok(out) => {
-                            let total_ms = setup_ms + ms_since(t0);
-                            add(&inner.metrics.completed_ok, 1);
-                            add(&inner.metrics.recovery_events, out.recovery.len() as u64);
-                            observe_solve_ms(inner, total_ms);
-                            reply(
+                    // A sibling same-pattern spec may have value-updated
+                    // the entry since `resolve_entry`; settle our values
+                    // under this attempt's lock before solving. A failed
+                    // replay joins the retry classification below.
+                    let prep = ensure_values(inner, entry, &mut solver, check, &job.solve);
+                    if let Err(e) = prep {
+                        drop(solver);
+                        Err(e)
+                    } else {
+                        let n = solver.sys.part.part_of.len();
+                        let b = job.solve.rhs.build(n);
+                        if b.len() != n {
+                            reply_input_error(
+                                inner,
                                 job,
-                                ResponseBody::Solve(SolveReply {
-                                    cache: cache_label,
-                                    batched: 1,
-                                    retries,
-                                    degraded,
-                                    recovery_events: setup_recovery + out.recovery.len(),
-                                    iterations: out.iterations,
-                                    residual: out.schur_residual,
-                                    converged: out.converged,
-                                    method: out.method,
-                                    queue_ms: ms_since(job.enqueued),
-                                    solve_ms: total_ms,
-                                }),
+                                format!("rhs has {} entries, matrix dimension is {n}", b.len()),
                             );
                             return;
                         }
-                        Err(e) => Err(e),
+                        let out = solver.solve_budgeted(&b, &budget);
+                        let setup_recovery = solver.stats.recovery.len();
+                        let degraded = setup_degraded(&solver);
+                        drop(solver);
+                        match out {
+                            Ok(out) => {
+                                let total_ms = setup_ms + ms_since(t0);
+                                add(&inner.metrics.completed_ok, 1);
+                                add(&inner.metrics.recovery_events, out.recovery.len() as u64);
+                                observe_solve_ms(inner, total_ms);
+                                reply(
+                                    job,
+                                    ResponseBody::Solve(SolveReply {
+                                        cache: cache_label,
+                                        batched: 1,
+                                        retries,
+                                        degraded,
+                                        recovery_events: setup_recovery + out.recovery.len(),
+                                        iterations: out.iterations,
+                                        residual: out.schur_residual,
+                                        converged: out.converged,
+                                        method: out.method,
+                                        queue_ms: ms_since(job.enqueued),
+                                        solve_ms: total_ms,
+                                    }),
+                                );
+                                return;
+                            }
+                            Err(e) => Err(e),
+                        }
                     }
                 }
             }

@@ -94,39 +94,101 @@ impl BlockWorkspace {
     }
 }
 
-/// Solves one block of columns (`block` lists indices into `cols`),
-/// leaving the union pattern and dense panel in the workspace.
-fn solve_block(
+/// One block of a [`BlockedSolvePlan`]: which columns it solves and the
+/// symbolic state `solve_block` would otherwise recompute per call.
+#[derive(Clone, Debug)]
+struct PlannedBlock {
+    /// Indices into `cols` (one `block_size` chunk of the caller's
+    /// column order).
+    cols: Vec<usize>,
+    /// Union reach of the block's columns, topological order.
+    pattern: Vec<usize>,
+    /// Total structural nonzeros over the true per-column patterns
+    /// (padding accounting).
+    true_nnz: u64,
+}
+
+/// Value-independent symbolic schedule of one blocked solve: the block
+/// decomposition of the column order plus each block's union reach and
+/// padding accounting. The reach DFS dominates the blocked solve on
+/// grid problems (the numeric panel substitution is a fraction of it),
+/// and it depends only on the *patterns* of `L` and the right-hand
+/// sides — so a sequence of solves against factors refreshed by pivot
+/// replay (identical pattern, new values) can build the plan once and
+/// replay numerics via [`solve_in_blocks_planned`].
+#[derive(Clone, Debug)]
+pub struct BlockedSolvePlan {
+    ncols: usize,
+    blocks: Vec<PlannedBlock>,
+}
+
+impl BlockedSolvePlan {
+    /// Runs the symbolic half of [`solve_in_blocks_ordered`] — per-column
+    /// reaches for padding accounting and the per-block union reach —
+    /// and captures the result. Valid for any later solve against a
+    /// factor with the same pattern and right-hand sides with the same
+    /// patterns in the same order.
+    pub fn build(l: &Csc, cols: &[SparseVec], order: &[usize], block_size: usize) -> Self {
+        assert!(block_size > 0);
+        let mut ws = BlockWorkspace::new(l.nrows());
+        let blocks = order
+            .chunks(block_size)
+            .map(|chunk| {
+                let mut true_nnz = 0u64;
+                ws.seeds.clear();
+                for &ci in chunk {
+                    let c = &cols[ci];
+                    compute_reach(l, &c.indices, &mut ws.solve);
+                    true_nnz += ws.solve.topo().len() as u64;
+                    ws.seeds.extend_from_slice(&c.indices);
+                }
+                ws.seeds.sort_unstable();
+                ws.seeds.dedup();
+                compute_reach(l, &ws.seeds, &mut ws.solve);
+                PlannedBlock {
+                    cols: chunk.to_vec(),
+                    pattern: ws.solve.topo().to_vec(),
+                    true_nnz,
+                }
+            })
+            .collect();
+        BlockedSolvePlan {
+            ncols: order.len(),
+            blocks,
+        }
+    }
+
+    /// Number of columns the plan solves.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Heap bytes held by the cached patterns (capacity accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| (b.cols.capacity() + b.pattern.capacity()) * std::mem::size_of::<usize>())
+            .sum()
+    }
+}
+
+/// Numeric panel substitution over an already-known union pattern
+/// (`ws.pattern`), shared by the ad-hoc and planned paths. Expects
+/// `ws.pos` to be all-MAX and restores it before returning.
+fn numeric_on_pattern(
     l: &Csc,
     unit_diag: bool,
     cols: &[SparseVec],
     block: &[usize],
     ws: &mut BlockWorkspace,
-) -> BlockSolveStats {
+) -> u64 {
     let bsize = block.len();
-    ws.pattern.clear();
-    ws.panel.clear();
-    if bsize == 0 {
-        return BlockSolveStats::default();
-    }
-    // Per-column true patterns (for padding accounting) and the union.
-    let mut true_nnz = 0u64;
-    ws.seeds.clear();
-    for &ci in block {
-        let c = &cols[ci];
-        compute_reach(l, &c.indices, &mut ws.solve);
-        true_nnz += ws.solve.topo().len() as u64;
-        ws.seeds.extend_from_slice(&c.indices);
-    }
-    ws.seeds.sort_unstable();
-    ws.seeds.dedup();
-    compute_reach(l, &ws.seeds, &mut ws.solve);
-    ws.pattern.extend_from_slice(ws.solve.topo());
     let union_rows = ws.pattern.len();
     // Scatter map: matrix row -> panel row.
     for (t, &row) in ws.pattern.iter().enumerate() {
         ws.pos[row] = t;
     }
+    ws.panel.clear();
     ws.panel.resize(union_rows * bsize, 0.0);
     for (c, &ci) in block.iter().enumerate() {
         let col = &cols[ci];
@@ -163,10 +225,70 @@ fn solve_block(
     for &row in &ws.pattern {
         ws.pos[row] = usize::MAX;
     }
+    flops
+}
+
+/// Solves one block of columns (`block` lists indices into `cols`),
+/// leaving the union pattern and dense panel in the workspace.
+fn solve_block(
+    l: &Csc,
+    unit_diag: bool,
+    cols: &[SparseVec],
+    block: &[usize],
+    ws: &mut BlockWorkspace,
+) -> BlockSolveStats {
+    let bsize = block.len();
+    ws.pattern.clear();
+    ws.panel.clear();
+    if bsize == 0 {
+        return BlockSolveStats::default();
+    }
+    // Per-column true patterns (for padding accounting) and the union.
+    let mut true_nnz = 0u64;
+    ws.seeds.clear();
+    for &ci in block {
+        let c = &cols[ci];
+        compute_reach(l, &c.indices, &mut ws.solve);
+        true_nnz += ws.solve.topo().len() as u64;
+        ws.seeds.extend_from_slice(&c.indices);
+    }
+    ws.seeds.sort_unstable();
+    ws.seeds.dedup();
+    compute_reach(l, &ws.seeds, &mut ws.solve);
+    ws.pattern.extend_from_slice(ws.solve.topo());
+    let union_rows = ws.pattern.len();
+    let flops = numeric_on_pattern(l, unit_diag, cols, block, ws);
     let padded_zeros = (union_rows * bsize) as u64 - true_nnz;
     BlockSolveStats {
         union_rows,
         true_nnz,
+        padded_zeros,
+        flops,
+    }
+}
+
+/// [`solve_block`] with the symbolic half served from a plan: copies the
+/// cached union pattern into the workspace and runs numerics only.
+fn solve_block_planned(
+    l: &Csc,
+    unit_diag: bool,
+    cols: &[SparseVec],
+    pb: &PlannedBlock,
+    ws: &mut BlockWorkspace,
+) -> BlockSolveStats {
+    let bsize = pb.cols.len();
+    ws.pattern.clear();
+    ws.panel.clear();
+    if bsize == 0 {
+        return BlockSolveStats::default();
+    }
+    ws.pattern.extend_from_slice(&pb.pattern);
+    let union_rows = ws.pattern.len();
+    let flops = numeric_on_pattern(l, unit_diag, cols, &pb.cols, ws);
+    let padded_zeros = (union_rows * bsize) as u64 - pb.true_nnz;
+    BlockSolveStats {
+        union_rows,
+        true_nnz: pb.true_nnz,
         padded_zeros,
         flops,
     }
@@ -250,28 +372,84 @@ pub fn solve_in_blocks_ordered(
     budget: &Budget,
 ) -> Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt> {
     assert!(block_size > 0);
-    budget.check()?;
-    let n = l.nrows();
     let blocks: Vec<&[usize]> = order.chunks(block_size).collect();
-    let mut out = Vec::with_capacity(order.len());
+    run_blocks(
+        l.nrows(),
+        order.len(),
+        blocks.len(),
+        workers,
+        budget,
+        |b, ws| {
+            (
+                solve_block(l, unit_diag, cols, blocks[b], ws),
+                blocks[b].len(),
+            )
+        },
+    )
+}
+
+/// [`solve_in_blocks_ordered`] with the symbolic phase served from a
+/// [`BlockedSolvePlan`]: no reach DFS runs, only the numeric panel
+/// substitution. Byte-identical to the ad-hoc path for any worker count
+/// when the plan was built against a factor with the same pattern and
+/// the same column patterns/order.
+pub fn solve_in_blocks_planned(
+    l: &Csc,
+    unit_diag: bool,
+    cols: &[SparseVec],
+    plan: &BlockedSolvePlan,
+    workers: usize,
+    budget: &Budget,
+) -> Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt> {
+    run_blocks(
+        l.nrows(),
+        plan.ncols,
+        plan.blocks.len(),
+        workers,
+        budget,
+        |b, ws| {
+            let pb = &plan.blocks[b];
+            (
+                solve_block_planned(l, unit_diag, cols, pb, ws),
+                pb.cols.len(),
+            )
+        },
+    )
+}
+
+/// Shared driver of the ad-hoc and planned blocked solves: serial loop
+/// or worker pool over block indices, results merged in block order so
+/// the output is byte-identical to the serial path.
+fn run_blocks<F>(
+    n: usize,
+    ncols: usize,
+    nblocks: usize,
+    workers: usize,
+    budget: &Budget,
+    solve: F,
+) -> Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt>
+where
+    F: Fn(usize, &mut BlockWorkspace) -> (BlockSolveStats, usize) + Sync,
+{
+    budget.check()?;
+    let mut out = Vec::with_capacity(ncols);
     let mut stats = BlockSolveStats::default();
-    if workers <= 1 || blocks.len() <= 1 {
+    if workers <= 1 || nblocks <= 1 {
         let mut ws = BlockWorkspace::new(n);
-        for block in &blocks {
+        for b in 0..nblocks {
             budget.check()?;
-            let st = solve_block(l, unit_diag, cols, block, &mut ws);
+            let (st, bsize) = solve(b, &mut ws);
             stats.merge(&st);
-            extract_columns(&ws, block.len(), &mut out);
+            extract_columns(&ws, bsize, &mut out);
         }
         return Ok((out, stats));
     }
 
     type BlockResult = Result<(Vec<SparseVec>, BlockSolveStats), BudgetInterrupt>;
-    let nblocks = blocks.len();
     let nworkers = workers.min(nblocks);
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let blocks = &blocks;
+    let solve = &solve;
     let per_worker: Vec<Vec<(usize, BlockResult)>> = std::thread::scope(|sc| {
         let handles: Vec<_> = (0..nworkers)
             .map(|_| {
@@ -289,9 +467,9 @@ pub fn solve_in_blocks_ordered(
                             got.push((b, Err(e)));
                             break;
                         }
-                        let st = solve_block(l, unit_diag, cols, blocks[b], &mut ws);
-                        let mut sols = Vec::with_capacity(blocks[b].len());
-                        extract_columns(&ws, blocks[b].len(), &mut sols);
+                        let (st, bsize) = solve(b, &mut ws);
+                        let mut sols = Vec::with_capacity(bsize);
+                        extract_columns(&ws, bsize, &mut sols);
                         got.push((b, Ok((sols, st))));
                     }
                     got
@@ -448,6 +626,58 @@ mod tests {
                 m.insert(r, v);
             }
             assert!((m[&i] - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn planned_solve_is_byte_identical_to_ordered() {
+        let l = bidiag_l(40);
+        let cols: Vec<SparseVec> = (0..12)
+            .map(|i| SparseVec::new(vec![(i * 3) % 40], vec![1.0 + i as f64]))
+            .collect();
+        let order: Vec<usize> = (0..12).map(|p| (p * 5) % 12).collect();
+        let budget = Budget::unlimited();
+        let (adhoc, astats) =
+            solve_in_blocks_ordered(&l, true, &cols, &order, 3, 1, &budget).unwrap();
+        let plan = BlockedSolvePlan::build(&l, &cols, &order, 3);
+        assert_eq!(plan.ncols(), 12);
+        assert!(plan.memory_bytes() > 0);
+        for w in [1usize, 4] {
+            let (planned, pstats) =
+                solve_in_blocks_planned(&l, true, &cols, &plan, w, &budget).unwrap();
+            assert_eq!(pstats, astats, "workers {w}");
+            assert_eq!(planned.len(), adhoc.len());
+            for (p, (a, b)) in planned.iter().zip(&adhoc).enumerate() {
+                assert_eq!(a.indices, b.indices, "pattern col {p} workers {w}");
+                assert_eq!(a.values, b.values, "values col {p} workers {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_survives_value_changes_on_a_fixed_pattern() {
+        // Build the plan against one set of factor values, then solve
+        // with different values on the same pattern — the sequence-solve
+        // replay situation. The planned solve must match a fresh ad-hoc
+        // solve against the new values exactly.
+        let mut l = bidiag_l(24);
+        let cols: Vec<SparseVec> = (0..6)
+            .map(|i| SparseVec::new(vec![i * 4], vec![1.0 + i as f64]))
+            .collect();
+        let order: Vec<usize> = (0..6).collect();
+        let plan = BlockedSolvePlan::build(&l, &cols, &order, 2);
+        for v in l.values_mut() {
+            *v *= 1.5;
+        }
+        let budget = Budget::unlimited();
+        let (adhoc, astats) =
+            solve_in_blocks_ordered(&l, true, &cols, &order, 2, 1, &budget).unwrap();
+        let (planned, pstats) =
+            solve_in_blocks_planned(&l, true, &cols, &plan, 1, &budget).unwrap();
+        assert_eq!(pstats, astats);
+        for (a, b) in planned.iter().zip(&adhoc) {
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.values, b.values);
         }
     }
 

@@ -30,6 +30,19 @@ use sparsekit::{Csc, Perm};
 /// requested: spawning scoped threads costs more than the sweep itself.
 const PAR_MIN_ROWS: usize = 256;
 
+/// Process-wide count of [`SolvePlan::build`] executions. Plan
+/// construction is the redundant symbolic work the lazy-plan and
+/// refactorisation paths exist to avoid; reuse tests assert this
+/// counter stays flat across decode round-trips and value updates.
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of triangular-solve plans built since process start (see
+/// [`PLAN_BUILDS`]). Monotone; compare two readings to count builds in
+/// between.
+pub fn plan_build_count() -> u64 {
+    PLAN_BUILDS.load(Ordering::Relaxed)
+}
+
 /// One triangular sweep (forward `L` or backward `U`) flattened into
 /// level order.
 #[derive(Clone, Debug)]
@@ -122,6 +135,25 @@ impl LevelPlan {
         }
     }
 
+    /// Rewrites the sweep's dependency values from (numerically
+    /// updated) factor columns without touching any structure: each
+    /// dependency slot of position `p` holds the factor entry at
+    /// `(order[p], order[dep_pos])`, an invariant both the level and
+    /// HBMC layouts preserve.
+    pub(crate) fn refresh_numeric_from(&mut self, m: &Csc) {
+        for p in 0..self.n() {
+            let r = self.order[p];
+            for s in self.dep_ptr[p]..self.dep_ptr[p + 1] {
+                let c = self.order[self.dep_pos[s]];
+                let k = m
+                    .col_indices(c)
+                    .binary_search(&r)
+                    .expect("plan dependency missing from factor pattern");
+                self.dep_val[s] = m.col_values(c)[k];
+            }
+        }
+    }
+
     /// Position range of level `l` assigned to worker `t` of `workers`:
     /// an even position split for level plans, an even *task* split
     /// (aligned to row-block boundaries) for HBMC plans.
@@ -190,6 +222,7 @@ impl SolvePlan {
     /// diagonal), composing `row_perm` into the forward gather and
     /// `col_perm` into the final scatter.
     pub fn build(l: &Csc, u: &Csc, row_perm: &Perm, col_perm: &Perm) -> SolvePlan {
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = l.ncols();
         // Forward sweep: x[r] = (P b)[r] − Σ_{j<r} L[r,j]·x[j].
         let fwd = build_sweep(
@@ -256,6 +289,24 @@ impl SolvePlan {
         self.bwd.execute(&scratch.mid[..n], &scratch.bits, workers);
         for (q, &dst) in self.out_dst.iter().enumerate() {
             x[dst] = f64::from_bits(scratch.bits[q].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Rewrites the plan's numeric payload (dependency values and `U`
+    /// diagonal) from refactorised `L`/`U` with the same pattern; the
+    /// schedule — levels, positions, dependency structure — is reused
+    /// untouched, so this costs a value sweep instead of a
+    /// [`SolvePlan::build`]. Works on level and HBMC plans alike.
+    pub fn refresh_numeric(&mut self, l: &Csc, u: &Csc) {
+        self.fwd.refresh_numeric_from(l);
+        self.bwd.refresh_numeric_from(u);
+        for p in 0..self.bwd.n() {
+            let r = self.bwd.order[p];
+            let k = u
+                .col_indices(r)
+                .binary_search(&r)
+                .expect("U diagonal missing");
+            self.bwd.diag[p] = u.col_values(r)[k];
         }
     }
 }

@@ -43,8 +43,8 @@ pub use blocked::{
 };
 pub use etree::{etree, first_nonzero_postorder_key, postorder};
 pub use hbmc::{ScheduleError, TrisolveSchedule, HBMC_BLOCK, HBMC_EQUIV_TOL};
-pub use levels::{LevelPlan, SolvePlan, TriScratch};
-pub use lu::{LuConfig, LuError, LuFactors};
+pub use levels::{plan_build_count, LevelPlan, SolvePlan, TriScratch};
+pub use lu::{LuConfig, LuError, LuFactors, RefactorizeError};
 pub use refine::{condest_1, solve_refined, RefinedSolve};
 pub use supernodes::{
     detect_supernodes, supernodal_blocked_solve, supernodal_blocked_solve_precomputed,

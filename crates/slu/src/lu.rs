@@ -1,6 +1,8 @@
 //! Gilbert–Peierls left-looking sparse LU with threshold partial
 //! pivoting (the algorithm family behind SuperLU).
 
+use std::sync::OnceLock;
+
 use crate::hbmc::{ScheduleError, TrisolveSchedule, HBMC_BLOCK, HBMC_EQUIV_TOL};
 use crate::levels::{SolvePlan, TriScratch};
 use sparsekit::budget::{Budget, BudgetInterrupt};
@@ -78,6 +80,128 @@ impl std::fmt::Display for LuError {
 
 impl std::error::Error for LuError {}
 
+/// Why an incremental [`LuFactors::refactorize`] was refused or
+/// abandoned. None of these corrupt the factors: on every error path
+/// except [`RefactorizeError::ScheduleRejected`] the numeric payload
+/// may be partially rewritten, so callers recover by re-factorising
+/// from scratch (which is exactly what the driver's fallback does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RefactorizeError {
+    /// The factors carry no symbolic record (they were reassembled via
+    /// [`LuFactors::from_parts`] or decoded from a checkpoint, which
+    /// transports only `L`/`U`).
+    SymbolicMissing,
+    /// The original factorisation perturbed pivots
+    /// ([`LuFactors::perturbed`]); replaying a patched pivot sequence
+    /// against new values is not meaningful.
+    Perturbed,
+    /// The new matrix is not the same order as the factored one.
+    SizeMismatch {
+        /// Order of the stored factors.
+        expected: usize,
+        /// Order of the supplied matrix.
+        got: usize,
+    },
+    /// A NaN/Inf appeared in the input (step 0) or during replay.
+    NonFinite {
+        /// Elimination step (0 for input validation).
+        step: usize,
+    },
+    /// A stored pivot position evaluated to exactly zero under the new
+    /// values — the recorded pivot sequence no longer works.
+    ZeroPivot {
+        /// Elimination step with the vanished pivot.
+        step: usize,
+    },
+    /// The new matrix has an entry outside the recorded sparsity
+    /// pattern (refactorisation requires an identical pattern).
+    PatternMismatch {
+        /// Elimination step at which the foreign entry surfaced.
+        step: usize,
+    },
+    /// Replay produced a nonzero in an `L` position the original
+    /// factorisation dropped as an exact zero — the stored pattern
+    /// cannot hold the new factors.
+    PatternDeviation {
+        /// Elimination step at which the pattern no longer fits.
+        step: usize,
+    },
+    /// The factors ran an HBMC schedule and the post-refactorisation
+    /// equivalence probe rejected it under the new values. The numeric
+    /// refactorisation itself *succeeded* and the factors are left on
+    /// the (always valid) level schedule.
+    ScheduleRejected {
+        /// Measured probe deviation.
+        rel_err: f64,
+        /// Tolerance it exceeded.
+        tol: f64,
+    },
+}
+
+impl std::fmt::Display for RefactorizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefactorizeError::SymbolicMissing => {
+                write!(f, "factors carry no symbolic record (decoded/reassembled)")
+            }
+            RefactorizeError::Perturbed => {
+                write!(f, "original factorisation used perturbed pivots")
+            }
+            RefactorizeError::SizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "matrix order {got} does not match factored order {expected}"
+                )
+            }
+            RefactorizeError::NonFinite { step } => {
+                write!(
+                    f,
+                    "non-finite value (NaN/Inf) at refactorisation step {step}"
+                )
+            }
+            RefactorizeError::ZeroPivot { step } => {
+                write!(f, "stored pivot vanished at refactorisation step {step}")
+            }
+            RefactorizeError::PatternMismatch { step } => {
+                write!(f, "entry outside the recorded pattern at step {step}")
+            }
+            RefactorizeError::PatternDeviation { step } => {
+                write!(f, "fill escapes the recorded factor pattern at step {step}")
+            }
+            RefactorizeError::ScheduleRejected { rel_err, tol } => {
+                write!(
+                    f,
+                    "refactorised values rejected the HBMC schedule: deviation {rel_err:.3e} exceeds {tol:.3e} (level schedule active)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefactorizeError {}
+
+/// The symbolic record of a factorisation: the per-step topological
+/// reach (original row ids, in the exact order the numeric loop visited
+/// them) plus, per reach entry, the flat index of the value slot it
+/// feeds in the assembled `L` or `U`. Replaying elimination against
+/// this record skips the DFS, the pivot search, and the CSC assembly —
+/// the entire pattern-dependent cost of [`LuFactors::factorize`].
+#[derive(Clone, Debug)]
+struct LuSymbolic {
+    /// `topo_ptr[k]..topo_ptr[k + 1]` is step `k`'s reach.
+    topo_ptr: Vec<usize>,
+    /// Reach entries in **pivot coordinates** (`row_perm.to_new`), in
+    /// stored visit order. `L`'s assembled row indices are in the same
+    /// coordinates, so the replay's inner update loop runs without any
+    /// per-entry permutation lookups.
+    topo_new: Vec<usize>,
+    /// Per reach entry: index into `u.values` when the row was pivotal
+    /// by step `k` (pivot position ≤ k), into `l.values` otherwise;
+    /// `usize::MAX` marks an `L` entry the original factorisation
+    /// dropped as an exact zero (no slot exists).
+    slot: Vec<usize>,
+}
+
 /// The LU factorisation `L·U = P·A·Qᵀ` of a square sparse matrix.
 ///
 /// `L` is unit lower triangular (unit diagonal stored explicitly), `U`
@@ -98,13 +222,17 @@ pub struct LuFactors {
     /// (empty unless [`LuConfig::diag_perturb`] was enabled *and* the
     /// matrix was singular or near-singular at those steps).
     pub perturbed: Vec<usize>,
-    /// Execution plan for the triangular solves, built once here so
-    /// every subsequent solve — serial or parallel — reuses it (see
+    /// Execution plan for the triangular solves, built lazily on first
+    /// use so decode paths (checkpoint resume, service cache, shard
+    /// ledger) pay nothing until they actually solve (see
     /// [`crate::levels`]). Level-scheduled by default; an accepted
     /// [`LuFactors::set_schedule`] call swaps in the HBMC reordering.
-    plan: SolvePlan,
-    /// Which schedule `plan` currently encodes.
+    plan: OnceLock<SolvePlan>,
+    /// Which schedule `plan` encodes once built.
     schedule: TrisolveSchedule,
+    /// Symbolic record enabling [`LuFactors::refactorize`]; `None` for
+    /// factors reassembled from parts (the record is not transported).
+    symbolic: Option<LuSymbolic>,
 }
 
 impl LuFactors {
@@ -154,6 +282,11 @@ impl LuFactors {
         let mut mark = vec![usize::MAX; n];
         let mut topo: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        // Symbolic record for `refactorize`: each step's reach in visit
+        // order (slots resolved after assembly).
+        let mut topo_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+        topo_ptr.push(0);
+        let mut topo_row: Vec<usize> = Vec::new();
         let mut ticker = budget.ticker(64);
         for k in 0..n {
             if let Err(interrupt) = ticker.tick() {
@@ -290,20 +423,48 @@ impl LuFactors {
             ucol.push((k, pivot));
             ucols.push(ucol);
             lcols.push(lcol);
+            topo_row.extend_from_slice(&topo);
+            topo_ptr.push(topo_row.len());
         }
         // --- Assemble CSC factors in pivot order. ---
         let row_perm = Perm::from_to_new(pinv);
         let l = assemble_csc(n, &lcols, |old_row| row_perm.to_new(old_row));
         let u = assemble_csc(n, &ucols, |r| r);
-        let plan = SolvePlan::build(&l, &u, &row_perm, col_perm);
+        // --- Resolve each reach entry to its value slot, converting the
+        // reach to pivot coordinates along the way (the replay works
+        // entirely in pivot space). ---
+        let topo_new: Vec<usize> = topo_row.iter().map(|&i| row_perm.to_new(i)).collect();
+        drop(topo_row);
+        let mut slot = vec![usize::MAX; topo_new.len()];
+        for k in 0..n {
+            for (s, &pi) in slot[topo_ptr[k]..topo_ptr[k + 1]]
+                .iter_mut()
+                .zip(&topo_new[topo_ptr[k]..topo_ptr[k + 1]])
+            {
+                if pi <= k {
+                    let t = u
+                        .col_indices(k)
+                        .binary_search(&pi)
+                        .expect("pivotal reach entry present in U");
+                    *s = u.colptr()[k] + t;
+                } else if let Ok(t) = l.col_indices(k).binary_search(&pi) {
+                    *s = l.colptr()[k] + t;
+                }
+            }
+        }
         Ok(LuFactors {
             l,
             u,
             row_perm,
             col_perm: col_perm.clone(),
             perturbed,
-            plan,
+            plan: OnceLock::new(),
             schedule: TrisolveSchedule::Level,
+            symbolic: Some(LuSymbolic {
+                topo_ptr,
+                topo_new,
+                slot,
+            }),
         })
     }
 
@@ -311,11 +472,14 @@ impl LuFactors {
     /// case is factors computed in another *process* (`crates/shard`)
     /// and shipped over a wire that preserves every `f64` bit.
     ///
-    /// The private level-scheduled [`SolvePlan`] is rebuilt here from
-    /// the factor patterns; the plan only schedules the same fixed
-    /// left-to-right dependency sweeps, so solves through a
-    /// reconstructed factorisation are bit-identical to solves through
-    /// the original.
+    /// The private level-scheduled [`SolvePlan`] is rebuilt **lazily**
+    /// on the first solve: decode paths that never solve (checkpoint
+    /// inspection, cache shuffling) pay nothing, and the plan only
+    /// schedules the same fixed left-to-right dependency sweeps, so
+    /// solves through a reconstructed factorisation are bit-identical
+    /// to solves through the original. The symbolic refactorisation
+    /// record is *not* transported — reassembled factors report
+    /// [`RefactorizeError::SymbolicMissing`].
     ///
     /// # Panics
     ///
@@ -334,15 +498,15 @@ impl LuFactors {
         assert_eq!(u.ncols(), n, "U must match L");
         assert_eq!(row_perm.len(), n, "row permutation length mismatch");
         assert_eq!(col_perm.len(), n, "column permutation length mismatch");
-        let plan = SolvePlan::build(&l, &u, &row_perm, &col_perm);
         LuFactors {
             l,
             u,
             row_perm,
             col_perm,
             perturbed,
-            plan,
+            plan: OnceLock::new(),
             schedule: TrisolveSchedule::Level,
+            symbolic: None,
         }
     }
 
@@ -372,13 +536,14 @@ impl LuFactors {
     /// call of a given size the scratch is reused without allocating.
     /// The result is byte-identical for every `workers` value.
     pub fn solve_into(&self, b: &[f64], x: &mut [f64], scratch: &mut TriScratch, workers: usize) {
-        self.plan.solve_into(b, x, scratch, workers);
+        self.solve_plan().solve_into(b, x, scratch, workers);
     }
 
-    /// The triangular-solve plan built at factorisation (level-scheduled
-    /// unless an HBMC schedule was accepted).
+    /// The triangular-solve plan (level-scheduled unless an HBMC
+    /// schedule was accepted), built on first use and cached.
     pub fn solve_plan(&self) -> &SolvePlan {
-        &self.plan
+        self.plan
+            .get_or_init(|| SolvePlan::build(&self.l, &self.u, &self.row_perm, &self.col_perm))
     }
 
     /// The schedule the current plan encodes.
@@ -414,14 +579,14 @@ impl LuFactors {
         }
         match schedule {
             TrisolveSchedule::Level => {
-                self.plan = SolvePlan::build(&self.l, &self.u, &self.row_perm, &self.col_perm);
+                self.plan = OnceLock::new();
                 self.schedule = TrisolveSchedule::Level;
                 Ok(())
             }
             TrisolveSchedule::Hbmc => {
-                // `self.schedule` is Level here, so `self.plan` is the
-                // level plan the probe compares against.
-                let hbmc = self.plan.to_hbmc(HBMC_BLOCK);
+                // `self.schedule` is Level here, so `solve_plan()` is
+                // the level plan the probe compares against.
+                let hbmc = self.solve_plan().to_hbmc(HBMC_BLOCK);
                 let n = self.n();
                 let b: Vec<f64> = (0..n)
                     .map(|i| ((i * 37 % 19) as f64) * 0.25 - 2.0)
@@ -429,7 +594,8 @@ impl LuFactors {
                 let mut scratch = TriScratch::new();
                 let mut x_level = vec![0f64; n];
                 let mut x_hbmc = vec![0f64; n];
-                self.plan.solve_into(&b, &mut x_level, &mut scratch, 1);
+                self.solve_plan()
+                    .solve_into(&b, &mut x_level, &mut scratch, 1);
                 hbmc.solve_into(&b, &mut x_hbmc, &mut scratch, 1);
                 let denom = x_level
                     .iter()
@@ -446,9 +612,147 @@ impl LuFactors {
                 if !(rel_err <= tol) {
                     return Err(ScheduleError { rel_err, tol });
                 }
-                self.plan = hbmc;
+                self.plan = OnceLock::from(hbmc);
                 self.schedule = TrisolveSchedule::Hbmc;
                 Ok(())
+            }
+        }
+    }
+
+    /// Re-runs the numeric elimination against `a`'s **values**, reusing
+    /// every symbolic artifact of the original factorisation: the
+    /// per-step reaches, the pivot sequence, the assembled `L`/`U`
+    /// patterns, and the triangular-solve schedule. Only the value
+    /// arrays (and the plan's numeric payload) are rewritten — no DFS,
+    /// no pivot search, no assembly, no plan build.
+    ///
+    /// `a` must have the **same sparsity pattern** as the originally
+    /// factored matrix (same order; entries only where the original had
+    /// them — a subset pattern is accepted, the missing entries read as
+    /// zero). Values may differ arbitrarily: the stored pivot order is
+    /// *replayed*, so with identical values the result is bit-identical
+    /// to a fresh [`LuFactors::factorize`], and with drifted values it
+    /// is an exact LU of the new matrix under the old pivot sequence
+    /// (numeric quality degrades gradually with drift — callers pair
+    /// this with a staleness policy).
+    ///
+    /// On any error except [`RefactorizeError::ScheduleRejected`] the
+    /// numeric payload may be partially rewritten; recover by
+    /// re-factorising from scratch. `ScheduleRejected` means the
+    /// refactorisation itself succeeded but the HBMC schedule failed
+    /// its re-probe under the new values; the factors are left solving
+    /// correctly on the level schedule.
+    pub fn refactorize(&mut self, a: &Csr) -> Result<(), RefactorizeError> {
+        let n = self.n();
+        if a.nrows() != n || a.ncols() != n {
+            return Err(RefactorizeError::SizeMismatch {
+                expected: n,
+                got: a.nrows().max(a.ncols()),
+            });
+        }
+        if !self.perturbed.is_empty() {
+            return Err(RefactorizeError::Perturbed);
+        }
+        let Some(sym) = self.symbolic.as_ref() else {
+            return Err(RefactorizeError::SymbolicMissing);
+        };
+        let acsc = a.to_csc();
+        if acsc.values().iter().any(|v| !v.is_finite()) {
+            return Err(RefactorizeError::NonFinite { step: 0 });
+        }
+        let mut x = vec![0f64; n];
+        let mut mark = vec![usize::MAX; n];
+        let (l_colptr, l_rowind, lv) = self.l.parts_mut();
+        let (_, _, uv) = self.u.parts_mut();
+        for k in 0..n {
+            let col = self.col_perm.to_old(k);
+            let topo = &sym.topo_new[sym.topo_ptr[k]..sym.topo_ptr[k + 1]];
+            // --- Scatter A(:, col) over the stored reach, in pivot
+            // coordinates. ---
+            for &p in topo {
+                x[p] = 0.0;
+                mark[p] = k;
+            }
+            for (i, v) in acsc.col_iter(col) {
+                let p = self.row_perm.to_new(i);
+                if mark[p] != k {
+                    return Err(RefactorizeError::PatternMismatch { step: k });
+                }
+                x[p] = v;
+            }
+            // --- Replay x = L \ A(:, col) in the stored visit order.
+            // Update targets are distinct rows per source, all inside
+            // the reach, so iterating the assembled (sorted) L column
+            // instead of the original insertion order changes nothing.
+            // `L`'s row indices are pivot coordinates too, so the inner
+            // loop needs no permutation lookups.
+            for &j in topo {
+                if j >= k {
+                    continue;
+                }
+                let xi = x[j];
+                if xi == 0.0 {
+                    continue;
+                }
+                for t in l_colptr[j]..l_colptr[j + 1] {
+                    let r = l_rowind[t];
+                    if r != j {
+                        x[r] -= lv[t] * xi;
+                    }
+                }
+            }
+            // --- Replay the stored pivot; write values through slots. ---
+            let pivot = x[k];
+            if !pivot.is_finite() {
+                return Err(RefactorizeError::NonFinite { step: k });
+            }
+            if pivot == 0.0 {
+                return Err(RefactorizeError::ZeroPivot { step: k });
+            }
+            for (&pi, &s) in topo
+                .iter()
+                .zip(&sym.slot[sym.topo_ptr[k]..sym.topo_ptr[k + 1]])
+            {
+                if pi < k {
+                    uv[s] = x[pi];
+                } else if pi == k {
+                    uv[s] = pivot;
+                } else {
+                    let v = x[pi] / pivot;
+                    if !v.is_finite() {
+                        return Err(RefactorizeError::NonFinite { step: k });
+                    }
+                    if s == usize::MAX {
+                        if v != 0.0 {
+                            return Err(RefactorizeError::PatternDeviation { step: k });
+                        }
+                    } else {
+                        lv[s] = v;
+                    }
+                }
+            }
+        }
+        // --- Refresh the solve schedule's numeric payload. ---
+        match self.schedule {
+            TrisolveSchedule::Level => {
+                if let Some(plan) = self.plan.get_mut() {
+                    plan.refresh_numeric(&self.l, &self.u);
+                }
+                Ok(())
+            }
+            TrisolveSchedule::Hbmc => {
+                // The HBMC structure is still valid, but its acceptance
+                // was tolerance-gated against the *old* values — re-run
+                // the probe. On rejection fall back to the level
+                // schedule (always correct) and report it.
+                self.plan = OnceLock::new();
+                self.schedule = TrisolveSchedule::Level;
+                self.set_schedule(TrisolveSchedule::Hbmc).map_err(|e| {
+                    RefactorizeError::ScheduleRejected {
+                        rel_err: e.rel_err,
+                        tol: e.tol,
+                    }
+                })
             }
         }
     }
@@ -700,6 +1004,129 @@ mod tests {
                 "U has entry below diagonal in col {j}"
             );
         }
+    }
+
+    #[test]
+    fn refactorize_identical_values_is_bit_identical() {
+        let a = laplace2d(10);
+        let n = a.nrows();
+        let fresh = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let mut re = fresh.clone();
+        re.refactorize(&a).unwrap();
+        assert_eq!(fresh.l.values(), re.l.values());
+        assert_eq!(fresh.u.values(), re.u.values());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        assert_eq!(fresh.solve(&b), re.solve(&b));
+    }
+
+    #[test]
+    fn refactorize_drifted_values_factors_the_new_matrix() {
+        let a = laplace2d(9);
+        let n = a.nrows();
+        let mut f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let mut a2 = a.clone();
+        for (t, v) in a2.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 1e-3 * (((t * 31 % 17) as f64) - 8.0);
+        }
+        f.refactorize(&a2).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let x = f.solve(&b);
+        assert!(
+            residual_inf_norm(&a2, &x, &b) < 1e-9,
+            "refactorised solve must satisfy the NEW matrix"
+        );
+    }
+
+    #[test]
+    fn refactorize_refreshes_hbmc_plan() {
+        let a = laplace2d(12);
+        let n = a.nrows();
+        let mut f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        f.set_schedule(TrisolveSchedule::Hbmc)
+            .expect("probe passes");
+        let mut a2 = a.clone();
+        for v in a2.values_mut().iter_mut() {
+            *v *= 1.01;
+        }
+        f.refactorize(&a2).unwrap();
+        assert_eq!(f.schedule(), TrisolveSchedule::Hbmc);
+        let b = vec![1.0; n];
+        let x = f.solve(&b);
+        assert!(residual_inf_norm(&a2, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn refactorize_rejects_foreign_pattern() {
+        let a = tridiag(20);
+        let mut f = LuFactors::factorize(&a, &Perm::identity(20), &LuConfig::default()).unwrap();
+        // A matrix with an extra off-pattern entry must be refused.
+        let mut c = Coo::new(20, 20);
+        for i in 0..20 {
+            c.push(i, i, 2.0);
+            if i + 1 < 20 {
+                c.push_sym(i, i + 1, -1.0);
+            }
+        }
+        c.push(0, 19, 0.5);
+        let b = c.to_csr();
+        assert!(matches!(
+            f.refactorize(&b),
+            Err(RefactorizeError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactorize_refused_without_symbolic_record() {
+        let a = tridiag(10);
+        let f = LuFactors::factorize(&a, &Perm::identity(10), &LuConfig::default()).unwrap();
+        let mut g = LuFactors::from_parts(
+            f.l.clone(),
+            f.u.clone(),
+            f.row_perm.clone(),
+            f.col_perm.clone(),
+            f.perturbed.clone(),
+        );
+        assert_eq!(g.refactorize(&a), Err(RefactorizeError::SymbolicMissing));
+    }
+
+    #[test]
+    fn refactorize_refused_after_perturbation() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 0, 1.0);
+        let a = c.to_csr();
+        let cfg = LuConfig {
+            diag_perturb: Some(1e-8),
+            ..Default::default()
+        };
+        let mut f = LuFactors::factorize(&a, &Perm::identity(2), &cfg).unwrap();
+        assert_eq!(f.refactorize(&a), Err(RefactorizeError::Perturbed));
+    }
+
+    #[test]
+    fn lazy_plan_builds_once_per_factorisation() {
+        let a = laplace2d(8);
+        let n = a.nrows();
+        let f = LuFactors::factorize(&a, &Perm::identity(n), &LuConfig::default()).unwrap();
+        let before = crate::plan_build_count();
+        let b = vec![1.0; n];
+        let x1 = f.solve(&b);
+        let after_first = crate::plan_build_count();
+        assert_eq!(after_first, before + 1, "first solve builds the plan");
+        let x2 = f.solve(&b);
+        assert_eq!(crate::plan_build_count(), after_first, "plan is cached");
+        assert_eq!(x1, x2);
+        // A refactorize refreshes values without a plan rebuild.
+        let mut g = f.clone();
+        g.solve(&b);
+        let c0 = crate::plan_build_count();
+        g.refactorize(&a).unwrap();
+        g.solve(&b);
+        assert_eq!(
+            crate::plan_build_count(),
+            c0,
+            "refactorize must not rebuild the plan"
+        );
     }
 
     #[test]

@@ -211,6 +211,38 @@ pub fn lower_from_upper_transpose(u: &Csc) -> Csc {
     )
 }
 
+/// [`lower_from_upper_transpose`] that also records each transpose
+/// entry's source position in `u`'s value array: `ut.values()[i] ==
+/// u.values()[src[i]]`. A caller transposing a factor that is refreshed
+/// in place across a solve sequence (same pattern, new values) keeps the
+/// structure and replays only the value permutation.
+pub fn transpose_with_sources(u: &Csc) -> (Csc, Vec<usize>) {
+    let nnz = u.nnz();
+    let mut colptr = vec![0usize; u.nrows() + 1];
+    for &r in u.rowind() {
+        colptr[r + 1] += 1;
+    }
+    for i in 0..u.nrows() {
+        colptr[i + 1] += colptr[i];
+    }
+    let mut cursor = colptr[..u.nrows()].to_vec();
+    let mut rowind = vec![0usize; nnz];
+    let mut values = vec![0f64; nnz];
+    let mut src = vec![0usize; nnz];
+    for j in 0..u.ncols() {
+        let base = u.colptr()[j];
+        for (k, (&r, &v)) in u.col_indices(j).iter().zip(u.col_values(j)).enumerate() {
+            let dst = cursor[r];
+            cursor[r] += 1;
+            rowind[dst] = j;
+            values[dst] = v;
+            src[dst] = base + k;
+        }
+    }
+    let ut = Csc::from_parts(u.ncols(), u.nrows(), colptr, rowind, values);
+    (ut, src)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +350,34 @@ mod tests {
         assert_eq!(lt.get(1, 0), 2.0);
         assert_eq!(lt.get(1, 1), 3.0);
         assert_eq!(lt.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_with_sources_matches_and_replays_values() {
+        // A ragged upper factor with a dense-ish last column.
+        let mut c = Coo::new(4, 4);
+        for j in 0..4 {
+            c.push(j, j, 1.0 + j as f64);
+        }
+        c.push(0, 2, 5.0);
+        c.push(1, 3, 6.0);
+        c.push(0, 3, 7.0);
+        let mut u = c.to_csr().to_csc();
+        let (ut, src) = transpose_with_sources(&u);
+        assert_eq!(ut, lower_from_upper_transpose(&u));
+        for (i, &s) in src.iter().enumerate() {
+            assert_eq!(ut.values()[i], u.values()[s]);
+        }
+        // Refresh the values in place (same pattern) and replay the
+        // permutation: the result must equal a from-scratch transpose.
+        for v in u.values_mut() {
+            *v *= -2.0;
+        }
+        let mut replayed = ut.clone();
+        for (i, &s) in src.iter().enumerate() {
+            replayed.values_mut()[i] = u.values()[s];
+        }
+        assert_eq!(replayed, lower_from_upper_transpose(&u));
     }
 
     #[test]

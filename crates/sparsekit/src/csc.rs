@@ -92,6 +92,18 @@ impl Csc {
         &self.values
     }
 
+    /// Mutable access to the stored values (pattern fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Structure plus mutable values as disjoint borrows, for callers
+    /// that rewrite values in place while walking the pattern (numeric
+    /// refactorisation).
+    pub fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.colptr, &self.rowind, &mut self.values)
+    }
+
     /// Row indices of column `j`.
     pub fn col_indices(&self, j: usize) -> &[usize] {
         &self.rowind[self.colptr[j]..self.colptr[j + 1]]

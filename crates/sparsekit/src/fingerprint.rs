@@ -94,6 +94,37 @@ pub fn csr_fingerprint(a: &Csr) -> u64 {
     h.finish()
 }
 
+/// Fingerprint of the *pattern* only: shape, row pointers, and column
+/// indices — the part of a matrix the symbolic setup pipeline depends
+/// on. Two matrices with the same pattern but different values agree
+/// here and disagree on [`csr_value_fingerprint`]; sequence solvers use
+/// the pair as a split cache key.
+pub fn csr_pattern_fingerprint(a: &Csr) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(a.nrows() as u64);
+    h.write_u64(a.ncols() as u64);
+    for &p in a.indptr() {
+        h.write_u64(p as u64);
+    }
+    for &j in a.indices() {
+        h.write_u64(j as u64);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the value bits only (exact `f64` bit patterns, in
+/// storage order). Only meaningful alongside a matching
+/// [`csr_pattern_fingerprint`]; the pair together distinguishes exactly
+/// what [`csr_fingerprint`] does.
+pub fn csr_value_fingerprint(a: &Csr) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(a.values().len() as u64);
+    for &v in a.values() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +180,26 @@ mod tests {
         let a = Csr::from_parts(2, 3, vec![0, 0, 0], vec![], vec![]);
         let b = Csr::from_parts(3, 2, vec![0, 0, 0, 0], vec![], vec![]);
         assert_ne!(csr_fingerprint(&a), csr_fingerprint(&b));
+    }
+
+    #[test]
+    fn split_fingerprints_separate_pattern_from_values() {
+        let a = sample();
+        let mut b = sample();
+        b.values_mut()[2] = 7.5;
+        // Same pattern, different values.
+        assert_eq!(csr_pattern_fingerprint(&a), csr_pattern_fingerprint(&b));
+        assert_ne!(csr_value_fingerprint(&a), csr_value_fingerprint(&b));
+        // Different pattern, same value list.
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 4.0);
+        c.push(0, 1, -1.0);
+        c.push(1, 1, 3.0);
+        c.push(2, 0, -1.0);
+        c.push(2, 2, 5.0);
+        let c = c.to_csr();
+        assert_ne!(csr_pattern_fingerprint(&a), csr_pattern_fingerprint(&c));
+        assert_eq!(csr_value_fingerprint(&a), csr_value_fingerprint(&c));
     }
 
     #[test]

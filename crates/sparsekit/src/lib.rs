@@ -50,6 +50,6 @@ pub use budget::{Budget, BudgetInterrupt, CancelToken};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
-pub use fingerprint::{csr_fingerprint, Fnv64};
+pub use fingerprint::{csr_fingerprint, csr_pattern_fingerprint, csr_value_fingerprint, Fnv64};
 pub use perm::Perm;
 pub use rng::Rng64;

@@ -10,6 +10,10 @@ use crate::Csr;
 /// small enough that interrupts still land promptly.
 const BUDGET_STRIDE: u32 = 64;
 
+/// Ceiling on `nrows × ncols` for the dense-accumulator (compact-output)
+/// product path: 1M cells = 8 MB of accumulator, comfortably resident.
+const COMPACT_MAX_CELLS: usize = 1 << 20;
+
 /// Why a checked sparse product refused to run or stopped early.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SpgemmError {
@@ -101,6 +105,17 @@ pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmEr
     budget.check().map_err(SpgemmError::Interrupted)?;
     let m = a.nrows();
     let n = b.ncols();
+    // Compact-output products (small `m×n` result, huge inner dimension
+    // — the separator blocks `T̃ = W̃·G̃` of `Comp(S)`) switch to an
+    // outer-product walk over the inner index with a dense accumulator:
+    // row-by-row Gustavson would re-stream all of `B` once per output
+    // row, which is bandwidth-bound long before it is flop-bound.
+    if m > 0 && n > 0 && m.saturating_mul(n) <= COMPACT_MAX_CELLS {
+        let flops = spgemm_nnz_bound(a, b);
+        if flops >= 4 * m * n {
+            return spgemm_compact(a, b, budget);
+        }
+    }
     let mut indptr = vec![0usize; m + 1];
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
@@ -110,6 +125,33 @@ pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmEr
     let mut ticker = budget.ticker(BUDGET_STRIDE);
     for i in 0..m {
         ticker.tick().map_err(SpgemmError::Interrupted)?;
+        // Rows whose flop count dwarfs the output width (the dense
+        // separator products of `Comp(S)`) take a branchless path: zero
+        // the whole accumulator up front, accumulate with unconditional
+        // stores, and recover the pattern by scanning the marks. The
+        // per-entry sums run in the same order as the marked walk, so
+        // the result is bit-identical.
+        let mut flop_bound = 0usize;
+        for &k in a.row_indices(i) {
+            flop_bound += b.row_nnz(k);
+        }
+        if flop_bound >= 4 * n && n > 0 {
+            acc[..n].fill(0.0);
+            for (k, av) in a.row_iter(i) {
+                for (j, bv) in b.row_iter(k) {
+                    acc[j] += av * bv;
+                    mark[j] = i;
+                }
+            }
+            for (j, mk) in mark[..n].iter().enumerate() {
+                if *mk == i {
+                    indices.push(j);
+                    values.push(acc[j]);
+                }
+            }
+            indptr[i + 1] = indices.len();
+            continue;
+        }
         row_cols.clear();
         for (k, av) in a.row_iter(i) {
             for (j, bv) in b.row_iter(k) {
@@ -121,10 +163,125 @@ pub fn spgemm_checked(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmEr
                 acc[j] += av * bv;
             }
         }
-        row_cols.sort_unstable();
-        for &j in &row_cols {
-            indices.push(j);
-            values.push(acc[j]);
+        if row_cols.len() * 8 >= n {
+            // Dense-ish row: a full column scan emits the same sorted
+            // entries cheaper than sorting the occupancy list (the
+            // separator-block products of `Comp(S)` live here).
+            for (j, m) in mark.iter().enumerate() {
+                if *m == i {
+                    indices.push(j);
+                    values.push(acc[j]);
+                }
+            }
+        } else {
+            row_cols.sort_unstable();
+            for &j in &row_cols {
+                indices.push(j);
+                values.push(acc[j]);
+            }
+        }
+        indptr[i + 1] = indices.len();
+    }
+    Ok(Csr::from_parts(m, n, indptr, indices, values))
+}
+
+/// Outer-product sparse product for compact outputs: walks the inner
+/// dimension once, streaming `Aᵀ` and `B` a single time each, and
+/// accumulates into a dense `m×n` block that stays cache-resident.
+///
+/// Matches the Gustavson walk bit-for-bit on real inputs: both add the
+/// contributions of each output entry in ascending inner-index order
+/// (`A`'s row indices are sorted), both emit rows with ascending column
+/// indices, and the pattern (tracked exactly via bitmasks) is the same.
+/// The one divergence window is a stored product that underflows to a
+/// signed zero, where the dense accumulation can normalise `-0.0` to
+/// `+0.0`.
+fn spgemm_compact(a: &Csr, b: &Csr, budget: &Budget) -> Result<Csr, SpgemmError> {
+    let m = a.nrows();
+    let n = b.ncols();
+    let words = n.div_ceil(64);
+    let mut acc = vec![0f64; m * n];
+    let mut pat = vec![0u64; m * words];
+    // Strip-mine the inner dimension: densify `STRIP` rows of `B` into a
+    // cache-resident panel, then sweep every output row once per strip.
+    // Each accumulator row is loaded once per strip instead of once per
+    // inner index, and the per-entry update is a vectorizable dense axpy
+    // plus a bitmask OR for the exact pattern. `A`'s column indices are
+    // sorted, so each output entry still receives its contributions in
+    // ascending inner-index order — bit-identical to the sparse walk
+    // (structurally absent positions add an exact-zero term, which only
+    // matters if a stored product underflows to a signed zero).
+    const STRIP: usize = 64;
+    let mut panel = vec![0f64; STRIP * n];
+    let mut masks = vec![0u64; STRIP * words];
+    // Per-output-row cursor into `A`'s sorted column indices: the
+    // entries belonging to a strip are a contiguous subrange.
+    let mut cursor = vec![0usize; m];
+    let mut ticker = budget.ticker(BUDGET_STRIDE);
+    let mut k0 = 0;
+    while k0 < b.nrows() {
+        let k1 = (k0 + STRIP).min(b.nrows());
+        ticker.tick().map_err(SpgemmError::Interrupted)?;
+        let mut any = false;
+        for k in k0..k1 {
+            if b.row_nnz(k) > 0 {
+                any = true;
+                break;
+            }
+        }
+        if any {
+            panel[..(k1 - k0) * n].fill(0.0);
+            masks[..(k1 - k0) * words].fill(0);
+            for k in k0..k1 {
+                let prow = &mut panel[(k - k0) * n..(k - k0 + 1) * n];
+                let mrow = &mut masks[(k - k0) * words..(k - k0 + 1) * words];
+                for (j, bv) in b.row_iter(k) {
+                    prow[j] = bv;
+                    mrow[j >> 6] |= 1u64 << (j & 63);
+                }
+            }
+        }
+        for (i, cur) in cursor.iter_mut().enumerate() {
+            let idx = a.row_indices(i);
+            let vals = a.row_values(i);
+            let start = *cur;
+            let mut t = start;
+            while t < idx.len() && idx[t] < k1 {
+                t += 1;
+            }
+            *cur = t;
+            if !any {
+                continue;
+            }
+            let row = &mut acc[i * n..(i + 1) * n];
+            let prow = &mut pat[i * words..(i + 1) * words];
+            for (&k, &av) in idx[start..t].iter().zip(&vals[start..t]) {
+                let kl = k - k0;
+                if masks[kl * words..(kl + 1) * words].iter().all(|&w| w == 0) {
+                    continue;
+                }
+                for (y, &x) in row.iter_mut().zip(&panel[kl * n..(kl + 1) * n]) {
+                    *y += av * x;
+                }
+                for (pw, &mw) in prow.iter_mut().zip(&masks[kl * words..(kl + 1) * words]) {
+                    *pw |= mw;
+                }
+            }
+        }
+        k0 = k1;
+    }
+    let mut indptr = vec![0usize; m + 1];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..m {
+        for (w, &bits) in pat[i * words..(i + 1) * words].iter().enumerate() {
+            let mut rem = bits;
+            while rem != 0 {
+                let j = (w << 6) + rem.trailing_zeros() as usize;
+                indices.push(j);
+                values.push(acc[i * n + j]);
+                rem &= rem - 1;
+            }
         }
         indptr[i + 1] = indices.len();
     }
@@ -160,6 +317,16 @@ pub fn spgemm_checked_workers(
     }
     check_dims(a, b)?;
     let n = b.ncols();
+    // Compact-output products take the dense-accumulator path for any
+    // worker count: it streams each operand once instead of re-walking
+    // `B` per output row, and its output is bit-identical to the serial
+    // walk (see `spgemm_compact`).
+    if a.nrows() > 0 && n > 0 && a.nrows().saturating_mul(n) <= COMPACT_MAX_CELLS {
+        let flops = spgemm_nnz_bound(a, b);
+        if flops >= 4 * a.nrows() * n {
+            return spgemm_compact(a, b, budget);
+        }
+    }
     build_csr_two_phase(
         a.nrows(),
         n,
@@ -173,6 +340,21 @@ pub fn spgemm_checked_workers(
         },
         |i, s| {
             let stamp = 2 * i;
+            // Same dense-row shortcut as the serial path: unconditional
+            // mark stores, then a scan, beat the branchy walk when the
+            // row's flops dwarf the output width.
+            let mut flop_bound = 0usize;
+            for &k in a.row_indices(i) {
+                flop_bound += b.row_nnz(k);
+            }
+            if flop_bound >= 4 * n && n > 0 {
+                for (k, _) in a.row_iter(i) {
+                    for &j in b.row_indices(k) {
+                        s.mark[j] = stamp;
+                    }
+                }
+                return s.mark[..n].iter().filter(|&&m| m == stamp).count();
+            }
             let mut nnz = 0usize;
             for (k, _) in a.row_iter(i) {
                 for &j in b.row_indices(k) {
@@ -186,6 +368,30 @@ pub fn spgemm_checked_workers(
         },
         |i, s, ind, val| {
             let stamp = 2 * i + 1;
+            let mut flop_bound = 0usize;
+            for &k in a.row_indices(i) {
+                flop_bound += b.row_nnz(k);
+            }
+            if flop_bound >= 4 * n && n > 0 {
+                // Branchless dense accumulation; sums run in the same
+                // order as the marked walk, so values are bit-identical.
+                s.acc[..n].fill(0.0);
+                for (k, av) in a.row_iter(i) {
+                    for (j, bv) in b.row_iter(k) {
+                        s.acc[j] += av * bv;
+                        s.mark[j] = stamp;
+                    }
+                }
+                let mut t = 0;
+                for (j, m) in s.mark[..n].iter().enumerate() {
+                    if *m == stamp {
+                        ind[t] = j;
+                        val[t] = s.acc[j];
+                        t += 1;
+                    }
+                }
+                return;
+            }
             s.cols.clear();
             for (k, av) in a.row_iter(i) {
                 for (j, bv) in b.row_iter(k) {
@@ -197,10 +403,23 @@ pub fn spgemm_checked_workers(
                     s.acc[j] += av * bv;
                 }
             }
-            s.cols.sort_unstable();
-            for (t, &j) in s.cols.iter().enumerate() {
-                ind[t] = j;
-                val[t] = s.acc[j];
+            if s.cols.len() * 8 >= n {
+                // Same dense-row scan as the serial path: identical
+                // sorted output, no per-row sort.
+                let mut t = 0;
+                for (j, m) in s.mark.iter().enumerate() {
+                    if *m == stamp {
+                        ind[t] = j;
+                        val[t] = s.acc[j];
+                        t += 1;
+                    }
+                }
+            } else {
+                s.cols.sort_unstable();
+                for (t, &j) in s.cols.iter().enumerate() {
+                    ind[t] = j;
+                    val[t] = s.acc[j];
+                }
             }
         },
     )

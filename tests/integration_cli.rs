@@ -31,6 +31,36 @@ fn generate_and_solve_through_cli_options() {
 }
 
 #[test]
+fn solve_seq_options_drive_a_sequence_solve() {
+    let args = parse_args(argv(
+        "solve-seq --generate g3_circuit --scale test --k 4 --steps 3 --drift 0.02",
+    ))
+    .unwrap();
+    pdslin_cli::validate_options(&args).expect("solve-seq options are valid");
+    let a = load_matrix(&args).unwrap();
+    let steps: usize = args.parse_or("steps", 8).unwrap();
+    let drift: f64 = args.parse_or("drift", 0.01).unwrap();
+    let mats = matgen::sequence(&a, steps, drift);
+    let cfg = pdslin::PdslinConfig {
+        k: args.parse_or("k", 8usize).unwrap(),
+        ..Default::default()
+    };
+    let mut solver = pdslin::Pdslin::setup(&mats[0], cfg).expect("setup");
+    let rhs: Vec<Vec<f64>> = vec![vec![1.0; a.nrows()]; mats.len()];
+    let seq = solver
+        .solve_sequence(&mats, &rhs, &pdslin::SequencePolicy::default())
+        .expect("sequence solve");
+    assert_eq!(seq.len(), steps);
+    for (t, s) in seq.iter().enumerate() {
+        assert!(s.refactorized, "step {t} should replay, not rebuild");
+        assert!(
+            residual_inf_norm(&mats[t], &s.outcome.x, &rhs[t]) < 1e-6,
+            "step {t} must solve its own drifted matrix"
+        );
+    }
+}
+
+#[test]
 fn matrix_market_file_loads_through_cli() {
     let dir = std::env::temp_dir().join("pdslin_cli_it");
     std::fs::create_dir_all(&dir).unwrap();

@@ -263,6 +263,63 @@ fn identical_requests_coalesce_and_hit_the_cache() {
     service.shutdown(Duration::from_secs(5));
 }
 
+/// Requests naming pattern-identical but value-drifted matrices share
+/// one cache entry: the first pays the full setup, value drift is a
+/// *symbolic hit* (the entry's symbolic structure is kept, the numerics
+/// replayed with `update_values`), and byte-identical repeats are full
+/// hits that touch nothing.
+#[test]
+fn value_drifted_matrices_take_the_symbolic_path() {
+    let dir = std::env::temp_dir().join(format!("pdslin-symbolic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let seq = matgen::sequence(&matgen::laplace2d(16, 16), 3, 0.01);
+    let paths: Vec<_> = (0..seq.len())
+        .map(|t| dir.join(format!("step{t}.mtx")))
+        .collect();
+    for (p, a) in paths.iter().zip(&seq) {
+        sparsekit::io::write_matrix_market(p, a).unwrap();
+    }
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let (tx, rx) = mpsc::channel::<Response>();
+    let ask = |id: &str, path: &std::path::Path| -> &'static str {
+        let line = format!(
+            r#"{{"id":"{id}","op":"solve","matrix":"{}","k":2,"deadline_ms":30000}}"#,
+            path.display()
+        );
+        service.submit(id, solve_req(&line), &tx);
+        let resp = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("request answered");
+        match resp.body {
+            ResponseBody::Solve(r) => {
+                assert!(r.converged, "{id} must converge");
+                r.cache
+            }
+            other => panic!("{id}: expected ok, got {other:?}"),
+        }
+    };
+
+    assert_eq!(ask("s0", &paths[0]), "miss", "first sight pays setup");
+    assert_eq!(ask("s0-again", &paths[0]), "hit", "byte-identical repeat");
+    assert_eq!(ask("s1", &paths[1]), "symbolic", "drifted values replay");
+    assert_eq!(ask("s2", &paths[2]), "symbolic");
+    // The entry now holds step 2's values; asking for step 0 again must
+    // replay back even though the memo remembers the spec.
+    assert_eq!(ask("s0-back", &paths[0]), "symbolic");
+
+    let m = service.metrics_snapshot();
+    assert_eq!(m.setups, 1, "one pattern, one setup");
+    assert_eq!(m.cache_misses, 1);
+    assert_eq!(m.full_hits, 1);
+    assert_eq!(m.symbolic_hits, 3);
+    service.shutdown(Duration::from_secs(5));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Shutdown with a zero drain budget cancels whatever is still queued —
 /// but cancels it with a typed response, not silence.
 #[test]

@@ -1,0 +1,249 @@
+//! Property tests of the sequence-solve path: `LuFactors::refactorize`
+//! reproducing a fresh `factorize` bit-for-bit on identical values
+//! across the matgen zoo and workers 1/2/4, `Pdslin::update_values`
+//! keeping solves bitwise stable under identity replay with the cached
+//! solve plans asserted flat, and the staleness policy firing a typed
+//! `SequenceStale` recovery whose fallback step matches a full fresh
+//! setup bitwise.
+//!
+//! `slu::plan_build_count` is a process-global counter, so every test
+//! in this binary serialises on one mutex — a concurrently running
+//! neighbour would otherwise inflate the deltas asserted here.
+
+use std::sync::Mutex;
+
+use matgen::{generate, stencil::laplace2d, MatrixKind, Scale};
+use pdslin::subdomain::subdomain_ordering;
+use pdslin::{Pdslin, PdslinConfig, RecoveryEvent, SequencePolicy};
+use slu::{LuConfig, LuFactors, TriScratch};
+use sparsekit::Csr;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic multiplicative perturbation (pattern untouched, no
+/// entry driven to zero).
+fn drift(a: &Csr, scale: f64) -> Csr {
+    let mut out = a.clone();
+    for (t, v) in out.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + scale * ((t % 13) as f64 - 6.0) / 6.0;
+    }
+    out
+}
+
+fn rhs_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + ((i * 7) % 23) as f64 / 23.0).collect()
+}
+
+#[test]
+fn refactorize_matches_fresh_factorize_across_zoo_and_workers() {
+    let _g = lock();
+    let cfg = LuConfig::default();
+    for kind in MatrixKind::ALL {
+        let a = generate(kind, Scale::Test);
+        let order = subdomain_ordering(&a);
+        let fresh = LuFactors::factorize(&a, &order, &cfg).expect("fresh factorize");
+
+        // Identity replay: refactorizing with the very values the
+        // factors were built from must be a bitwise no-op.
+        let mut replayed = LuFactors::factorize(&a, &order, &cfg).expect("factorize");
+        replayed.refactorize(&a).expect("identity refactorize");
+        assert_eq!(
+            replayed.l.values(),
+            fresh.l.values(),
+            "{}: identity replay changed L",
+            kind.name()
+        );
+        assert_eq!(
+            replayed.u.values(),
+            fresh.u.values(),
+            "{}: identity replay changed U",
+            kind.name()
+        );
+
+        // Round trip: drift the values away and replay back. The pivot
+        // sequence is frozen from `a`'s own factorization and the
+        // replay overwrites every stored entry, so returning to the
+        // original values must reproduce the original factors exactly.
+        let mut round = LuFactors::factorize(&a, &order, &cfg).expect("factorize");
+        round.refactorize(&drift(&a, 0.05)).expect("drift replay");
+        round.refactorize(&a).expect("return replay");
+        assert_eq!(
+            round.l.values(),
+            fresh.l.values(),
+            "{}: drift round trip changed L",
+            kind.name()
+        );
+        assert_eq!(
+            round.u.values(),
+            fresh.u.values(),
+            "{}: drift round trip changed U",
+            kind.name()
+        );
+
+        // And the solves agree bitwise at every worker count.
+        let b = rhs_for(a.nrows());
+        for w in [1usize, 2, 4] {
+            let mut want = vec![f64::NAN; a.nrows()];
+            fresh.solve_into(&b, &mut want, &mut TriScratch::new(), w);
+            let mut got = vec![f64::NAN; a.nrows()];
+            round.solve_into(&b, &mut got, &mut TriScratch::new(), w);
+            assert_eq!(got, want, "{}: workers {w} solve diverged", kind.name());
+        }
+    }
+}
+
+#[test]
+fn update_values_identity_is_bitwise_and_plans_stay_cached() {
+    let _g = lock();
+    for (name, a, k) in [
+        ("laplace2d(30,30)", laplace2d(30, 30), 4usize),
+        ("matrix211", generate(MatrixKind::Matrix211, Scale::Test), 4),
+    ] {
+        let cfg = PdslinConfig {
+            k,
+            ..Default::default()
+        };
+        let b = rhs_for(a.nrows());
+        let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+        let base = solver.solve(&b).expect("baseline solve");
+
+        // Steady state: replaying the same values and re-solving must
+        // neither rebuild any factor nor rebuild any solve plan.
+        let plans_before = slu::plan_build_count();
+        let upd = solver.update_values(&a).expect("identity update");
+        assert_eq!(upd.rebuilt, 0, "{name}: identity update rebuilt a factor");
+        assert!(upd.refactorized > 0, "{name}: nothing was refactorized");
+        assert!(
+            upd.recovery.is_empty(),
+            "{name}: identity update logged recovery events"
+        );
+        let again = solver.solve(&b).expect("post-replay solve");
+        assert_eq!(
+            slu::plan_build_count(),
+            plans_before,
+            "{name}: update or solve rebuilt a cached solve plan"
+        );
+        assert_eq!(
+            again.x, base.x,
+            "{name}: identity replay changed the solution"
+        );
+        assert_eq!(again.iterations, base.iterations, "{name}");
+        assert_eq!(again.schur_residual, base.schur_residual, "{name}");
+    }
+}
+
+#[test]
+fn update_values_identity_is_bitwise_with_parallel_config() {
+    let _g = lock();
+    let a = laplace2d(24, 24);
+    let cfg = PdslinConfig {
+        k: 4,
+        parallel: true,
+        ..Default::default()
+    };
+    let b = rhs_for(a.nrows());
+    let mut solver = Pdslin::setup(&a, cfg).expect("setup");
+    let base = solver.solve(&b).expect("baseline solve");
+    let upd = solver.update_values(&a).expect("identity update");
+    assert_eq!(upd.rebuilt, 0);
+    let again = solver.solve(&b).expect("post-replay solve");
+    assert_eq!(
+        again.x, base.x,
+        "parallel identity replay changed the solution"
+    );
+    assert_eq!(again.iterations, base.iterations);
+}
+
+#[test]
+fn drifted_sequence_refactorizes_every_step_and_converges() {
+    let _g = lock();
+    let a = laplace2d(28, 28);
+    let cfg = PdslinConfig {
+        k: 4,
+        ..Default::default()
+    };
+    let mats = matgen::sequence(&a, 4, 0.02);
+    let b = rhs_for(a.nrows());
+    let rhs: Vec<Vec<f64>> = vec![b.clone(); mats.len()];
+    let mut solver = Pdslin::setup(&mats[0], cfg).expect("setup");
+    let steps = solver
+        .solve_sequence(&mats, &rhs, &SequencePolicy::default())
+        .expect("sequence");
+    assert_eq!(steps.len(), mats.len());
+    for (t, s) in steps.iter().enumerate() {
+        assert!(s.refactorized, "step {t} fell off the replay path");
+        assert!(
+            !s.stale_fallback,
+            "step {t} tripped staleness on a gentle drift"
+        );
+        assert!(s.outcome.converged, "step {t} did not converge");
+        let res = sparsekit::ops::residual_inf_norm(&mats[t], &s.outcome.x, &rhs[t]);
+        assert!(res < 1e-6, "step {t}: residual {res}");
+    }
+}
+
+#[test]
+fn stale_fallback_fires_typed_recovery_and_matches_full_setup_bitwise() {
+    let _g = lock();
+    // Calibrated hostile walk (same recipe as bench_sequence's stale
+    // probe): set up on a heavily perturbed matrix with aggressive drop
+    // tolerances, then walk back to the clean matrix under a tight
+    // policy — the frozen S̃ is a poor preconditioner for the later
+    // steps and the growth test must fire.
+    let a = laplace2d(16, 16);
+    let cfg = PdslinConfig {
+        k: 2,
+        interface_drop_tol: 5e-2,
+        schur_drop_tol: 5e-2,
+        parallel: false,
+        ..Default::default()
+    };
+    let mats = vec![drift(&a, 500.0), drift(&a, 5.0), a.clone()];
+    let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let rhs: Vec<Vec<f64>> = vec![b.clone(); mats.len()];
+    let policy = SequencePolicy {
+        max_iteration_growth: 1.5,
+        min_baseline_iters: 4,
+        ..SequencePolicy::default()
+    };
+    let mut solver = Pdslin::setup(&mats[0], cfg).expect("setup");
+    let steps = solver
+        .solve_sequence(&mats, &rhs, &policy)
+        .expect("sequence");
+
+    let stale: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.stale_fallback)
+        .map(|(t, _)| t)
+        .collect();
+    assert!(!stale.is_empty(), "the hostile walk never went stale");
+    let t = stale[0];
+    assert!(
+        !steps[t].refactorized,
+        "a stale step cannot also count as refactorized"
+    );
+    assert!(
+        solver
+            .stats
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SequenceStale { step, .. } if *step == t)),
+        "step {t}: no typed SequenceStale event in the solver's recovery log"
+    );
+
+    // The fallback is a full fresh setup on that step's matrix, so its
+    // answer must match an independent fresh setup + solve bitwise.
+    let mut fresh = Pdslin::setup(&mats[t], cfg).expect("fresh setup");
+    let want = fresh.solve(&rhs[t]).expect("fresh solve");
+    assert_eq!(
+        steps[t].outcome.x, want.x,
+        "step {t}: stale fallback diverged from a full setup"
+    );
+    assert_eq!(steps[t].outcome.iterations, want.iterations, "step {t}");
+}
